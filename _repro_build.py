@@ -1,0 +1,102 @@
+"""Minimal in-tree PEP 517/660 build backend.
+
+This repository targets fully offline environments where the ``wheel``
+package (required by setuptools' own editable-wheel support) may be absent.
+This backend builds valid wheels using only the standard library:
+
+- ``build_wheel``: zips ``src/repro`` into a regular purelib wheel.
+- ``build_editable``: produces a PEP 660 editable wheel containing a ``.pth``
+  file pointing at ``src/``.
+
+Both include a console-script entry point for ``repro-pipeline``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+TAG = "py3-none-any"
+DIST_INFO = f"{NAME}-{VERSION}.dist-info"
+ROOT = os.path.dirname(os.path.abspath(__file__))
+
+_METADATA = f"""Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Reproduction of 'Analyzing Corporate Privacy Policies using AI Chatbots' (IMC 2024)
+Requires-Python: >=3.10
+"""
+
+_WHEEL = f"""Wheel-Version: 1.0
+Generator: repro-inhouse-backend (1.0)
+Root-Is-Purelib: true
+Tag: {TAG}
+"""
+
+_ENTRY_POINTS = """[console_scripts]
+repro-pipeline = repro.cli:main
+"""
+
+
+def _record_entry(arcname: str, data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    b64 = base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+    return f"{arcname},sha256={b64},{len(data)}"
+
+
+def _write_wheel(path: str, files: dict[str, bytes]) -> None:
+    record_name = f"{DIST_INFO}/RECORD"
+    records = [_record_entry(name, data) for name, data in files.items()]
+    records.append(f"{record_name},,")
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, data in files.items():
+            zf.writestr(name, data)
+        zf.writestr(record_name, "\n".join(records) + "\n")
+
+
+def _dist_info_files() -> dict[str, bytes]:
+    return {
+        f"{DIST_INFO}/METADATA": _METADATA.encode(),
+        f"{DIST_INFO}/WHEEL": _WHEEL.encode(),
+        f"{DIST_INFO}/entry_points.txt": _ENTRY_POINTS.encode(),
+    }
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    files = _dist_info_files()
+    pkg_root = os.path.join(ROOT, "src")
+    for dirpath, dirnames, filenames in os.walk(os.path.join(pkg_root, NAME)):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for fname in sorted(filenames):
+            full = os.path.join(dirpath, fname)
+            arcname = os.path.relpath(full, pkg_root).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                files[arcname] = fh.read()
+    wheel_name = f"{NAME}-{VERSION}-{TAG}.whl"
+    _write_wheel(os.path.join(wheel_directory, wheel_name), files)
+    return wheel_name
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    files = _dist_info_files()
+    src_path = os.path.join(ROOT, "src")
+    files[f"_{NAME}_editable.pth"] = (src_path + "\n").encode()
+    wheel_name = f"{NAME}-{VERSION}-{TAG}.whl"
+    _write_wheel(os.path.join(wheel_directory, wheel_name), files)
+    return wheel_name
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    raise NotImplementedError("sdist builds are not supported by this backend")

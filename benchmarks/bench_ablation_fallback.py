@@ -1,0 +1,39 @@
+"""Ablation A2 — full-text fallback.
+
+The paper falls back to feeding the entire policy when a section yields no
+annotations (activated for 708/2545 policies). Disabling it should lose
+whole (domain, aspect) coverage cells.
+"""
+
+from conftest import ABLATION_FRACTION, emit
+
+from repro.pipeline import PipelineOptions, run_pipeline
+
+
+def _aspect_cells(result):
+    return sum(
+        (1 if r.types else 0) + (1 if r.purposes else 0)
+        + (1 if r.handling else 0) + (1 if r.rights else 0)
+        for r in result.records
+    )
+
+
+def test_fallback_ablation(benchmark, ablation_corpus, ablation_baseline):
+    no_fallback = benchmark.pedantic(
+        run_pipeline, args=(ablation_corpus,),
+        kwargs={"options": PipelineOptions(use_fallback=False)},
+        rounds=1, iterations=1,
+    )
+    baseline = ablation_baseline
+
+    base_cells = _aspect_cells(baseline)
+    ablation_cells = _aspect_cells(no_fallback)
+    emit("A2 ablation — no full-text fallback [ablation fraction=" + str(ABLATION_FRACTION) + "]", [
+        ("(domain, aspect) cells with annotations", "fallback adds coverage",
+         f"{base_cells} with vs {ablation_cells} without"),
+        ("domains using fallback (baseline)", "27.8% of policies",
+         str(baseline.fallback_domains())),
+    ])
+
+    assert ablation_cells < base_cells
+    assert no_fallback.fallback_domains() == 0

@@ -1,0 +1,49 @@
+"""Ablation A4 — glossary attachment.
+
+The paper attaches the manually curated glossary to both extraction and
+normalization prompts, "providing the chatbot with more context". Without
+it, synonym surface forms stop normalizing consistently (e.g. "mailing
+address" no longer maps to the canonical "postal address" descriptor) and
+annotations fragment into ad-hoc novel descriptors.
+"""
+
+from conftest import ABLATION_FRACTION, emit
+
+from repro.analysis import annotated_records
+from repro.pipeline import PipelineOptions, run_pipeline
+from repro.validation import full_precision
+
+
+def test_glossary_ablation(benchmark, ablation_corpus, ablation_baseline):
+    no_glossary = benchmark.pedantic(
+        run_pipeline, args=(ablation_corpus,),
+        kwargs={"options": PipelineOptions(include_glossary=False)},
+        rounds=1, iterations=1,
+    )
+    baseline = ablation_baseline
+
+    def novel_share(result):
+        novel = total = 0
+        for record in annotated_records(result.records):
+            for annotation in record.types:
+                total += 1
+                novel += annotation.novel
+        return novel / max(1, total)
+
+    base_precision = full_precision(
+        ablation_corpus, annotated_records(baseline.records)).as_dict()
+    ablation_precision = full_precision(
+        ablation_corpus, annotated_records(no_glossary.records)).as_dict()
+
+    emit("A4 ablation — no glossary in prompts [ablation fraction=" + str(ABLATION_FRACTION) + "]", [
+        ("novel-descriptor share (with glossary)", "low",
+         f"{novel_share(baseline) * 100:.1f}%"),
+        ("novel-descriptor share (without)", "higher (fragmentation)",
+         f"{novel_share(no_glossary) * 100:.1f}%"),
+        ("types precision with vs without glossary", "glossary helps",
+         f"{base_precision['types'] * 100:.1f}% vs "
+         f"{ablation_precision['types'] * 100:.1f}%"),
+    ])
+
+    assert novel_share(no_glossary) > novel_share(baseline)
+    assert ablation_precision["types"] < base_precision["types"]

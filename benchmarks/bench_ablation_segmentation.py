@@ -1,0 +1,42 @@
+"""Ablation A1 — segmentation before annotation.
+
+The paper segments policies and feeds only the relevant section to each
+annotation task, arguing it improves accuracy and "minimizes token usage
+for subsequent annotation tasks". This ablation feeds whole policies
+instead and measures the token-volume and precision effect.
+"""
+
+from conftest import ABLATION_FRACTION, emit
+
+from repro.analysis import annotated_records
+from repro.pipeline import PipelineOptions, run_pipeline
+from repro.validation import full_precision
+
+
+def test_segmentation_ablation(benchmark, ablation_corpus, ablation_baseline):
+    unsegmented = benchmark.pedantic(
+        run_pipeline, args=(ablation_corpus,),
+        kwargs={"options": PipelineOptions(use_segmentation=False)},
+        rounds=1, iterations=1,
+    )
+    baseline = ablation_baseline
+
+    base_tokens = baseline.prompt_tokens
+    ablation_tokens = unsegmented.prompt_tokens
+    base_precision = full_precision(
+        ablation_corpus, annotated_records(baseline.records)).as_dict()
+    ablation_precision = full_precision(
+        ablation_corpus, annotated_records(unsegmented.records)).as_dict()
+
+    emit("A1 ablation — no segmentation (whole policy per task) [ablation fraction=" + str(ABLATION_FRACTION) + "]", [
+        ("prompt tokens (segmented)", "lower by design",
+         f"{base_tokens:,}"),
+        ("prompt tokens (unsegmented)", "higher",
+         f"{ablation_tokens:,} ({ablation_tokens / max(1, base_tokens):.2f}x)"),
+        ("types precision segmented vs not", "segmentation helps",
+         f"{base_precision['types'] * 100:.1f}% vs "
+         f"{ablation_precision['types'] * 100:.1f}%"),
+    ])
+
+    # Feeding whole policies must cost more prompt tokens.
+    assert ablation_tokens > base_tokens

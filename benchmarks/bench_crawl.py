@@ -1,0 +1,51 @@
+"""E1 — Figure 1 / §3.1: crawl statistics.
+
+Paper targets: crawl success 2648/2892 (91.6%), average 5.1 pages crawled
+per domain (incl. homepage), 1.8 potential privacy pages per successful
+domain after dedup, /privacy-policy existing for 54.5% of domains and
+/privacy for 48.6%.
+"""
+
+from conftest import emit
+
+from repro.crawler import PrivacyCrawler
+from repro.web import Browser
+
+
+def test_crawl_statistics(benchmark, bench_corpus, bench_result):
+    # Benchmark: raw crawl throughput over a fixed slice of domains.
+    sample = bench_corpus.domains[:40]
+
+    def crawl_sample():
+        crawler = PrivacyCrawler(Browser(internet=bench_corpus.internet))
+        return [crawler.crawl_domain(domain) for domain in sample]
+
+    crawls = benchmark.pedantic(crawl_sample, rounds=3, iterations=1)
+    assert len(crawls) == len(sample)
+
+    result = bench_result
+    n = result.domains_total()
+    success_rate = result.crawl_successes() / n
+    exists_pp = sum(
+        1 for d in bench_corpus.domains
+        if bench_corpus.internet.sites[d].page("/privacy-policy") is not None
+    ) / n
+    exists_p = sum(
+        1 for d in bench_corpus.domains
+        if bench_corpus.internet.sites[d].page("/privacy") is not None
+    ) / n
+
+    emit("E1 crawl statistics (§3.1)", [
+        ("domains", "2892", str(n)),
+        ("crawl success rate", "91.6%", f"{success_rate * 100:.1f}%"),
+        ("mean pages crawled / domain", "5.1",
+         f"{result.mean_pages_crawled():.2f}"),
+        ("mean privacy pages / successful domain", "1.8",
+         f"{result.mean_privacy_pages():.2f}"),
+        ("/privacy-policy exists", "54.5%", f"{exists_pp * 100:.1f}%"),
+        ("/privacy exists", "48.6%", f"{exists_p * 100:.1f}%"),
+    ])
+
+    assert 0.85 <= success_rate <= 0.97
+    assert 3.5 <= result.mean_pages_crawled() <= 7.0
+    assert 1.2 <= result.mean_privacy_pages() <= 3.2

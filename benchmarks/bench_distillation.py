@@ -1,0 +1,39 @@
+"""Extension E13 — §6 future work: distilling chatbot annotations into an
+offline annotator.
+
+The paper names "training offline LLMs to replicate the chatbot-generated
+annotations" as future work. This bench trains the classical distilled
+annotator on 70% of the annotated domains and evaluates on the rest:
+agreement with the teacher pipeline and precision/recall against the
+generator ground truth.
+"""
+
+from conftest import emit
+
+from repro.distill import evaluate_distillation
+
+
+def test_distillation(benchmark, bench_corpus, bench_records):
+    report = benchmark.pedantic(
+        evaluate_distillation, args=(bench_corpus, bench_records),
+        kwargs={"seed": 0}, rounds=1, iterations=1,
+    )
+
+    emit("E13 §6 future work — offline distillation", [
+        ("train/test domains", "70/30 split",
+         f"{report.train_domains}/{report.test_domains}"),
+        ("learned lexicon entries", "n/a", str(report.lexicon_size)),
+        ("teacher agreement (type recall)", "high",
+         f"{report.type_agreement_recall * 100:.1f}%"),
+        ("teacher agreement (type precision)", "high",
+         f"{report.type_agreement_precision * 100:.1f}%"),
+        ("oracle type precision / recall", "close to teacher (89.7%)",
+         f"{report.oracle_type_precision * 100:.1f}% / "
+         f"{report.oracle_type_recall * 100:.1f}%"),
+        ("practice agreement", "moderate",
+         f"{report.practice_agreement_recall * 100:.1f}%"),
+    ])
+
+    assert report.type_agreement_recall > 0.80
+    assert report.oracle_type_precision > 0.82
+    assert report.practice_agreement_recall > 0.55

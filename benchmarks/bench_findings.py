@@ -1,0 +1,75 @@
+"""E9 — §5: headline findings.
+
+Paper targets: 93.5% of companies collect ≥3 categories, 52.8% >13, 13.0%
+>22, 4.8% >25; stated retention median 2 years (min 1 day, max 50 years);
+26 companies mention selling data; 77.5% offer read/write access, 0.5%
+read-only, 22.0% none; opt-out far more common than opt-in; only 39.9%
+name a specific protection practice.
+"""
+
+from conftest import BENCH_FRACTION, emit
+
+from repro.analysis import (
+    access_profile,
+    category_count_distribution,
+    data_for_sale_count,
+    most_active_sector,
+    opt_out_vs_opt_in,
+    protection_specifics_share,
+    retention_findings,
+)
+
+
+def _fmt_days(days):
+    if days is None:
+        return "n/a"
+    return f"{days // 365}y" if days and days % 365 == 0 else f"{days}d"
+
+
+def test_section5_findings(benchmark, bench_records):
+    dist = benchmark(category_count_distribution, bench_records)
+    shares = dist.shares()
+    retention = retention_findings(bench_records)
+    profile = access_profile(bench_records)
+    access_shares = profile.shares()
+    sale = data_for_sale_count(bench_records)
+    out_rate, in_rate = opt_out_vs_opt_in(bench_records)
+    specifics = protection_specifics_share(bench_records)
+    sector, mean_categories = most_active_sector(bench_records)
+
+    emit("E9 §5 findings", [
+        ("collect >=3 categories", "93.5%", f"{shares['>=3'] * 100:.1f}%"),
+        ("collect >13 categories", "52.8%", f"{shares['>13'] * 100:.1f}%"),
+        ("collect >22 categories", "13.0%", f"{shares['>22'] * 100:.1f}%"),
+        ("collect >25 categories", "4.8%", f"{shares['>25'] * 100:.1f}%"),
+        ("stated retention median", "2 years",
+         _fmt_days(retention.median_days)),
+        ("stated retention min", "1 day", _fmt_days(retention.min_days)),
+        ("stated retention max", "50 years", _fmt_days(retention.max_days)),
+        ("data-for-sale companies",
+         f"26 (x{BENCH_FRACTION:.2f} = {26 * BENCH_FRACTION:.0f})",
+         str(sale)),
+        ("read/write access", "77.5%",
+         f"{access_shares['read_write'] * 100:.1f}%"),
+        ("read-only access", "0.5%",
+         f"{access_shares['read_only'] * 100:.1f}%"),
+        ("no access mention", "22.0%",
+         f"{access_shares['none'] * 100:.1f}%"),
+        ("opt-out vs opt-in", "~66% vs <20%",
+         f"{out_rate * 100:.1f}% vs {in_rate * 100:.1f}%"),
+        ("specific protection practices", "39.9%",
+         f"{specifics * 100:.1f}%"),
+        ("most active sector", "CD (16.3 categories)",
+         f"{sector} ({mean_categories:.1f})"),
+    ])
+
+    assert shares[">=3"] > 0.80
+    assert 0.30 <= shares[">13"] <= 0.70
+    assert shares[">22"] <= 0.25
+    if retention.stated_count >= 20:
+        assert 365 <= retention.median_days <= 1100  # ~2 years
+        assert retention.min_days <= 30
+        assert retention.max_days >= 3650
+    assert out_rate > in_rate * 2
+    assert access_shares["read_write"] > 0.6
+    assert access_shares["none"] < 0.4

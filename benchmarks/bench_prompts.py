@@ -1,0 +1,45 @@
+"""E12 — Figure 2: task prompts.
+
+Figure 2 shows the section-heading and data-type extraction prompts. The
+reproduction renders all eight task prompts; this bench measures rendering
+cost and checks the structural requirements (role, instructions, glossary,
+example, JSON-only directive) hold for each.
+"""
+
+from conftest import emit
+
+from repro.chatbot import prompts
+
+_ALL_PROMPTS = {
+    "label-headings": lambda: prompts.label_headings_prompt(),
+    "segment-text": lambda: prompts.segment_text_prompt(),
+    "extract-types": lambda: prompts.extract_types_prompt(),
+    "normalize-types": lambda: prompts.normalize_types_prompt(),
+    "extract-purposes": lambda: prompts.extract_purposes_prompt(),
+    "normalize-purposes": lambda: prompts.normalize_purposes_prompt(),
+    "annotate-handling": lambda: prompts.annotate_handling_prompt(),
+    "annotate-rights": lambda: prompts.annotate_rights_prompt(),
+}
+
+
+def test_prompt_rendering(benchmark):
+    def render_all():
+        return {name: build() for name, build in _ALL_PROMPTS.items()}
+
+    rendered = benchmark(render_all)
+
+    rows = []
+    for name, text in rendered.items():
+        tokens = len(text) // 4
+        rows.append((f"{name} prompt", "rendered (Fig. 2 style)",
+                     f"{tokens} tokens"))
+    emit("E12 Figure 2 — task prompts", rows)
+
+    for name, text in rendered.items():
+        assert "data privacy expert" in text, name
+        assert "### Instructions:" in text, name
+        assert "### Example:" in text, name
+        assert "JSON" in text, name
+    assert "### Glossary:" in rendered["extract-types"]
+    assert "negated contexts" in rendered["extract-types"]
+    assert "postal address" in rendered["normalize-types"]

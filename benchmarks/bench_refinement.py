@@ -1,0 +1,43 @@
+"""Extension E14 — §6 ongoing work: anonymized-retention refinement.
+
+The paper observes that mentions of unlimited retention often concern
+anonymized or aggregated data and proposes instructing the chatbot to
+ignore such mentions. The generator qualifies ~half of its Indefinitely
+statements as anonymized; the refined prompt should remove (roughly) that
+share of Indefinitely annotations while leaving other labels untouched.
+"""
+
+from conftest import ABLATION_FRACTION, emit
+
+from repro.analysis import table3_practices
+from repro.pipeline import PipelineOptions, run_pipeline
+
+
+def test_anonymized_retention_refinement(benchmark, ablation_corpus,
+                                         ablation_baseline):
+    refined = benchmark.pedantic(
+        run_pipeline, args=(ablation_corpus,),
+        kwargs={"options": PipelineOptions(refine_anonymized_retention=True)},
+        rounds=1, iterations=1,
+    )
+    baseline = ablation_baseline
+
+    base_rows = table3_practices(baseline.records)
+    refined_rows = table3_practices(refined.records)
+    base_indef = base_rows["Indefinitely"].overall.covered
+    refined_indef = refined_rows["Indefinitely"].overall.covered
+    base_limited = base_rows["Limited"].overall.covered
+    refined_limited = refined_rows["Limited"].overall.covered
+
+    emit("E14 §6 refinement — ignore anonymized indefinite retention "
+         "[ablation fraction=" + str(ABLATION_FRACTION) + "]", [
+             ("Indefinitely coverage (baseline)", "5.5% of companies",
+              str(base_indef)),
+             ("Indefinitely coverage (refined)", "~half of baseline",
+              str(refined_indef)),
+             ("Limited coverage unchanged", "unchanged",
+              f"{base_limited} vs {refined_limited}"),
+         ])
+
+    assert refined_indef < base_indef
+    assert abs(refined_limited - base_limited) <= max(3, base_limited * 0.1)

@@ -1,0 +1,60 @@
+"""E6 — Table 3: data handling and user rights coverage.
+
+Paper targets (overall coverage): retention Limited 60.9 / Stated 9.9 /
+Indefinitely 5.5; protection Generic 73.1 / Access limit 19.1 / Secure
+transfer 14.0 / Secure storage 16.1 / Privacy program 9.9 / Privacy review
+6.8 / Secure auth 4.2; choices Opt-out contact 65.2 / Opt-out link 36.1 /
+Privacy settings 17.7 / Opt-in 17.7 / Do not use 10.5; access Edit 71.6 /
+Full delete 53.5 / View 45.6 / Export 42.9 / Partial delete 11.2 /
+Deactivate 2.5. TC/IT lead; EN/UT trail.
+"""
+
+from conftest import emit
+
+from repro.analysis import table3_practices
+from repro.corpus.calibration import LABEL_TARGETS
+
+
+def test_table3_practices(benchmark, bench_records):
+    rows = benchmark(table3_practices, bench_records)
+    report = []
+    for target in LABEL_TARGETS:
+        stat = rows[target.label].overall
+        report.append(
+            (f"{target.group}: {target.label}",
+             f"{target.coverage}%", f"{stat.coverage * 100:.1f}%")
+        )
+    emit("E6 Table 3 — handling & rights", report)
+
+    coverage = {name: row.overall.coverage * 100 for name, row in rows.items()}
+
+    # Headline orderings from the paper.
+    assert coverage["Limited"] > coverage["Stated"] > coverage["Indefinitely"]
+    assert coverage["Generic"] == max(
+        coverage[l.label] for l in LABEL_TARGETS if l.group == "protection"
+    )
+    assert coverage["Opt-out via contact"] > coverage["Opt-in"]
+    assert coverage["Edit"] > coverage["Full delete"] > coverage["Deactivate"]
+
+    # Absolute deviation bound.
+    misses = [
+        (target.label, target.coverage, round(coverage[target.label], 1))
+        for target in LABEL_TARGETS
+        if abs(coverage[target.label] - target.coverage) > 13.0
+    ]
+    assert len(misses) <= 3, f"off-target labels: {misses}"
+
+
+def test_table3_sector_shape(benchmark, bench_records):
+    rows = benchmark(table3_practices, bench_records)
+    hits = 0
+    for target in LABEL_TARGETS:
+        ranked = [code for code, _ in rows[target.label].sectors_by_coverage()]
+        paper_high = {a.sector for a in target.high_anchors}
+        if paper_high & set(ranked[:5]):
+            hits += 1
+    emit("E6b Table 3 — sector ordering shape", [
+        ("labels whose paper top sectors appear in measured top-5",
+         "21/21", f"{hits}/21"),
+    ])
+    assert hits >= 15

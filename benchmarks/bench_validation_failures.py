@@ -1,0 +1,51 @@
+"""E7 — §4: failure audit.
+
+Paper targets: 244 failed crawls + 103 failed extractions; a manual audit
+of 50 sampled failures attributed 27 to missing policies, 11 to
+crawler-related problems (6 exceptions/timeouts, 3 blocked, 2 dynamic JS),
+5 to undetectable links, 5 to PDF policies, and 2 to non-English sites.
+"""
+
+from conftest import BENCH_FRACTION, emit
+
+from repro.validation import audit_failures, failed_domains
+
+
+def test_failure_audit(benchmark, bench_corpus, bench_result):
+    failures = failed_domains(bench_result)
+    crawl_failures = sum(1 for _, stage in failures if stage == "crawl")
+    extract_failures = sum(1 for _, stage in failures if stage == "extract")
+
+    audit = benchmark.pedantic(
+        audit_failures, args=(bench_corpus, bench_result),
+        kwargs={"sample_size": 50, "seed": 0}, rounds=1, iterations=1,
+    )
+    counts = audit.counts()
+    scale = BENCH_FRACTION
+
+    crawler_related = (counts.get("crawler-exception", 0)
+                       + counts.get("blocked-crawl", 0)
+                       + counts.get("dynamic-js-content", 0))
+    emit("E7 §4 failure audit", [
+        ("failed crawls", f"244 (x{scale:.2f} = {244 * scale:.0f})",
+         str(crawl_failures)),
+        ("failed extractions", f"103 (x{scale:.2f} = {103 * scale:.0f})",
+         str(extract_failures)),
+        ("audited sample", "50", str(audit.sample_size)),
+        ("no privacy policy", "27/50",
+         f"{counts.get('no-privacy-policy', 0)}/{audit.sample_size}"),
+        ("crawler-related", "11/50",
+         f"{crawler_related}/{audit.sample_size}"),
+        ("link not detected", "5/50",
+         f"{counts.get('link-not-detected', 0)}/{audit.sample_size}"),
+        ("pdf policy", "5/50",
+         f"{counts.get('pdf-policy', 0)}/{audit.sample_size}"),
+        ("non-english", "2/50",
+         f"{counts.get('non-english', 0)}/{audit.sample_size}"),
+    ])
+
+    assert abs(crawl_failures - 244 * scale) <= max(6, 244 * scale * 0.15)
+    assert abs(extract_failures - 103 * scale) <= max(6, 103 * scale * 0.25)
+    # The dominant cause must be missing policies, as in the paper.
+    assert counts.get("no-privacy-policy", 0) == max(counts.values())
+    assert counts.get("other", 0) <= 2

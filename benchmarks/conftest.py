@@ -1,0 +1,76 @@
+"""Benchmark fixtures: corpus + full pipeline run, shared per session.
+
+Scale is controlled by ``REPRO_BENCH_FRACTION`` (default 0.25 of the full
+2,892-domain universe; set to 1.0 to regenerate the paper's tables at full
+scale) and ``REPRO_BENCH_SEED``.
+
+Every benchmark prints paper-vs-measured comparison rows straight to the
+terminal (bypassing pytest's capture) so a plain
+``pytest benchmarks/ --benchmark-only`` run shows the reproduction table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.pipeline import run_pipeline
+
+BENCH_FRACTION = float(os.environ.get("REPRO_BENCH_FRACTION", "0.25"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+#: Collected paper-vs-measured reports; flushed by pytest_terminal_summary
+#: so they survive output capture and land in `pytest | tee` logs.
+_REPORTS: list[str] = []
+
+
+def emit(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Queue paper-vs-measured rows for the end-of-run summary."""
+    lines = [f"--- {title} (fraction={BENCH_FRACTION}, seed={BENCH_SEED}) ---"]
+    for label, paper, measured in rows:
+        lines.append(f"  {label:<46} paper: {paper:<20} measured: {measured}")
+    _REPORTS.append("\n".join(lines))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper vs measured")
+    for report in _REPORTS:
+        terminalreporter.write_line(report)
+        terminalreporter.write_line("")
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return build_corpus(CorpusConfig(seed=BENCH_SEED,
+                                     fraction=BENCH_FRACTION))
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_corpus):
+    return run_pipeline(bench_corpus)
+
+
+@pytest.fixture(scope="session")
+def bench_records(bench_result):
+    return bench_result.records
+
+
+#: Ablations re-run the whole pipeline per configuration, so they use a
+#: smaller universe regardless of the main bench fraction.
+ABLATION_FRACTION = min(BENCH_FRACTION, 0.08)
+
+
+@pytest.fixture(scope="session")
+def ablation_corpus():
+    return build_corpus(CorpusConfig(seed=BENCH_SEED,
+                                     fraction=ABLATION_FRACTION))
+
+
+@pytest.fixture(scope="session")
+def ablation_baseline(ablation_corpus):
+    return run_pipeline(ablation_corpus)

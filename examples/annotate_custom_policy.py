@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Annotate a privacy policy you provide — no crawl, no corpus.
+
+This is the library's main adoption path for downstream users: hand it an
+HTML (or plain-text) policy and get structured annotations back. The demo
+below uses an inline policy; pass a path to annotate a file:
+
+    python examples/annotate_custom_policy.py [policy.html]
+"""
+
+import sys
+
+from repro.pipeline import annotate_policy_html
+
+DEMO_POLICY = """
+<html><body>
+<h1>Example Corp Privacy Policy</h1>
+
+<h2>Information We Collect</h2>
+<p>When you create an account, we collect your full name, e-mail address,
+mailing address, and telephone number. If you make a purchase we also
+collect payment card information and your purchase history. Our servers
+automatically receive your IP address, browser type, and operating system.
+We do not collect social security numbers or biometric data.</p>
+
+<h2>How We Use the Information We Collect</h2>
+<p>We use the information we collect for transaction processing, customer
+support, analytics, fraud prevention, and to send promotional emails.
+Your data may also be used for targeted advertising through our partners.</p>
+
+<h2>Data Retention and Security</h2>
+<p>We retain your personal information for the period you are actively
+using our services plus six (6) years. Data is encrypted in transit using
+TLS, and access to your personal information is restricted to employees
+who need it to perform their duties.</p>
+
+<h2>Your Rights and Choices</h2>
+<p>You may update or correct your personal information at any time in your
+account settings. You may request that we delete your personal information
+by contacting privacy@example.com. To opt out of marketing communications,
+use the unsubscribe link included in every email.</p>
+</body></html>
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "r", encoding="utf-8") as fh:
+            html = fh.read()
+        source = sys.argv[1]
+    else:
+        html = DEMO_POLICY
+        source = "built-in demo policy"
+
+    record = annotate_policy_html(html, domain=source)
+
+    print(f"annotated {source}: {record.annotation_count()} unique "
+          f"annotations, {record.policy_words} substantive words")
+    if record.fallback_aspects:
+        print(f"(full-text fallback used for: "
+              f"{', '.join(record.fallback_aspects)})")
+
+    sections = [
+        ("Collected data types",
+         [(t.category, t.descriptor, t.verbatim) for t in record.types]),
+        ("Collection purposes",
+         [(p.category, p.descriptor, p.verbatim) for p in record.purposes]),
+        ("Data handling",
+         [(h.group, h.label, h.period_text or "") for h in record.handling]),
+        ("User rights",
+         [(r.group, r.label, "") for r in record.rights]),
+    ]
+    for title, rows in sections:
+        print(f"\n{title}:")
+        for a, b, c in rows:
+            extra = f"   ({c!r})" if c else ""
+            print(f"  {a:<24} {b}{extra}")
+
+
+if __name__ == "__main__":
+    main()

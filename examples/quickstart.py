@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small synthetic corpus, run the pipeline, inspect
+one company's structured annotations.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import CorpusConfig, build_corpus, run_pipeline
+
+def main() -> None:
+    # A 5% universe (~145 domains) keeps this under half a minute.
+    corpus = build_corpus(CorpusConfig(seed=7, fraction=0.05))
+    print(f"simulated internet: {len(corpus.domains)} corporate domains")
+
+    result = run_pipeline(corpus)
+    n = result.domains_total()
+    print(f"crawl successes:      {result.crawl_successes()}/{n}")
+    print(f"extraction successes: {result.extraction_successes()}/{n}")
+    print(f"median policy length: {result.median_policy_words()} words")
+
+    # Look at the first richly annotated company.
+    record = max(result.annotated_domains(), key=lambda r: r.annotation_count())
+    print(f"\n=== {record.domain} ({record.sector}) — "
+          f"{record.annotation_count()} unique annotations ===")
+
+    print("\nCollected data types:")
+    for annotation in record.types[:8]:
+        marker = " [novel]" if annotation.novel else ""
+        print(f"  {annotation.meta_category} / {annotation.category}: "
+              f"{annotation.descriptor}{marker}   (text: {annotation.verbatim!r})")
+
+    print("\nCollection purposes:")
+    for annotation in record.purposes[:5]:
+        print(f"  {annotation.category}: {annotation.descriptor}")
+
+    print("\nData handling:")
+    for annotation in record.handling:
+        period = f" — period: {annotation.period_text}" if annotation.period_text else ""
+        print(f"  {annotation.group}: {annotation.label}{period}")
+
+    print("\nUser rights:")
+    for annotation in record.rights:
+        print(f"  {annotation.group}: {annotation.label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+This repository targets offline environments where the ``wheel`` package may
+be unavailable; a classic ``setup.py`` lets ``pip install -e .`` fall back to
+the legacy (non-PEP-660) editable install, which only needs setuptools.
+Project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

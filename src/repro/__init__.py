@@ -1,0 +1,40 @@
+"""repro — reproduction of *Analyzing Corporate Privacy Policies using AI
+Chatbots* (Huang, Tang, Karir, Liu, Sarabi — IMC 2024).
+
+The package implements the paper's full pipeline plus every substrate it
+depends on, against a deterministic simulated internet and simulated chat
+models (see DESIGN.md for the substitution rationale):
+
+- :mod:`repro.web` — simulated internet + Playwright-like browser facade.
+- :mod:`repro.htmlkit` — HTML parsing and inscriptis-style text rendering.
+- :mod:`repro.taxonomy` — the annotation taxonomies and label sets.
+- :mod:`repro.chatbot` — prompts, simulated chat models, task layer.
+- :mod:`repro.corpus` — the calibrated synthetic Russell-3000 universe.
+- :mod:`repro.crawler` — the §3.1 privacy-page crawl strategy.
+- :mod:`repro.pipeline` — crawl → segment → annotate → verify orchestration.
+- :mod:`repro.analysis` — Tables 1–5 statistics and §5 findings.
+- :mod:`repro.validation` — §4 failure audit / precision, §6 model study.
+
+Quickstart::
+
+    from repro import build_corpus, CorpusConfig, run_pipeline
+
+    corpus = build_corpus(CorpusConfig(seed=42, fraction=0.05))
+    result = run_pipeline(corpus)
+    print(result.crawl_successes(), "domains crawled successfully")
+"""
+
+from repro.corpus import CorpusConfig, SyntheticCorpus, build_corpus
+from repro.pipeline import PipelineOptions, PipelineResult, run_pipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "build_corpus",
+    "PipelineOptions",
+    "PipelineResult",
+    "run_pipeline",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Internal utilities shared across repro subsystems."""
+
+from repro._util.rng import SeedSequence, derive_rng, stable_hash
+from repro._util.textproc import (
+    collapse_whitespace,
+    normalize_for_match,
+    sentence_split,
+    slugify,
+    tokenize,
+)
+
+__all__ = [
+    "SeedSequence",
+    "derive_rng",
+    "stable_hash",
+    "collapse_whitespace",
+    "normalize_for_match",
+    "sentence_split",
+    "slugify",
+    "tokenize",
+]

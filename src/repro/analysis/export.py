@@ -1,0 +1,142 @@
+"""Flat exports of the annotation dataset (AIPAN-3k-style distribution).
+
+The paper releases its dataset as structured annotation records; this
+module provides the flat per-annotation view that spreadsheet/statistics
+users want:
+
+- :func:`annotations_rows` — one row per unique annotation with domain,
+  sector, facet, taxonomy position, evidence, and retention details.
+- :func:`write_annotations_csv` / :func:`write_domains_csv` — CSV dumps.
+- :func:`dataset_summary` — corpus-level counts for a release README.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.stats import annotated_records
+from repro.pipeline.records import DomainAnnotations
+
+ANNOTATION_FIELDS = (
+    "domain", "sector", "facet", "group", "category", "meta_category",
+    "descriptor", "novel", "verbatim", "line", "period_text", "period_days",
+)
+
+DOMAIN_FIELDS = (
+    "domain", "sector", "status", "policy_words", "n_types", "n_purposes",
+    "n_handling", "n_rights", "fallback_aspects", "hallucinations_filtered",
+)
+
+
+@dataclass(frozen=True)
+class AnnotationRow:
+    """One flat annotation row."""
+
+    domain: str
+    sector: str
+    facet: str  # "type" | "purpose" | "handling" | "rights"
+    group: str
+    category: str
+    meta_category: str
+    descriptor: str
+    novel: bool
+    verbatim: str
+    line: int
+    period_text: str | None = None
+    period_days: int | None = None
+
+    def as_dict(self) -> dict:
+        return {field: getattr(self, field) for field in ANNOTATION_FIELDS}
+
+
+def annotations_rows(records: list[DomainAnnotations]) -> list[AnnotationRow]:
+    """Flatten records into one row per unique annotation."""
+    rows: list[AnnotationRow] = []
+    for record in annotated_records(records):
+        for t in record.types:
+            rows.append(AnnotationRow(
+                domain=record.domain, sector=record.sector, facet="type",
+                group="", category=t.category, meta_category=t.meta_category,
+                descriptor=t.descriptor, novel=t.novel, verbatim=t.verbatim,
+                line=t.line,
+            ))
+        for p in record.purposes:
+            rows.append(AnnotationRow(
+                domain=record.domain, sector=record.sector, facet="purpose",
+                group="", category=p.category, meta_category=p.meta_category,
+                descriptor=p.descriptor, novel=p.novel, verbatim=p.verbatim,
+                line=p.line,
+            ))
+        for h in record.handling:
+            rows.append(AnnotationRow(
+                domain=record.domain, sector=record.sector, facet="handling",
+                group=h.group, category=h.group, meta_category="",
+                descriptor=h.label, novel=False, verbatim=h.verbatim,
+                line=h.line, period_text=h.period_text,
+                period_days=h.period_days,
+            ))
+        for r in record.rights:
+            rows.append(AnnotationRow(
+                domain=record.domain, sector=record.sector, facet="rights",
+                group=r.group, category=r.group, meta_category="",
+                descriptor=r.label, novel=False, verbatim=r.verbatim,
+                line=r.line,
+            ))
+    return rows
+
+
+def write_annotations_csv(records: list[DomainAnnotations],
+                          path: str | Path) -> int:
+    """Write the flat annotation table; returns the row count."""
+    rows = annotations_rows(records)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=ANNOTATION_FIELDS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row.as_dict())
+    return len(rows)
+
+
+def write_domains_csv(records: list[DomainAnnotations],
+                      path: str | Path) -> int:
+    """Write the per-domain summary table; returns the row count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=DOMAIN_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow({
+                "domain": record.domain,
+                "sector": record.sector,
+                "status": record.status,
+                "policy_words": record.policy_words,
+                "n_types": len(record.types),
+                "n_purposes": len(record.purposes),
+                "n_handling": len(record.handling),
+                "n_rights": len(record.rights),
+                "fallback_aspects": "|".join(record.fallback_aspects),
+                "hallucinations_filtered": record.hallucinations_filtered,
+            })
+    return len(records)
+
+
+def dataset_summary(records: list[DomainAnnotations]) -> dict[str, int]:
+    """Release-README-style counts for the dataset."""
+    population = annotated_records(records)
+    rows = annotations_rows(records)
+    return {
+        "domains_processed": len(records),
+        "domains_annotated": len(population),
+        "annotations_total": len(rows),
+        "annotations_types": sum(1 for r in rows if r.facet == "type"),
+        "annotations_purposes": sum(1 for r in rows if r.facet == "purpose"),
+        "annotations_handling": sum(1 for r in rows if r.facet == "handling"),
+        "annotations_rights": sum(1 for r in rows if r.facet == "rights"),
+        "novel_descriptors": len({r.descriptor for r in rows if r.novel}),
+        "sectors": len({r.sector for r in rows}),
+    }

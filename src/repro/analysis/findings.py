@@ -1,0 +1,177 @@
+"""The §5 headline findings computed from annotation records.
+
+Every bullet of the paper's Data Analysis section has a corresponding
+function here, so benches (and EXPERIMENTS.md) can print paper-vs-measured
+rows mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import annotated_records
+from repro.pipeline.records import DomainAnnotations
+
+_READ_WRITE_LABELS = {"Edit", "Partial delete", "Full delete"}
+_READ_ONLY_LABELS = {"View", "Export"}
+
+
+@dataclass
+class CategoryCountDistribution:
+    """§5: how many of the 34 data-type categories companies collect."""
+
+    total: int
+    at_least_3: int
+    more_than_13: int
+    more_than_22: int
+    more_than_25: int
+
+    def shares(self) -> dict[str, float]:
+        if not self.total:
+            return {}
+        return {
+            ">=3": self.at_least_3 / self.total,
+            ">13": self.more_than_13 / self.total,
+            ">22": self.more_than_22 / self.total,
+            ">25": self.more_than_25 / self.total,
+        }
+
+
+def category_count_distribution(records: list[DomainAnnotations]) -> CategoryCountDistribution:
+    population = annotated_records(records)
+    counts = [len(r.type_categories()) for r in population]
+    return CategoryCountDistribution(
+        total=len(counts),
+        at_least_3=sum(1 for c in counts if c >= 3),
+        more_than_13=sum(1 for c in counts if c > 13),
+        more_than_22=sum(1 for c in counts if c > 22),
+        more_than_25=sum(1 for c in counts if c > 25),
+    )
+
+
+@dataclass
+class RetentionFindings:
+    """§5: stated retention period statistics."""
+
+    stated_count: int
+    median_days: int | None
+    min_days: int | None
+    max_days: int | None
+    min_domains: list[str]
+    max_domains: list[str]
+
+
+def retention_findings(records: list[DomainAnnotations]) -> RetentionFindings:
+    population = annotated_records(records)
+    stated: list[tuple[int, str]] = []
+    for record in population:
+        for annotation in record.handling:
+            if annotation.label == "Stated" and annotation.period_days:
+                stated.append((annotation.period_days, record.domain))
+    if not stated:
+        return RetentionFindings(0, None, None, None, [], [])
+    stated.sort()
+    days = [d for d, _ in stated]
+    min_days, max_days = days[0], days[-1]
+    return RetentionFindings(
+        stated_count=len(stated),
+        median_days=days[len(days) // 2],
+        min_days=min_days,
+        max_days=max_days,
+        min_domains=[dom for d, dom in stated if d == min_days],
+        max_domains=[dom for d, dom in stated if d == max_days],
+    )
+
+
+def data_for_sale_count(records: list[DomainAnnotations]) -> int:
+    """§5: companies whose policy mentions selling data to third parties."""
+    population = annotated_records(records)
+    return sum(
+        1 for record in population
+        if any(p.descriptor == "data for sale" for p in record.purposes)
+    )
+
+
+@dataclass
+class AccessProfile:
+    """§5: user-access capability mix across companies."""
+
+    total: int
+    read_write: int  # edit, partial delete, or full delete
+    read_only: int  # only view/export
+    none: int
+
+    def shares(self) -> dict[str, float]:
+        if not self.total:
+            return {}
+        return {
+            "read_write": self.read_write / self.total,
+            "read_only": self.read_only / self.total,
+            "none": self.none / self.total,
+        }
+
+
+def access_profile(records: list[DomainAnnotations]) -> AccessProfile:
+    population = annotated_records(records)
+    read_write = read_only = none = 0
+    for record in population:
+        labels = {r.label for r in record.rights if r.group == "User access"}
+        if labels & _READ_WRITE_LABELS:
+            read_write += 1
+        elif labels & _READ_ONLY_LABELS:
+            read_only += 1
+        else:
+            none += 1
+    return AccessProfile(
+        total=len(population),
+        read_write=read_write,
+        read_only=read_only,
+        none=none,
+    )
+
+
+def opt_out_vs_opt_in(records: list[DomainAnnotations]) -> tuple[float, float]:
+    """§5: share of companies with any opt-out vs opt-in choice."""
+    population = annotated_records(records)
+    if not population:
+        return 0.0, 0.0
+    opt_out = opt_in = 0
+    for record in population:
+        labels = {r.label for r in record.rights if r.group == "User choices"}
+        if labels & {"Opt-out via contact", "Opt-out via link"}:
+            opt_out += 1
+        if "Opt-in" in labels:
+            opt_in += 1
+    return opt_out / len(population), opt_in / len(population)
+
+
+def protection_specifics_share(records: list[DomainAnnotations]) -> float:
+    """§5: companies mentioning any *specific* protection practice."""
+    population = annotated_records(records)
+    if not population:
+        return 0.0
+    specific = {
+        "Access limit", "Secure transfer", "Secure storage",
+        "Privacy program", "Privacy review", "Secure authentication",
+    }
+    hits = sum(
+        1 for record in population
+        if any(h.label in specific for h in record.handling)
+    )
+    return hits / len(population)
+
+
+def most_active_sector(records: list[DomainAnnotations]) -> tuple[str, float]:
+    """§5: sector with the highest mean number of data-type categories."""
+    population = annotated_records(records)
+    by_sector: dict[str, list[int]] = {}
+    for record in population:
+        by_sector.setdefault(record.sector, []).append(
+            len(record.type_categories())
+        )
+    best_sector, best_mean = "", 0.0
+    for sector, counts in by_sector.items():
+        mean = sum(counts) / len(counts)
+        if mean > best_mean:
+            best_sector, best_mean = sector, mean
+    return best_sector, best_mean

@@ -1,0 +1,99 @@
+"""Plain-text rendering of analysis tables (for benches and examples)."""
+
+from __future__ import annotations
+
+from repro.analysis.findings import (
+    AccessProfile,
+    CategoryCountDistribution,
+    RetentionFindings,
+)
+from repro.analysis.stats import CategoryBreakdown
+from repro.analysis.tables import Table1
+
+
+def format_pct(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%"
+
+
+def render_table1(table: Table1, max_rows: int | None = None) -> str:
+    lines = [f"Total unique annotations: {table.total:,}"]
+    for meta, count in sorted(table.meta_counts.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {meta}: {count:,}")
+    lines.append("")
+    header = f"{'Category':<26} {'Count':>8}  Top descriptors"
+    lines.append(header)
+    lines.append("-" * len(header))
+    rows = table.rows[:max_rows] if max_rows else table.rows
+    for row in rows:
+        tops = ", ".join(
+            f"{d.descriptor} ({format_pct(d.share)})"
+            for d in row.top_descriptors
+        )
+        lines.append(f"{row.category:<26} {row.unique_annotations:>8,}  {tops}")
+    return "\n".join(lines)
+
+
+def render_breakdown(rows: dict[str, CategoryBreakdown],
+                     order: list[str] | None = None,
+                     sector_columns: bool = True) -> str:
+    names = order or list(rows)
+    header = f"{'Category':<26} {'Cov.':>6} {'Mean±SD':>10}"
+    if sector_columns:
+        header += "  Highest        2nd            3rd            Lowest"
+    lines = [header, "-" * len(header)]
+    for name in names:
+        row = rows[name]
+        stat = row.overall
+        line = (f"{name:<26} {format_pct(stat.coverage):>6} "
+                f"{stat.mean:>5.1f}±{stat.sd:<4.1f}")
+        if sector_columns:
+            ranked = row.sectors_by_coverage()
+            cells = []
+            for sector, s in ranked[:3]:
+                cells.append(f"{sector} {format_pct(s.coverage):>6}")
+            while len(cells) < 3:
+                cells.append(" " * 9)
+            low_sector, low = ranked[-1]
+            cells.append(f"{low_sector} {format_pct(low.coverage):>6}")
+            line += "  " + "  ".join(f"{c:<13}" for c in cells)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_distribution(dist: CategoryCountDistribution) -> str:
+    shares = dist.shares()
+    return (
+        f"companies: {dist.total} | >=3 cats: {format_pct(shares.get('>=3', 0))} "
+        f"| >13: {format_pct(shares.get('>13', 0))} "
+        f"| >22: {format_pct(shares.get('>22', 0))} "
+        f"| >25: {format_pct(shares.get('>25', 0))}"
+    )
+
+
+def render_retention(findings: RetentionFindings) -> str:
+    def fmt(days):
+        if days is None:
+            return "n/a"
+        if days % 365 == 0 and days >= 365:
+            return f"{days // 365}y"
+        return f"{days}d"
+
+    return (
+        f"stated: {findings.stated_count} | median {fmt(findings.median_days)} "
+        f"| min {fmt(findings.min_days)} ({', '.join(findings.min_domains[:2])}) "
+        f"| max {fmt(findings.max_days)} ({', '.join(findings.max_domains[:1])})"
+    )
+
+
+def render_access_profile(profile: AccessProfile) -> str:
+    shares = profile.shares()
+    return (
+        f"read/write: {format_pct(shares.get('read_write', 0))} | "
+        f"read-only: {format_pct(shares.get('read_only', 0))} | "
+        f"no access mention: {format_pct(shares.get('none', 0))}"
+    )
+
+
+def paper_vs_measured(label: str, paper: str, measured: str) -> str:
+    """One comparison row for bench output / EXPERIMENTS.md."""
+    return f"{label:<46} paper: {paper:<16} measured: {measured}"

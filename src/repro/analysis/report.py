@@ -1,0 +1,125 @@
+"""Full markdown report generation from annotation records.
+
+Produces a paper-style analysis document (Tables 1–3 plus the §5 findings
+and the scoring extensions) so a pipeline run can be shared as a single
+readable artifact::
+
+    from repro.analysis.report import generate_report
+    open("report.md", "w").write(generate_report(result.records))
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import (
+    access_profile,
+    category_count_distribution,
+    data_for_sale_count,
+    opt_out_vs_opt_in,
+    protection_specifics_share,
+    retention_findings,
+)
+from repro.analysis.scoring import sector_risk_ranking
+from repro.analysis.stats import annotated_records
+from repro.analysis.tables import (
+    table1_summary,
+    table2a_types,
+    table2b_purposes,
+    table3_practices,
+)
+from repro.corpus.sectors import sector_names
+from repro.pipeline.records import DomainAnnotations
+
+
+def _pct(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%"
+
+
+def _breakdown_table(rows, order=None) -> list[str]:
+    names = order or list(rows)
+    lines = [
+        "| Category | Coverage | Mean±SD | Highest sector | Lowest sector |",
+        "|---|---|---|---|---|",
+    ]
+    for name in names:
+        row = rows[name]
+        stat = row.overall
+        ranked = row.sectors_by_coverage()
+        high = f"{ranked[0][0]} {_pct(ranked[0][1].coverage)}" if ranked else "-"
+        low = f"{ranked[-1][0]} {_pct(ranked[-1][1].coverage)}" if ranked else "-"
+        lines.append(
+            f"| {name} | {_pct(stat.coverage)} | "
+            f"{stat.mean:.1f}±{stat.sd:.1f} | {high} | {low} |"
+        )
+    return lines
+
+
+def generate_report(records: list[DomainAnnotations],
+                    title: str = "Privacy Policy Ecosystem Report") -> str:
+    """Render a complete markdown analysis report."""
+    population = annotated_records(records)
+    lines: list[str] = [f"# {title}", ""]
+    lines.append(f"Companies with at least one annotation: "
+                 f"**{len(population)}** (of {len(records)} domains "
+                 f"processed).")
+    lines.append("")
+
+    # Table 1.
+    table1 = table1_summary(records)
+    lines += ["## Annotation summary (Table 1)", "",
+              f"Total unique data-type annotations: **{table1.total:,}**", "",
+              "| Category | Count | Top descriptors |", "|---|---|---|"]
+    for row in table1.rows[:12]:
+        tops = ", ".join(f"{d.descriptor} ({_pct(d.share)})"
+                         for d in row.top_descriptors)
+        lines.append(f"| {row.category} | {row.unique_annotations:,} | {tops} |")
+    lines.append("")
+
+    # Table 2a.
+    lines += ["## Collected data types (Table 2a)", ""]
+    lines += _breakdown_table(table2a_types(records))
+    lines.append("")
+
+    # Table 2b.
+    lines += ["## Data collection purposes (Table 2b)", ""]
+    lines += _breakdown_table(table2b_purposes(records))
+    lines.append("")
+
+    # Table 3.
+    lines += ["## Data handling and user rights (Table 3)", ""]
+    lines += _breakdown_table(table3_practices(records))
+    lines.append("")
+
+    # Findings.
+    dist = category_count_distribution(records)
+    shares = dist.shares()
+    retention = retention_findings(records)
+    profile = access_profile(records).shares()
+    out_rate, in_rate = opt_out_vs_opt_in(records)
+    lines += [
+        "## Findings (§5)", "",
+        f"- {_pct(shares.get('>=3', 0))} of companies collect data from 3 "
+        f"or more categories; {_pct(shares.get('>13', 0))} from more than "
+        f"13; {_pct(shares.get('>22', 0))} from more than 22.",
+        f"- {retention.stated_count} companies state an explicit retention "
+        f"period; the median is {retention.median_days or 0} days "
+        f"(min {retention.min_days or 0}, max {retention.max_days or 0}).",
+        f"- {data_for_sale_count(records)} companies mention that collected "
+        "data may be sold to third parties.",
+        f"- Access: {_pct(profile.get('read_write', 0))} read/write, "
+        f"{_pct(profile.get('read_only', 0))} read-only, "
+        f"{_pct(profile.get('none', 0))} no access mention.",
+        f"- Opt-out options appear for {_pct(out_rate)} of companies vs "
+        f"opt-in for {_pct(in_rate)}.",
+        f"- {_pct(protection_specifics_share(records))} name at least one "
+        "specific data-protection practice.",
+        "",
+    ]
+
+    # Scoring extension.
+    names = sector_names()
+    lines += ["## Sector exposure ranking (scoring extension)", "",
+              "| Rank | Sector | Mean exposure score |", "|---|---|---|"]
+    for rank, (code, mean) in enumerate(sector_risk_ranking(records), 1):
+        lines.append(f"| {rank} | {names.get(code, code)} | {mean:.1f} |")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Risk scoring, peer-group comparison, and policy quality evaluation.
+
+The paper's conclusion (§6) argues that structured annotations "unlock the
+ability to perform a variety of statistical analyses such as trends,
+policy peer group comparisons, policy quality evaluations, as well as
+legal exposure risk analysis". This module implements those downstream
+analyses on top of the annotation records:
+
+- :func:`exposure_score` — how much sensitive data a company collects and
+  how aggressively it uses it (collection breadth, sensitive categories,
+  third-party purposes, indefinite retention).
+- :func:`quality_score` — how complete and user-friendly the policy is
+  (explicit retention, specific protections, user access, opt-out paths).
+- :func:`peer_comparison` — per-sector z-scores so a company can be read
+  against its peer group rather than the whole index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.stats import annotated_records
+from repro.pipeline.records import DomainAnnotations
+
+#: Meta-categories whose collection is weighted as sensitive.
+SENSITIVE_META = {
+    "Bio/health profile": 3.0,
+    "Financial/legal profile": 2.0,
+    "Physical behavior": 1.5,
+}
+
+_SPECIFIC_PROTECTION = {
+    "Access limit", "Secure transfer", "Secure storage",
+    "Privacy program", "Privacy review", "Secure authentication",
+}
+
+
+@dataclass(frozen=True)
+class CompanyScore:
+    """Scores for one company."""
+
+    domain: str
+    sector: str
+    exposure: float
+    quality: float
+
+
+def exposure_score(record: DomainAnnotations) -> float:
+    """Legal/privacy exposure proxy in [0, 100].
+
+    Components: breadth of collection (unique categories), sensitive-data
+    weighting, third-party purposes (sharing/sale/advertising), and
+    indefinite retention.
+    """
+    categories = record.type_categories()
+    breadth = min(1.0, len(categories) / 30.0)
+
+    sensitive = 0.0
+    metas = {t.meta_category for t in record.types}
+    for meta, weight in SENSITIVE_META.items():
+        if meta in metas:
+            sensitive += weight
+    sensitive = min(1.0, sensitive / sum(SENSITIVE_META.values()))
+
+    third_party = 0.0
+    purpose_categories = {p.category for p in record.purposes}
+    if "Advertising & sales" in purpose_categories:
+        third_party += 0.4
+    if "Data sharing" in purpose_categories:
+        third_party += 0.4
+    if any(p.descriptor == "data for sale" for p in record.purposes):
+        third_party += 0.2
+
+    indefinite = 1.0 if any(
+        h.label == "Indefinitely" for h in record.handling
+    ) else 0.0
+
+    return 100.0 * (0.35 * breadth + 0.30 * sensitive
+                    + 0.25 * third_party + 0.10 * indefinite)
+
+
+def quality_score(record: DomainAnnotations) -> float:
+    """Policy quality/user-friendliness proxy in [0, 100].
+
+    Rewards explicit retention periods, specific protection practices,
+    broad user access, and low-friction opt-outs.
+    """
+    handling_labels = {h.label for h in record.handling}
+    retention = 1.0 if "Stated" in handling_labels else (
+        0.5 if "Limited" in handling_labels else 0.0
+    )
+    protections = len(handling_labels & _SPECIFIC_PROTECTION)
+    protection = min(1.0, protections / 3.0)
+
+    access_labels = {r.label for r in record.rights
+                     if r.group == "User access"}
+    access = min(1.0, len(access_labels) / 4.0)
+
+    choice_labels = {r.label for r in record.rights
+                     if r.group == "User choices"}
+    if "Opt-out via link" in choice_labels or "Privacy settings" in choice_labels:
+        choices = 1.0
+    elif "Opt-out via contact" in choice_labels:
+        choices = 0.6
+    elif "Opt-in" in choice_labels:
+        choices = 0.8
+    else:
+        choices = 0.0
+
+    return 100.0 * (0.25 * retention + 0.25 * protection
+                    + 0.30 * access + 0.20 * choices)
+
+
+def score_companies(records: list[DomainAnnotations]) -> list[CompanyScore]:
+    """Score every annotated company."""
+    return [
+        CompanyScore(
+            domain=record.domain,
+            sector=record.sector,
+            exposure=exposure_score(record),
+            quality=quality_score(record),
+        )
+        for record in annotated_records(records)
+    ]
+
+
+@dataclass(frozen=True)
+class PeerComparison:
+    """A company's standing within its sector peer group."""
+
+    domain: str
+    sector: str
+    exposure: float
+    exposure_z: float  # vs sector peers
+    quality: float
+    quality_z: float
+    peers: int
+
+
+def _mean_sd(values: list[float]) -> tuple[float, float]:
+    if not values:
+        return 0.0, 0.0
+    mean = sum(values) / len(values)
+    if len(values) < 2:
+        return mean, 0.0
+    sd = math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+    return mean, sd
+
+
+def peer_comparison(records: list[DomainAnnotations]) -> dict[str, PeerComparison]:
+    """Per-company sector z-scores, keyed by domain."""
+    scores = score_companies(records)
+    by_sector: dict[str, list[CompanyScore]] = {}
+    for score in scores:
+        by_sector.setdefault(score.sector, []).append(score)
+
+    result: dict[str, PeerComparison] = {}
+    for sector, group in by_sector.items():
+        exp_mean, exp_sd = _mean_sd([s.exposure for s in group])
+        qual_mean, qual_sd = _mean_sd([s.quality for s in group])
+        for score in group:
+            result[score.domain] = PeerComparison(
+                domain=score.domain,
+                sector=sector,
+                exposure=score.exposure,
+                exposure_z=(score.exposure - exp_mean) / exp_sd
+                if exp_sd else 0.0,
+                quality=score.quality,
+                quality_z=(score.quality - qual_mean) / qual_sd
+                if qual_sd else 0.0,
+                peers=len(group),
+            )
+    return result
+
+
+def sector_risk_ranking(records: list[DomainAnnotations]) -> list[tuple[str, float]]:
+    """Sectors ordered by mean exposure score, descending."""
+    scores = score_companies(records)
+    by_sector: dict[str, list[float]] = {}
+    for score in scores:
+        by_sector.setdefault(score.sector, []).append(score.exposure)
+    ranking = [
+        (sector, sum(values) / len(values))
+        for sector, values in by_sector.items()
+    ]
+    ranking.sort(key=lambda kv: -kv[1])
+    return ranking

@@ -1,0 +1,62 @@
+"""Simulated AI chatbot substrate: prompts, models, tasks, and the engine.
+
+The pipeline talks to a :class:`ChatModel` through rendered text prompts
+and JSON completions, exactly as it would talk to a hosted LLM; only the
+completion backend is simulated. See DESIGN.md §2.
+"""
+
+from repro.chatbot.engine import AnnotationEngine
+from repro.chatbot.models import (
+    AVAILABLE_MODELS,
+    GPT35_PROFILE,
+    GPT4_PROFILE,
+    LLAMA31_PROFILE,
+    ChatMessage,
+    ChatModel,
+    ModelErrorProfile,
+    SimulatedChatModel,
+    TokenUsage,
+    make_model,
+)
+from repro.chatbot.tasks import (
+    ExtractedPhrase,
+    HeadingLabel,
+    NormalizedPhrase,
+    PracticeLabelResult,
+    SegmentSpan,
+    run_annotate_handling,
+    run_annotate_rights,
+    run_extract_purposes,
+    run_extract_types,
+    run_label_headings,
+    run_normalize_purposes,
+    run_normalize_types,
+    run_segment_text,
+)
+
+__all__ = [
+    "AnnotationEngine",
+    "AVAILABLE_MODELS",
+    "GPT35_PROFILE",
+    "GPT4_PROFILE",
+    "LLAMA31_PROFILE",
+    "ChatMessage",
+    "ChatModel",
+    "ModelErrorProfile",
+    "SimulatedChatModel",
+    "TokenUsage",
+    "make_model",
+    "ExtractedPhrase",
+    "HeadingLabel",
+    "NormalizedPhrase",
+    "PracticeLabelResult",
+    "SegmentSpan",
+    "run_annotate_handling",
+    "run_annotate_rights",
+    "run_extract_purposes",
+    "run_extract_types",
+    "run_label_headings",
+    "run_normalize_purposes",
+    "run_normalize_types",
+    "run_segment_text",
+]

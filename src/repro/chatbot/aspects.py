@@ -1,0 +1,138 @@
+"""Aspect classification for section headings and body lines.
+
+Implements the knowledge a capable LLM applies when asked to label a table
+of contents (or raw text) with the nine aspects of §3.2.1. Heading
+classification uses ordered phrase rules (most specific first); body-line
+classification scores aspects by cue density and is used by the full-text
+segmentation fallback.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.taxonomy import Aspect
+
+#: Ordered (pattern, aspect) rules for heading classification. The first
+#: match wins; patterns are matched case-insensitively on the raw heading.
+_HEADING_RULES: tuple[tuple[str, Aspect], ...] = (
+    # audiences
+    (r"california|european|eea|children|child(?:ren)?'s|jurisdict|nevada|"
+     r"canada|gdpr|ccpa|residents|specific audiences", Aspect.AUDIENCES),
+    # changes
+    (r"change|update[sd]?\b|amendment|revision|modification", Aspect.CHANGES),
+    # rights
+    (r"your (?:privacy )?rights|rights and choices|choices|access and "
+     r"control|opt[- ]?out|managing your|your controls|control of your",
+     Aspect.RIGHTS),
+    # handling
+    (r"retention|how long|protect|security|secure|storage|safeguard|"
+     r"keep your", Aspect.HANDLING),
+    # sharing
+    (r"shar(?:e|ing)|disclos|third part|sell", Aspect.SHARING),
+    # purposes (before methods/types: "how we use" beats "collect")
+    (r"how we use|why (?:do )?we|purpose|use of (?:personal|your|the)|"
+     r"uses? of information|we use", Aspect.PURPOSES),
+    # methods
+    (r"how we collect|collection methods|sources of|cookies|tracking "
+     r"technolog|how (?:is|do we gather)", Aspect.METHODS),
+    # types
+    (r"information we collect|data (?:we )?collect|types of (?:data|"
+     r"information)|categories of|personal (?:information|data) we|what "
+     r"information|collect", Aspect.TYPES),
+    # other
+    (r"contact|introduction|about|questions|comments|overview|definitions|"
+     r"scope|commitment", Aspect.OTHER),
+)
+
+_COMPILED_HEADING_RULES = tuple(
+    (re.compile(pattern, re.IGNORECASE), aspect)
+    for pattern, aspect in _HEADING_RULES
+)
+
+
+def classify_heading(title: str) -> list[Aspect]:
+    """Label a section heading with one or more aspects.
+
+    Returns the primary aspect first; a secondary label is added when the
+    heading plainly spans two aspects (e.g. "Data Retention and Security"
+    stays one label, but "How We Collect and Use Information" yields
+    methods + purposes).
+    """
+    labels: list[Aspect] = []
+    for regex, aspect in _COMPILED_HEADING_RULES:
+        if regex.search(title) and aspect not in labels:
+            labels.append(aspect)
+        if len(labels) == 2:
+            break
+    return labels or [Aspect.OTHER]
+
+
+# -- body-line scoring ---------------------------------------------------------
+
+_LINE_CUES: dict[Aspect, tuple[str, ...]] = {
+    Aspect.TYPES: (
+        r"we (?:may )?collect", r"information we collect",
+        r"collect and process", r"you may provide us with",
+        r"collected automatically includes", r"we obtain",
+        r"personal information we collect includes",
+    ),
+    Aspect.PURPOSES: (
+        r"we use (?:the|your)", r"used? for", r"purposes of",
+        r"helps us", r"we process personal information to",
+        r"we rely on your information", r"also be used",
+        r"use the information", r"in order to", r"for \w+ purposes",
+    ),
+    Aspect.HANDLING: (
+        r"retain", r"retention", r"safeguard", r"encrypt", r"secure",
+        r"security measures", r"stored", r"protect (?:the |your )?",
+        r"need[- ]to[- ]know", r"indefinite",
+    ),
+    Aspect.RIGHTS: (
+        r"opt[- ]?out", r"opt[- ]?in", r"unsubscribe", r"your consent",
+        r"right to", r"you may (?:request|update|correct|delete|view|"
+        r"deactivate|export)", r"request access", r"account settings",
+        r"privacy settings", r"erasure", r"portability", r"do not use our",
+    ),
+    Aspect.METHODS: (
+        r"text files placed on your device", r"fill out forms",
+        r"servers automatically record", r"measurement partners",
+        r"gather information",
+    ),
+    Aspect.SHARING: (
+        r"share (?:information|personal)", r"disclosed? (?:if|to)",
+        r"merger", r"vendors who perform", r"successor entity",
+        r"unaffiliated third parties",
+    ),
+    Aspect.AUDIENCES: (
+        r"california", r"european economic area", r"children",
+        r"pipeda", r"gdpr", r"ccpa",
+    ),
+    Aspect.CHANGES: (
+        r"update this privacy policy", r"material changes",
+        r"revised (?:policy|version)", r"effective date",
+    ),
+}
+
+_COMPILED_LINE_CUES = {
+    aspect: tuple(re.compile(p, re.IGNORECASE) for p in patterns)
+    for aspect, patterns in _LINE_CUES.items()
+}
+
+
+def score_line(text: str) -> dict[Aspect, int]:
+    """Cue-hit counts per aspect for one line of body text."""
+    scores: dict[Aspect, int] = {}
+    for aspect, patterns in _COMPILED_LINE_CUES.items():
+        hits = sum(len(regex.findall(text)) for regex in patterns)
+        if hits:
+            scores[aspect] = hits
+    return scores
+
+
+def classify_line(text: str) -> Aspect:
+    """Dominant aspect of a body line (``other`` when nothing matches)."""
+    scores = score_line(text)
+    if not scores:
+        return Aspect.OTHER
+    return max(scores.items(), key=lambda kv: kv[1])[0]

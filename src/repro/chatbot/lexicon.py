@@ -1,0 +1,143 @@
+"""Token-level phrase matching for the annotation engine.
+
+A :class:`PhraseMatcher` compiles a set of phrases (taxonomy surface forms,
+label cues) into a first-token index and scans tokenized text for longest
+matches. Matching is robust to case, punctuation, plural inflection, and
+whitespace — the same tolerances a strong LLM shows when told to extract
+"the exact word(s) used in the text".
+
+Spans are reported as character offsets into the original text so callers
+can recover the verbatim phrase (needed for the pipeline's hallucination
+check, which verifies the reported words actually occur in the source).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+(?:['’][A-Za-z]+)?")
+
+_IRREGULAR_STEMS = {
+    "children": "child",
+    "analyses": "analysis",
+    "analysis": "analysis",
+    "men": "man",
+    "women": "woman",
+    "people": "person",
+}
+
+
+def stem_token(token: str) -> str:
+    """Light stemming: lower-case, strip plural suffixes, fold ``-ie``/``-y``.
+
+    The only requirement is *consistency between lexicon and text* —
+    "cookie" and "cookies" must stem identically (both become "cooky"),
+    "history" and "histories" likewise.
+    """
+    token = token.lower().replace("’", "'")
+    if token in _IRREGULAR_STEMS:
+        return _IRREGULAR_STEMS[token]
+    if len(token) > 3:
+        if token.endswith("ies"):
+            token = token[:-3] + "ie"
+        elif token.endswith("ses"):
+            token = token[:-2]
+        elif token.endswith("s") and not token.endswith("ss"):
+            token = token[:-1]
+    if len(token) > 3 and token.endswith("ie"):
+        token = token[:-2] + "y"
+    return token
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its character span in the source text."""
+
+    text: str
+    stem: str
+    start: int
+    end: int
+
+
+def tokenize_with_spans(text: str) -> list[Token]:
+    """Tokenize ``text`` keeping character offsets."""
+    return [
+        Token(m.group(0), stem_token(m.group(0)), m.start(), m.end())
+        for m in _TOKEN_RE.finditer(text)
+    ]
+
+
+@dataclass(frozen=True)
+class PhraseMatch:
+    """One lexicon hit in a token stream."""
+
+    phrase_key: str  # the canonical phrase that matched
+    payload: object  # whatever the caller registered
+    token_start: int  # index into the token list
+    token_end: int  # exclusive
+    char_start: int
+    char_end: int
+
+    def verbatim(self, text: str) -> str:
+        return text[self.char_start : self.char_end]
+
+
+class PhraseMatcher:
+    """Longest-match phrase scanner over stemmed tokens."""
+
+    def __init__(self) -> None:
+        # first stem -> list of (stem tuple, phrase, payload), longest first.
+        self._index: dict[str, list[tuple[tuple[str, ...], str, object]]] = {}
+        self._dirty = False
+
+    def add(self, phrase: str, payload: object) -> None:
+        stems = tuple(stem_token(tok) for tok in _TOKEN_RE.findall(phrase))
+        if not stems:
+            raise ValueError(f"phrase {phrase!r} has no tokens")
+        self._index.setdefault(stems[0], []).append((stems, phrase, payload))
+        self._dirty = True
+
+    def _prepare(self) -> None:
+        if self._dirty:
+            for entries in self._index.values():
+                entries.sort(key=lambda e: -len(e[0]))
+            self._dirty = False
+
+    def find_all(self, text: str,
+                 tokens: list[Token] | None = None) -> list[PhraseMatch]:
+        """All non-overlapping longest matches, left to right."""
+        self._prepare()
+        if tokens is None:
+            tokens = tokenize_with_spans(text)
+        matches: list[PhraseMatch] = []
+        i = 0
+        n = len(tokens)
+        while i < n:
+            entries = self._index.get(tokens[i].stem)
+            matched = False
+            if entries:
+                for stems, phrase, payload in entries:
+                    length = len(stems)
+                    if i + length <= n and all(
+                        tokens[i + k].stem == stems[k] for k in range(1, length)
+                    ):
+                        matches.append(
+                            PhraseMatch(
+                                phrase_key=phrase,
+                                payload=payload,
+                                token_start=i,
+                                token_end=i + length,
+                                char_start=tokens[i].start,
+                                char_end=tokens[i + length - 1].end,
+                            )
+                        )
+                        i += length
+                        matched = True
+                        break
+            if not matched:
+                i += 1
+        return matches
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._index.values())

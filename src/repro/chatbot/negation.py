@@ -1,0 +1,61 @@
+"""Negation-scope detection.
+
+The paper's prompts instruct the chatbot to "ignore mentions in hypothetical
+or negated contexts, e.g., 'we do not collect ...'". GPT-4 follows this;
+Llama-3.1 does not (§6 observes it extracting data types after "this privacy
+notice does not apply to"). The engine therefore tags every extraction with
+whether it falls inside a negated scope, and the per-model error profile
+decides whether tagged mentions are dropped.
+
+Scope heuristic: a negation trigger negates from its position to the end of
+the containing sentence — adequate for policy prose, where negated
+enumerations follow the trigger.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_NEGATION_TRIGGERS = (
+    r"do(?:es)?\s+not\s+(?:collect|store|request|gather|sell|share|use|apply|retain|process)",
+    r"don't\s+(?:collect|store|request|gather|sell|share|use)",
+    r"never\s+(?:collect|store|request|gather|sell|share)",
+    r"not\s+(?:apply|applicable)\s+to",
+    r"will\s+not\s+(?:collect|store|request|sell|share)",
+    r"no\s+longer\s+(?:collect|store)",
+    r"without\s+collecting",
+    r"except\s+as\s+described",
+)
+
+_TRIGGER_RE = re.compile("|".join(f"(?:{t})" for t in _NEGATION_TRIGGERS),
+                         re.IGNORECASE)
+
+_SENTENCE_END_RE = re.compile(r"[.!?](?:\s|$)")
+
+
+@dataclass(frozen=True)
+class NegationScope:
+    """A character range under negation."""
+
+    start: int
+    end: int
+
+    def contains(self, char_start: int, char_end: int) -> bool:
+        return self.start <= char_start and char_end <= self.end
+
+
+def find_negation_scopes(text: str) -> list[NegationScope]:
+    """All negated character ranges in ``text``."""
+    scopes: list[NegationScope] = []
+    for match in _TRIGGER_RE.finditer(text):
+        end_match = _SENTENCE_END_RE.search(text, match.end())
+        end = end_match.start() if end_match else len(text)
+        scopes.append(NegationScope(start=match.start(), end=end))
+    return scopes
+
+
+def is_negated(scopes: list[NegationScope], char_start: int,
+               char_end: int) -> bool:
+    """Whether the span lies inside any negated scope."""
+    return any(s.contains(char_start, char_end) for s in scopes)

@@ -1,0 +1,303 @@
+"""Signature-based detection of data-handling and user-rights practices.
+
+Retention, protection, choice, and access labels are detected per sentence
+using keyword signatures (conjunctions of cue groups, with exclusions).
+This mirrors how an instruction-following LLM labels practice mentions and
+is exhaustively unit-tested against every cue phrase in
+:mod:`repro.taxonomy.labels`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# -- retention period parsing --------------------------------------------------
+
+_NUMBER_WORDS = {
+    "one": 1, "two": 2, "three": 3, "four": 4, "five": 5, "six": 6,
+    "seven": 7, "eight": 8, "nine": 9, "ten": 10, "twelve": 12,
+    "eighteen": 18, "twenty": 20, "twenty-four": 24, "twenty-five": 25,
+    "thirty": 30, "thirty-six": 36, "sixty": 60, "ninety": 90,
+    "fifty": 50, "hundred": 100,
+}
+
+_UNIT_DAYS = {"day": 1, "week": 7, "month": 30, "year": 365}
+
+_PERIOD_RE = re.compile(
+    r"""
+    (?P<word>[a-z-]+)?\s*          # optional number word
+    (?:\((?P<digits>\d+)\)\s*)?    # optional parenthesized digits
+    (?P<bare_digits>\d+)?\s*       # or bare digits
+    (?P<unit>day|week|month|year)s?\b
+    """,
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class RetentionPeriod:
+    """A parsed retention period."""
+
+    days: int
+    text: str
+
+
+def parse_retention_period(sentence: str) -> RetentionPeriod | None:
+    """Extract a stated retention period from a sentence, if any.
+
+    Handles "two (2) years", "ninety (90) days", "6 years", "six months".
+    Returns the *longest* period mentioned (policies often mention a usage
+    period plus an archival tail; the tail dominates).
+    """
+    best: RetentionPeriod | None = None
+    for match in _PERIOD_RE.finditer(sentence):
+        unit = match.group("unit").lower()
+        count: int | None = None
+        if match.group("digits"):
+            count = int(match.group("digits"))
+        elif match.group("bare_digits"):
+            count = int(match.group("bare_digits"))
+        elif match.group("word"):
+            count = _NUMBER_WORDS.get(match.group("word").lower())
+        if count is None or count <= 0:
+            continue
+        days = count * _UNIT_DAYS[unit]
+        if best is None or days > best.days:
+            best = RetentionPeriod(days=days, text=match.group(0).strip())
+    return best
+
+
+# -- label signatures -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LabelSignature:
+    """Detection rule: all ``required`` groups must hit; ``excluded`` must not."""
+
+    group: str  # "Data retention" | "Data protection" | "User choices" | "User access"
+    label: str
+    required: tuple[str, ...]  # each entry is an alternation regex
+    excluded: tuple[str, ...] = ()
+    #: Needs a parseable retention period in the sentence.
+    needs_period: bool = False
+    #: Must NOT contain a parseable retention period.
+    forbids_period: bool = False
+
+
+_RETAIN = r"retain|retention|keep|kept|stored?\b"
+
+SIGNATURES: tuple[LabelSignature, ...] = (
+    # --- Data retention -----------------------------------------------------
+    LabelSignature(
+        group="Data retention", label="Indefinitely",
+        required=(_RETAIN, r"indefinite"),
+    ),
+    LabelSignature(
+        group="Data retention", label="Stated",
+        required=(_RETAIN,),
+        excluded=(r"indefinite",),
+        needs_period=True,
+    ),
+    LabelSignature(
+        group="Data retention", label="Limited",
+        required=(
+            _RETAIN + r"|no longer than|as long as",
+            r"as long as|necessary|needed|required|limited period|no longer than",
+        ),
+        excluded=(r"indefinite",),
+        forbids_period=True,
+    ),
+    # --- Data protection -----------------------------------------------------
+    LabelSignature(
+        group="Data protection", label="Access limit",
+        required=(r"access", r"restricted|limit(?:ed)?|need[- ]to[- ]know|"
+                             r"authorized personnel|business need to know"),
+    ),
+    LabelSignature(
+        group="Data protection", label="Secure transfer",
+        required=(r"encrypt|ssl|tls|https|secure socket",
+                  r"transit|transmiss|transmitted|transfer|transactions|"
+                  r"connections"),
+    ),
+    LabelSignature(
+        group="Data protection", label="Secure storage",
+        required=(r"encrypt|secure",
+                  r"stored|storage|at rest|secure servers|databases|"
+                  r"encrypted format"),
+        excluded=(r"transit|transmiss|transactions",),
+    ),
+    LabelSignature(
+        group="Data protection", label="Privacy program",
+        required=(r"privacy|protection|information security",
+                  r"program|office oversees"),
+        excluded=(r"review|audit|assess",),
+    ),
+    LabelSignature(
+        group="Data protection", label="Privacy review",
+        required=(r"review|audit|assess",
+                  r"practices|measures|safeguards",
+                  r"security|protection|privacy"),
+    ),
+    LabelSignature(
+        group="Data protection", label="Secure authentication",
+        required=(r"two[- ]factor|multi[- ]factor|2fa|hashed|"
+                  r"credentials are encrypted|authentication",),
+        excluded=(r"purposes",),
+    ),
+    LabelSignature(
+        group="Data protection", label="Generic",
+        required=(r"safeguards|security measures|security of your data|"
+                  r"organizational measures|managerial procedures|"
+                  r"measures to protect|procedures",),
+        excluded=(r"encrypt|ssl|tls|two[- ]factor|need[- ]to[- ]know|"
+                  r"authorized personnel|review|audit|program",),
+    ),
+    # --- User choices -----------------------------------------------------------
+    LabelSignature(
+        group="User choices", label="Opt-out via link",
+        required=(r"opt[- ]?out|unsubscribe|do not sell",
+                  r"link|click|tab on this page|follow the"),
+    ),
+    LabelSignature(
+        group="User choices", label="Opt-out via contact",
+        required=(r"opt[- ]?out|unsubscribe|withdraw your consent",
+                  r"contact|email(?:ing)? us|writing to us|write to us|"
+                  r"mailing us"),
+        excluded=(r"link|click",),
+    ),
+    LabelSignature(
+        group="User choices", label="Privacy settings",
+        required=(r"settings|dashboard|preference center",
+                  r"privacy|preferences|control|manage|update your"),
+        excluded=(r"deactivat",),
+    ),
+    LabelSignature(
+        group="User choices", label="Opt-in",
+        required=(r"consent|opt[- ]?in",
+                  r"before|prior|must|explicit|obtain your"),
+        excluded=(r"withdraw",),
+    ),
+    LabelSignature(
+        group="User choices", label="Do not use",
+        required=(r"do not use|not to use|stop using|choose not to use|"
+                  r"only (?:choice|option)|features? may be unavailable",),
+    ),
+    # --- User access -----------------------------------------------------------
+    LabelSignature(
+        group="User access", label="Deactivate",
+        required=(r"deactivat",),
+    ),
+    LabelSignature(
+        group="User access", label="Partial delete",
+        required=(r"delet",
+                  r"retain certain|may retain|may be retained|keep records|"
+                  r"portions of"),
+    ),
+    LabelSignature(
+        group="User access", label="Full delete",
+        required=(r"delet|erasure|erase",
+                  r"personal (?:information|data)|account|all (?:associated )?"
+                  r"data|your data"),
+        excluded=(r"retain certain|may retain|may be retained|keep records|"
+                  r"portions of|unavailable",),
+    ),
+    LabelSignature(
+        group="User access", label="Export",
+        required=(r"copy of|portab|export|machine[- ]readable",),
+    ),
+    LabelSignature(
+        group="User access", label="Edit",
+        required=(r"update|correct|modify|rectify|change",
+                  r"information|data|profile|inaccura"),
+        excluded=(r"policy|notice|preference center",),
+    ),
+    LabelSignature(
+        group="User access", label="View",
+        required=(r"access to the personal|right to know what|view the data|"
+                  r"see and|summary of your personal",),
+    ),
+)
+
+_COMPILED = [
+    (
+        sig,
+        tuple(re.compile(p, re.IGNORECASE) for p in sig.required),
+        tuple(re.compile(p, re.IGNORECASE) for p in sig.excluded),
+    )
+    for sig in SIGNATURES
+]
+
+
+@dataclass(frozen=True)
+class PracticeHit:
+    """One detected practice in a sentence."""
+
+    group: str
+    label: str
+    sentence: str
+    period: RetentionPeriod | None = None
+
+
+#: Groups where a sentence can only mean one thing (retention statements
+#: are mutually exclusive; signature order encodes their priority).
+_EXCLUSIVE_GROUPS = frozenset({"Data retention"})
+
+#: Catch-all labels suppressed whenever a *specific* label of the same
+#: group matched in the same sentence.
+_CATCH_ALL_LABELS = frozenset({"Generic"})
+
+
+_ANONYMIZED_RE = re.compile(r"anonymi[sz]|aggregated|de-identif",
+                            re.IGNORECASE)
+
+
+def detect_practices(sentence: str,
+                     groups: tuple[str, ...] | None = None,
+                     ignore_anonymized_retention: bool = False) -> list[PracticeHit]:
+    """All practice labels detected in one sentence.
+
+    ``groups`` restricts detection (the handling task only looks at
+    retention/protection; the rights task at choices/access). A sentence
+    may carry several labels ("encrypted in transit, and access is
+    restricted" yields Secure transfer + Access limit); retention labels
+    are mutually exclusive, and the Generic protection label only fires
+    when no specific protection matched.
+    """
+    hits: list[PracticeHit] = []
+    matched_groups: set[str] = set()
+    matched_labels: set[tuple[str, str]] = set()
+    period = parse_retention_period(sentence)
+    for sig, required, excluded in _COMPILED:
+        if groups is not None and sig.group not in groups:
+            continue
+        if sig.group in _EXCLUSIVE_GROUPS and sig.group in matched_groups:
+            continue
+        if sig.label in _CATCH_ALL_LABELS and sig.group in matched_groups:
+            continue
+        if (sig.group, sig.label) in matched_labels:
+            continue
+        if sig.needs_period and period is None:
+            continue
+        if sig.forbids_period and period is not None:
+            continue
+        if not all(regex.search(sentence) for regex in required):
+            continue
+        if any(regex.search(sentence) for regex in excluded):
+            continue
+        if (ignore_anonymized_retention and sig.label == "Indefinitely"
+                and _ANONYMIZED_RE.search(sentence)):
+            # §6 refinement: indefinite retention of anonymized/aggregated
+            # data is explicitly out of scope.
+            continue
+        hits.append(
+            PracticeHit(
+                group=sig.group,
+                label=sig.label,
+                sentence=sentence,
+                period=period if sig.label == "Stated" else None,
+            )
+        )
+        matched_groups.add(sig.group)
+        matched_labels.add((sig.group, sig.label))
+    return hits

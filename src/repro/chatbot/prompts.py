@@ -1,0 +1,353 @@
+"""Chatbot task prompts (the paper's Figure 2, Appendix C).
+
+Prompts are real text rendered from the taxonomies: a role preamble, task
+instructions, the glossary, and an input/output example. The simulated
+models *read* these prompts — the glossary block and the negation
+instruction are functional: removing them (as the ablation benches do)
+degrades the corresponding competence, mirroring how prompt engineering
+mattered for the real pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy import (
+    ASPECT_DEFINITIONS,
+    DATA_TYPE_TAXONOMY,
+    PURPOSE_TAXONOMY,
+    Aspect,
+    HANDLING_LABEL_SETS,
+    RIGHTS_LABEL_SETS,
+)
+
+_ROLE = ("Assume the role of a data privacy expert tasked with analyzing "
+         "website privacy policies.")
+
+_JSON_ONLY = ("Print **only** the JSON-formatted string in your output "
+              "without adding any extra information.")
+
+_NEGATION_INSTRUCTION = (
+    'Ignore mentions in hypothetical or negated contexts, e.g., "we do not '
+    'collect ...".'
+)
+
+_SEPARATE_INSTRUCTION = (
+    'Separate lists into individual items (e.g., "contact and location '
+    'information" should be broken down into "contact information" and '
+    '"location information").'
+)
+
+
+def _aspect_bullets() -> str:
+    return "\n".join(
+        f"- **{aspect.value}:** {ASPECT_DEFINITIONS[aspect]}"
+        for aspect in Aspect
+    )
+
+
+def _glossary_block(lines: list[str]) -> str:
+    return (
+        "### Glossary:\n\n"
+        "The glossary below includes phrases relevant to each category. "
+        "This glossary is **not** comprehensive; it is crucial that you "
+        "also identify relevant phrases not listed below.\n\n"
+        + "\n".join(lines)
+    )
+
+
+HEADING_GLOSSARY = [
+    '- **types:** "Information we collect", "Types of data collected", '
+    '"Categories of personal data".',
+    '- **methods:** "How we collect information", "Data collection '
+    'methods", "Sources of data we collect".',
+    '- **purposes:** "Why do we collect your data", "How we use the '
+    'information we collect", "Purpose of data collection".',
+    '- **handling:** "How we protect your information", "Data retention", '
+    '"Security of your personal data".',
+    '- **sharing:** "How we share your information", "Disclosure of '
+    'personal data", "Third parties".',
+    '- **rights:** "Your rights and choices", "Access and control of your '
+    'data", "Opt-out options".',
+    '- **audiences:** "California privacy rights", "Notice to European '
+    'users", "Children\'s privacy".',
+    '- **changes:** "Changes to this policy", "Updates to this privacy '
+    'notice".',
+    '- **other:** "Contact us", "Introduction", "About this policy".',
+]
+
+
+def label_headings_prompt(include_glossary: bool = True) -> str:
+    """Prompt for labeling a table of contents with the nine aspects."""
+    parts = [
+        f"**Task:** {_ROLE} Use the provided glossary to label a list of "
+        "section headings according to the categories given below:",
+        "",
+        _aspect_bullets(),
+        "",
+        "Carefully follow the instructions below, using the provided "
+        "glossary and example as a guide.",
+        "",
+        "### Instructions:",
+        "",
+        "1. Carefully and thoroughly read the section headings (extracted "
+        "from text that may contain a privacy policy) provided in the next "
+        "message.",
+        '   - The input is formatted with one heading per line, each line '
+        'starting with a line number enclosed in brackets (e.g., "[123]").',
+        "   - The headings are indented to reflect the hierarchy of "
+        "sections.",
+        "2. Label each heading according to the categories above.",
+        "   - Use the glossary below as examples of terms relevant to each "
+        "category.",
+        "   - If multiple categories apply to a section, report all of them "
+        "in your output.",
+        "3. Report labels for **all** headings in the output as a "
+        "JSON-formatted string.",
+        "   - Format the output as a JSON string containing a list of "
+        "tuples, with each tuple corresponding to a heading.",
+        "   - Each tuple must include the corresponding line number for the "
+        "heading and its assigned label(s).",
+        f"   - {_JSON_ONLY}",
+    ]
+    if include_glossary:
+        parts += ["", _glossary_block(HEADING_GLOSSARY)]
+    parts += ["", "### Example:", "",
+              'Input: "[1] Information We Collect"',
+              'Output: [[1, ["types"]]]']
+    return "\n".join(parts)
+
+
+def segment_text_prompt() -> str:
+    """Prompt for dividing raw policy text into labeled sections."""
+    return "\n".join([
+        f"**Task:** {_ROLE} Divide the provided text into sections "
+        "discussing the following aspects of a privacy policy, and label "
+        "each section accordingly:",
+        "",
+        _aspect_bullets(),
+        "",
+        "### Instructions:",
+        "",
+        "1. Carefully and thoroughly read the text provided in the next "
+        "message.",
+        '   - The input is formatted with each line starting with a line '
+        'number enclosed in brackets (e.g., "[123]").',
+        "2. Divide the text into contiguous sections and label each section "
+        "with the most relevant category above.",
+        "3. Report the sections as a JSON-formatted string: a list of "
+        "tuples [start_line, end_line, label].",
+        f"   - {_JSON_ONLY}",
+        "",
+        "### Example:",
+        "",
+        'Input: "[1] We collect your name. [2] We use it for support."',
+        'Output: [[1, 1, "types"], [2, 2, "purposes"]]',
+    ])
+
+
+def extract_types_prompt(include_glossary: bool = True,
+                         include_negation: bool = True) -> str:
+    """Prompt for verbatim extraction of collected data types."""
+    instructions = [
+        "1. Carefully and thoroughly read the privacy policy text provided "
+        "in the next message.",
+        '   - The input is formatted with each line starting with a line '
+        'number enclosed in brackets (e.g., "[123]").',
+        "2. Identify **all** explicit mentions of specific data types or "
+        "categories that are potentially collected (see the glossary for "
+        "examples).",
+        "   - Identify all mentions regardless of how many times they are "
+        "repeated throughout the text.",
+        "   - Focus on identifying the collected data types and **not** how "
+        "they are collected and/or used.",
+    ]
+    if include_negation:
+        instructions.append(f"   - {_NEGATION_INSTRUCTION}")
+    instructions += [
+        f"   - {_SEPARATE_INSTRUCTION}",
+        "   - Pinpoint the **exact** word(s) used in the text to describe "
+        "each data type, even if those words are not continuous.",
+        "3. Report the identified data types in the output as a "
+        "JSON-formatted string.",
+        "   - Format the output as a JSON string containing a list of "
+        "tuples, with each tuple corresponding to an identified data type.",
+        "   - Each tuple must include the line number where the data type "
+        "is mentioned, and the exact word(s) used to describe it in the "
+        "text (which may be discontinuous).",
+        f"   - {_JSON_ONLY}",
+    ]
+    parts = [
+        f"**Task:** {_ROLE} Meticulously extract and catalog specific data "
+        "types that are mentioned as being collected. Carefully follow the "
+        "instructions below, using the provided example as a guide.",
+        "",
+        "### Instructions:",
+        "",
+        *instructions,
+    ]
+    if include_glossary:
+        parts += ["", _glossary_block(DATA_TYPE_TAXONOMY.glossary_lines(5))]
+    parts += ["", "### Example:", "",
+              'Input: "[4] We collect your email address and IP address."',
+              'Output: [[4, "email address"], [4, "IP address"]]']
+    return "\n".join(parts)
+
+
+def normalize_types_prompt(include_glossary: bool = True) -> str:
+    """Prompt for categorizing and normalizing extracted data types."""
+    parts = [
+        f"**Task:** {_ROLE} Categorize each extracted data type according "
+        "to the glossary categories, and generate a normalized descriptor "
+        'for it (e.g., map both "mailing address" and "home address" to '
+        '"postal address" under "Contact info").',
+        "",
+        "### Instructions:",
+        "",
+        "1. Read the list of extracted phrases provided in the next "
+        "message, one per line, each starting with an index in brackets.",
+        "2. For each phrase, report its category and normalized descriptor.",
+        "   - Use the glossary below for the list of categories and known "
+        "descriptors.",
+        "   - For data types not listed in the glossary, generate a concise "
+        "descriptor of your own and assign the closest category.",
+        "3. Format the output as a JSON string containing a list of tuples "
+        "[index, category, descriptor].",
+        f"   - {_JSON_ONLY}",
+    ]
+    if include_glossary:
+        parts += ["", _glossary_block(DATA_TYPE_TAXONOMY.glossary_lines(8))]
+    parts += ["", "### Example:", "",
+              'Input: "[0] mailing address"',
+              'Output: [[0, "Contact info", "postal address"]]']
+    return "\n".join(parts)
+
+
+def extract_purposes_prompt(include_glossary: bool = True,
+                            include_negation: bool = True) -> str:
+    """Prompt for verbatim extraction of data collection purposes."""
+    parts = [
+        f"**Task:** {_ROLE} Meticulously extract and catalog the specific "
+        "purposes for which data is collected, used, or processed. "
+        "Carefully follow the instructions below.",
+        "",
+        "### Instructions:",
+        "",
+        "1. Carefully and thoroughly read the privacy policy text provided "
+        "in the next message.",
+        '   - The input is formatted with each line starting with a line '
+        'number enclosed in brackets (e.g., "[123]").',
+        "2. Identify **all** explicit mentions of purposes of data "
+        "collection and use.",
+    ]
+    if include_negation:
+        parts.append(f"   - {_NEGATION_INSTRUCTION}")
+    parts += [
+        f"   - {_SEPARATE_INSTRUCTION}",
+        "   - Pinpoint the **exact** word(s) used in the text.",
+        "3. Report the identified purposes as a JSON string containing a "
+        "list of [line_number, exact_words] tuples.",
+        f"   - {_JSON_ONLY}",
+    ]
+    if include_glossary:
+        parts += ["", _glossary_block(PURPOSE_TAXONOMY.glossary_lines(5))]
+    parts += ["", "### Example:", "",
+              'Input: "[2] We use your data for analytics and fraud '
+              'prevention."',
+              'Output: [[2, "analytics"], [2, "fraud prevention"]]']
+    return "\n".join(parts)
+
+
+def normalize_purposes_prompt(include_glossary: bool = True) -> str:
+    """Prompt for normalizing extracted purposes."""
+    parts = [
+        f"**Task:** {_ROLE} Categorize each extracted data collection "
+        "purpose according to the glossary categories and generate a "
+        "normalized descriptor.",
+        "",
+        "### Instructions:",
+        "",
+        "1. Read the list of extracted phrases provided in the next "
+        "message, one per line, each starting with an index in brackets.",
+        "2. For each phrase, report its category and normalized descriptor.",
+        "3. Format the output as a JSON string containing a list of tuples "
+        "[index, category, descriptor].",
+        f"   - {_JSON_ONLY}",
+    ]
+    if include_glossary:
+        parts += ["", _glossary_block(PURPOSE_TAXONOMY.glossary_lines(8))]
+    parts += ["", "### Example:", "",
+              'Input: "[0] improve our products"',
+              'Output: [[0, "User experience", "product improvement"]]']
+    return "\n".join(parts)
+
+
+def _label_block(label_sets) -> str:
+    lines = []
+    for label_set in label_sets:
+        lines.append(f"- **{label_set.name}:**")
+        for label in label_set.labels:
+            lines.append(f"  - {label.name}: {label.description}")
+    return "\n".join(lines)
+
+
+def annotate_handling_prompt(ignore_anonymized: bool = False) -> str:
+    """Prompt for labeling data retention and protection practices.
+
+    ``ignore_anonymized`` adds the §6 refinement instruction: indefinite
+    retention that only concerns anonymized or aggregated data is skipped.
+    """
+    refinement = (
+        ["   - Ignore mentions of indefinite retention that concern "
+         "anonymized or aggregated data only."] if ignore_anonymized else []
+    )
+    return "\n".join([
+        f"**Task:** {_ROLE} Identify and label mentions of data retention "
+        "periods and specific data protection measures, according to the "
+        "following labels:",
+        "",
+        _label_block(HANDLING_LABEL_SETS),
+        "",
+        "### Instructions:",
+        "",
+        "1. Read the numbered privacy policy text provided in the next "
+        "message.",
+        "2. For every sentence describing a retention or protection "
+        "practice, report [line_number, group, label, exact_sentence, "
+        "stated_period_or_null].",
+        "   - Extract the stated retention period verbatim when one is "
+        "specified.",
+        *refinement,
+        f"   - {_JSON_ONLY}",
+        "",
+        "### Example:",
+        "",
+        'Input: "[7] We retain your data for two (2) years."',
+        'Output: [[7, "Data retention", "Stated", "We retain your data for '
+        'two (2) years.", "two (2) years"]]',
+    ])
+
+
+def annotate_rights_prompt() -> str:
+    """Prompt for labeling user choices and access practices."""
+    return "\n".join([
+        f"**Task:** {_ROLE} Identify and label mentions of user choices "
+        "(opt-in/opt-out and privacy controls) and user access (viewing, "
+        "editing, deleting, or exporting data), according to the following "
+        "labels:",
+        "",
+        _label_block(RIGHTS_LABEL_SETS),
+        "",
+        "### Instructions:",
+        "",
+        "1. Read the numbered privacy policy text provided in the next "
+        "message.",
+        "2. For every sentence describing a choice or access practice, "
+        "report [line_number, group, label, exact_sentence].",
+        f"   - {_JSON_ONLY}",
+        "",
+        "### Example:",
+        "",
+        'Input: "[9] You may update your personal information in your '
+        'account settings."',
+        'Output: [[9, "User access", "Edit", "You may update your personal '
+        'information in your account settings."]]',
+    ])

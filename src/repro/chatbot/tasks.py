@@ -1,0 +1,250 @@
+"""Client-side chatbot task execution.
+
+Each ``run_*`` function renders the task prompt, sends it plus the payload
+to a chat model, parses the JSON completion, validates its shape, and
+retries once on malformed output (real chat APIs occasionally truncate or
+wrap JSON; the simulated models reproduce that failure mode).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+from repro.chatbot import prompts
+from repro.chatbot.models import ChatMessage, ChatModel
+from repro.errors import TaskOutputError
+from repro.taxonomy import Aspect
+
+_JSON_SNIPPET_RE = re.compile(r"\[.*\]", re.DOTALL)
+
+
+def _numbered(items: list[tuple[int, str]]) -> str:
+    return "\n".join(f"[{number}] {text}" for number, text in items)
+
+
+def _complete_json(model: ChatModel, prompt: str, payload: str,
+                   retries: int = 1) -> list:
+    """Send a task and parse the JSON list completion, retrying once."""
+    messages = [ChatMessage("user", prompt), ChatMessage("user", payload)]
+    last_error: Exception | None = None
+    for _ in range(retries + 1):
+        raw = model.complete(messages)
+        try:
+            return _parse_json_list(raw)
+        except TaskOutputError as exc:
+            last_error = exc
+    assert last_error is not None
+    raise last_error
+
+
+def _parse_json_list(raw: str) -> list:
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        # Models sometimes wrap JSON in prose; salvage the outermost list.
+        match = _JSON_SNIPPET_RE.search(raw)
+        if match is None:
+            raise TaskOutputError("completion is not JSON", raw) from None
+        try:
+            value = json.loads(match.group(0))
+        except json.JSONDecodeError:
+            raise TaskOutputError("completion is not valid JSON", raw) from None
+    if not isinstance(value, list):
+        raise TaskOutputError("completion JSON is not a list", raw)
+    return value
+
+
+# -- result types ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeadingLabel:
+    line: int
+    aspects: tuple[Aspect, ...]
+
+
+@dataclass(frozen=True)
+class SegmentSpan:
+    start: int
+    end: int
+    aspect: Aspect
+
+
+@dataclass(frozen=True)
+class ExtractedPhrase:
+    line: int
+    text: str
+
+
+@dataclass(frozen=True)
+class NormalizedPhrase:
+    line: int
+    text: str  # the original extracted phrase
+    category: str
+    descriptor: str
+
+
+@dataclass(frozen=True)
+class PracticeLabelResult:
+    line: int
+    group: str
+    label: str
+    verbatim: str
+    period_text: str | None = None
+
+
+def _coerce_aspect(value: str) -> Aspect | None:
+    try:
+        return Aspect(value)
+    except ValueError:
+        return None
+
+
+# -- task runners ---------------------------------------------------------------
+
+
+def run_label_headings(model: ChatModel, toc: list[tuple[int, str]],
+                       include_glossary: bool = True) -> list[HeadingLabel]:
+    """Label a table of contents with aspects (Appendix B, step 1)."""
+    prompt = prompts.label_headings_prompt(include_glossary)
+    rows = _complete_json(model, prompt, _numbered(toc))
+    results: list[HeadingLabel] = []
+    for row in rows:
+        if not (isinstance(row, list) and len(row) == 2):
+            continue
+        line, labels = row
+        if not isinstance(line, int) or not isinstance(labels, list):
+            continue
+        aspects = tuple(
+            a for a in (_coerce_aspect(str(lab)) for lab in labels)
+            if a is not None
+        )
+        if aspects:
+            results.append(HeadingLabel(line=line, aspects=aspects))
+    return results
+
+
+def run_segment_text(model: ChatModel,
+                     lines: list[tuple[int, str]]) -> list[SegmentSpan]:
+    """Divide raw text into labeled spans (Appendix B, step 2)."""
+    rows = _complete_json(model, prompts.segment_text_prompt(),
+                          _numbered(lines))
+    spans: list[SegmentSpan] = []
+    for row in rows:
+        if not (isinstance(row, list) and len(row) == 3):
+            continue
+        start, end, label = row
+        aspect = _coerce_aspect(str(label))
+        if isinstance(start, int) and isinstance(end, int) and aspect \
+                and start <= end:
+            spans.append(SegmentSpan(start=start, end=end, aspect=aspect))
+    return spans
+
+
+def _run_extract(model, prompt, lines) -> list[ExtractedPhrase]:
+    rows = _complete_json(model, prompt, _numbered(lines))
+    phrases: list[ExtractedPhrase] = []
+    for row in rows:
+        if not (isinstance(row, list) and len(row) == 2):
+            continue
+        line, text = row
+        if isinstance(line, int) and isinstance(text, str) and text.strip():
+            phrases.append(ExtractedPhrase(line=line, text=text.strip()))
+    return phrases
+
+
+def run_extract_types(model: ChatModel, lines: list[tuple[int, str]],
+                      include_glossary: bool = True,
+                      include_negation: bool = True) -> list[ExtractedPhrase]:
+    """Verbatim extraction of collected data types."""
+    prompt = prompts.extract_types_prompt(include_glossary, include_negation)
+    return _run_extract(model, prompt, lines)
+
+
+def run_extract_purposes(model: ChatModel, lines: list[tuple[int, str]],
+                         include_glossary: bool = True,
+                         include_negation: bool = True) -> list[ExtractedPhrase]:
+    """Verbatim extraction of data collection purposes."""
+    prompt = prompts.extract_purposes_prompt(include_glossary,
+                                             include_negation)
+    return _run_extract(model, prompt, lines)
+
+
+def _run_normalize(model, prompt, phrases) -> list[NormalizedPhrase]:
+    # Payload is numbered by *index* (not source line): several phrases may
+    # share a line, and the index is what maps results back to their phrase.
+    payload = _numbered([(i, p.text) for i, p in enumerate(phrases)])
+    rows = _complete_json(model, prompt, payload)
+    results: list[NormalizedPhrase] = []
+    for row in rows:
+        if not (isinstance(row, list) and len(row) == 3):
+            continue
+        index, category, descriptor = row
+        if isinstance(index, int) and 0 <= index < len(phrases) \
+                and isinstance(category, str) and isinstance(descriptor, str):
+            phrase = phrases[index]
+            results.append(
+                NormalizedPhrase(line=phrase.line, text=phrase.text,
+                                 category=category, descriptor=descriptor)
+            )
+    return results
+
+
+def run_normalize_types(model: ChatModel, phrases: list[ExtractedPhrase],
+                        include_glossary: bool = True) -> list[NormalizedPhrase]:
+    """Categorize/normalize extracted data types."""
+    if not phrases:
+        return []
+    return _run_normalize(model, prompts.normalize_types_prompt(include_glossary),
+                          phrases)
+
+
+def run_normalize_purposes(model: ChatModel, phrases: list[ExtractedPhrase],
+                           include_glossary: bool = True) -> list[NormalizedPhrase]:
+    """Categorize/normalize extracted purposes."""
+    if not phrases:
+        return []
+    return _run_normalize(
+        model, prompts.normalize_purposes_prompt(include_glossary), phrases
+    )
+
+
+def _run_practices(model, prompt, lines, expect_period) -> list[PracticeLabelResult]:
+    rows = _complete_json(model, prompt, _numbered(lines))
+    results: list[PracticeLabelResult] = []
+    for row in rows:
+        if not isinstance(row, list):
+            continue
+        if expect_period and len(row) == 5:
+            line, group, label, verbatim, period = row
+        elif not expect_period and len(row) == 4:
+            line, group, label, verbatim = row
+            period = None
+        else:
+            continue
+        if isinstance(line, int) and isinstance(group, str) \
+                and isinstance(label, str) and isinstance(verbatim, str):
+            results.append(
+                PracticeLabelResult(
+                    line=line, group=group, label=label,
+                    verbatim=verbatim,
+                    period_text=period if isinstance(period, str) else None,
+                )
+            )
+    return results
+
+
+def run_annotate_handling(model: ChatModel, lines: list[tuple[int, str]],
+                          ignore_anonymized: bool = False) -> list[PracticeLabelResult]:
+    """Label retention/protection practices."""
+    prompt = prompts.annotate_handling_prompt(ignore_anonymized)
+    return _run_practices(model, prompt, lines, expect_period=True)
+
+
+def run_annotate_rights(model: ChatModel,
+                        lines: list[tuple[int, str]]) -> list[PracticeLabelResult]:
+    """Label choice/access practices."""
+    return _run_practices(model, prompts.annotate_rights_prompt(), lines,
+                          expect_period=False)

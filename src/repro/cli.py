@@ -1,0 +1,202 @@
+"""Command-line interface: build the corpus, run the pipeline, print tables.
+
+Examples::
+
+    repro-pipeline run --fraction 0.1 --out annotations.jsonl
+    repro-pipeline tables --fraction 0.1
+    repro-pipeline validate --fraction 0.1
+    repro-pipeline crawl-stats --fraction 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    access_profile,
+    annotated_records,
+    category_count_distribution,
+    data_for_sale_count,
+    render_access_profile,
+    render_breakdown,
+    render_distribution,
+    render_retention,
+    render_table1,
+    retention_findings,
+    table1_summary,
+    table2a_types,
+    table2b_purposes,
+    table3_practices,
+)
+from repro.corpus import CorpusConfig, build_corpus
+from repro.pipeline import PipelineOptions, run_pipeline, write_jsonl
+from repro.validation import audit_failures, compare_models, sampled_precision
+
+
+def _progress(done: int, total: int, domain: str) -> None:
+    if done % 100 == 0 or done == total:
+        print(f"  ... {done}/{total} domains", file=sys.stderr)
+
+
+def _build_and_run(args):
+    print(f"building corpus (seed={args.seed}, fraction={args.fraction})",
+          file=sys.stderr)
+    corpus = build_corpus(CorpusConfig(seed=args.seed,
+                                       fraction=args.fraction))
+    options = PipelineOptions(model_name=args.model)
+    start = time.time()
+    result = run_pipeline(corpus, options, progress=_progress)
+    print(f"pipeline finished in {time.time() - start:.1f}s",
+          file=sys.stderr)
+    return corpus, result
+
+
+def cmd_run(args) -> int:
+    corpus, result = _build_and_run(args)
+    n = result.domains_total()
+    print(f"domains:               {n}")
+    print(f"crawl successes:       {result.crawl_successes()} "
+          f"({100 * result.crawl_successes() / n:.1f}%)")
+    print(f"extraction successes:  {result.extraction_successes()} "
+          f"({100 * result.extraction_successes() / n:.1f}%)")
+    print(f"annotated domains:     {len(result.annotated_domains())}")
+    print(f"fallback activations:  {result.fallback_domains()} domains")
+    print(f"median policy length:  {result.median_policy_words()} words")
+    print(f"chatbot tokens:        {result.prompt_tokens:,} prompt / "
+          f"{result.completion_tokens:,} completion")
+    if args.out:
+        write_jsonl(result.records, args.out)
+        print(f"annotations written to {args.out}")
+    if args.csv_dir:
+        from pathlib import Path
+
+        from repro.analysis import write_annotations_csv, write_domains_csv
+
+        directory = Path(args.csv_dir)
+        n_annotations = write_annotations_csv(
+            result.records, directory / "annotations.csv")
+        write_domains_csv(result.records, directory / "domains.csv")
+        print(f"{n_annotations} annotation rows written to {directory}/")
+    if args.report:
+        from repro.analysis import generate_report
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(generate_report(result.records))
+        print(f"markdown report written to {args.report}")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    _, result = _build_and_run(args)
+    records = result.records
+    print("=" * 72)
+    print("Table 1 — annotation summary (types)")
+    print("=" * 72)
+    print(render_table1(table1_summary(records), max_rows=12))
+    print()
+    print("=" * 72)
+    print("Table 2a — collected data types by meta-category")
+    print("=" * 72)
+    print(render_breakdown(table2a_types(records)))
+    print()
+    print("=" * 72)
+    print("Table 2b — data collection purposes")
+    print("=" * 72)
+    print(render_breakdown(table2b_purposes(records)))
+    print()
+    print("=" * 72)
+    print("Table 3 — data handling and user rights")
+    print("=" * 72)
+    print(render_breakdown(table3_practices(records)))
+    print()
+    print("§5 findings")
+    print("-" * 72)
+    print(render_distribution(category_count_distribution(records)))
+    print(render_retention(retention_findings(records)))
+    print(render_access_profile(access_profile(records)))
+    print(f"companies mentioning data-for-sale: {data_for_sale_count(records)}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    corpus, result = _build_and_run(args)
+    report = sampled_precision(corpus, annotated_records(result.records),
+                               seed=args.seed)
+    print("sampled annotation precision (paper protocol):")
+    for aspect, value in report.as_dict().items():
+        print(f"  {aspect:<10} {value * 100:.1f}%")
+    audit = audit_failures(corpus, result, sample_size=50, seed=args.seed)
+    print(f"failure audit over {audit.sample_size} sampled failures:")
+    for category, count in sorted(audit.counts().items(),
+                                  key=lambda kv: -kv[1]):
+        print(f"  {category:<22} {count}")
+    return 0
+
+
+def cmd_models(args) -> int:
+    corpus = build_corpus(CorpusConfig(seed=args.seed,
+                                       fraction=args.fraction))
+    results = compare_models(corpus, n_policies=args.policies,
+                             seed=args.seed)
+    print(f"extraction precision over {args.policies} policies:")
+    for name, study in results.items():
+        print(f"  {name:<20} {study.precision * 100:5.1f}%  "
+              f"({len(study.judgements)} extractions, "
+              f"{study.negation_errors()} negation errors)")
+    return 0
+
+
+def cmd_crawl_stats(args) -> int:
+    _, result = _build_and_run(args)
+    print(f"mean pages crawled per domain:   {result.mean_pages_crawled():.2f}")
+    print(f"mean privacy pages per success:  {result.mean_privacy_pages():.2f}")
+    print(f"crawl success rate:              "
+          f"{100 * result.crawl_successes() / result.domains_total():.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pipeline",
+        description="Privacy-policy annotation pipeline (IMC'24 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--fraction", type=float, default=0.1,
+                        help="corpus scale; 1.0 = full 2,892 domains")
+    parser.add_argument("--model", default="sim-gpt-4-turbo")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run the pipeline end to end")
+    run_parser.add_argument("--out", help="write annotations JSONL here")
+    run_parser.add_argument("--csv-dir",
+                            help="write annotations.csv + domains.csv here")
+    run_parser.add_argument("--report",
+                            help="write a markdown analysis report here")
+    run_parser.set_defaults(func=cmd_run)
+
+    tables_parser = sub.add_parser("tables", help="print the paper's tables")
+    tables_parser.set_defaults(func=cmd_tables)
+
+    validate_parser = sub.add_parser("validate",
+                                     help="precision + failure audit")
+    validate_parser.set_defaults(func=cmd_validate)
+
+    models_parser = sub.add_parser("models", help="model comparison study")
+    models_parser.add_argument("--policies", type=int, default=20)
+    models_parser.set_defaults(func=cmd_models)
+
+    crawl_parser = sub.add_parser("crawl-stats", help="crawl statistics")
+    crawl_parser.set_defaults(func=cmd_crawl_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

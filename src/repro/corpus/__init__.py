@@ -1,0 +1,45 @@
+"""Synthetic Russell-3000-style corpus, calibrated to the paper's findings.
+
+Public surface:
+
+- :func:`build_corpus` / :class:`CorpusConfig` — construct the simulated
+  internet plus ground truth.
+- :class:`PracticeSampler` — per-company ground-truth practice profiles.
+- :class:`PolicyWriter` — policy text realization.
+- :class:`SiteBuilder` — website construction (healthy + failure modes).
+- :mod:`repro.corpus.calibration` — the paper-derived target statistics.
+"""
+
+from repro.corpus.build import CorpusConfig, SyntheticCorpus, build_corpus
+from repro.corpus.companies import Company, generate_companies, unique_domains
+from repro.corpus.policytext import (
+    EmbeddedMention,
+    PolicyDocument,
+    PolicySection,
+    PolicyWriter,
+)
+from repro.corpus.profiles import CompanyPractices, PracticeSampler, RetentionFact
+from repro.corpus.sectors import SECTOR_CODES, SECTORS, Sector, sector
+from repro.corpus.sitegen import SiteBlueprint, SiteBuilder
+
+__all__ = [
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "build_corpus",
+    "Company",
+    "generate_companies",
+    "unique_domains",
+    "EmbeddedMention",
+    "PolicyDocument",
+    "PolicySection",
+    "PolicyWriter",
+    "CompanyPractices",
+    "PracticeSampler",
+    "RetentionFact",
+    "SECTOR_CODES",
+    "SECTORS",
+    "Sector",
+    "sector",
+    "SiteBlueprint",
+    "SiteBuilder",
+]

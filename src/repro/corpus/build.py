@@ -1,0 +1,193 @@
+"""Corpus assembly: companies → practices → policies → websites → internet.
+
+:func:`build_corpus` produces a :class:`SyntheticCorpus`: a fully populated
+:class:`~repro.web.net.SimulatedInternet` plus the ground truth needed for
+oracle validation (per-domain practices, embedded-mention lists, designed
+failure modes, and site blueprints).
+
+``fraction`` scales the whole universe down proportionally (sector sizes,
+failure-mode counts, vacuous-policy count), which keeps unit tests fast
+while the full-size corpus (2916 companies / 2892 domains) reproduces the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.rng import SeedSequence
+from repro.corpus.calibration import (
+    DEFAULT_FAILURE_PLAN,
+    VACUOUS_POLICY_COUNT,
+    FailurePlan,
+)
+from repro.corpus.companies import Company, generate_companies, unique_domains
+from repro.corpus.policytext import PolicyDocument, PolicyWriter
+from repro.corpus.profiles import CompanyPractices, PracticeSampler
+from repro.corpus.sitegen import SiteBlueprint, SiteBuilder
+from repro.errors import CorpusError
+from repro.web.net import SimulatedInternet
+
+#: Failure modes whose site construction embeds the (unreachable) policy.
+_MODES_WITH_DOCUMENT = {
+    "js-dynamic-content",
+    "hidden-expandable",
+    "mixed-language",
+}
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Parameters controlling corpus construction."""
+
+    seed: int = 42
+    #: Proportional scale of the universe; 1.0 = the paper's 2916 companies.
+    fraction: float = 1.0
+    failure_plan: FailurePlan = field(default_factory=lambda: DEFAULT_FAILURE_PLAN)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise CorpusError("fraction must be in (0, 1]")
+
+
+@dataclass
+class SyntheticCorpus:
+    """A built corpus: the simulated internet plus all ground truth."""
+
+    config: CorpusConfig
+    companies: list[Company]
+    domains: list[str]
+    internet: SimulatedInternet
+    sector_of: dict[str, str]
+    company_name_of: dict[str, str]
+    practices: dict[str, CompanyPractices]
+    documents: dict[str, PolicyDocument]
+    blueprints: dict[str, SiteBlueprint]
+    failure_mode_of: dict[str, str | None]
+    vacuous_domains: set[str]
+
+    # -- convenience -----------------------------------------------------------
+
+    def healthy_domains(self) -> list[str]:
+        return [d for d in self.domains if self.failure_mode_of[d] is None]
+
+    def failing_domains(self, *modes: str) -> list[str]:
+        wanted = set(modes)
+        return [
+            d for d in self.domains
+            if self.failure_mode_of[d] is not None
+            and (not wanted or self.failure_mode_of[d] in wanted)
+        ]
+
+    def designed_crawl_failures(self) -> list[str]:
+        return self.failing_domains(*self.config.failure_plan.crawl_modes)
+
+    def designed_extract_failures(self) -> list[str]:
+        return self.failing_domains(*self.config.failure_plan.extract_modes)
+
+
+def _scaled_plan(plan: FailurePlan, fraction: float) -> dict[str, int]:
+    """Scale failure-mode counts, keeping at least 1 of each when any."""
+    scaled: dict[str, int] = {}
+    for mode, count in plan.all_modes().items():
+        value = round(count * fraction)
+        if count > 0 and fraction >= 0.02:
+            value = max(1, value)
+        scaled[mode] = value
+    return scaled
+
+
+def _subsample_companies(companies: list[Company], fraction: float,
+                         seeds: SeedSequence) -> list[Company]:
+    if fraction >= 1.0:
+        return companies
+    rng = seeds.rng("subsample")
+    by_sector: dict[str, list[Company]] = {}
+    for company in companies:
+        if company.is_duplicate_listing:
+            continue
+        by_sector.setdefault(company.sector.code, []).append(company)
+    kept: list[Company] = []
+    for code in sorted(by_sector):
+        rows = by_sector[code]
+        k = max(1, round(len(rows) * fraction))
+        kept.extend(rng.sample(rows, k))
+    return kept
+
+
+def build_corpus(config: CorpusConfig | None = None) -> SyntheticCorpus:
+    """Build the complete synthetic corpus (deterministic in the seed)."""
+    config = config or CorpusConfig()
+    seeds = SeedSequence(config.seed)
+    all_companies = generate_companies(seeds)
+    companies = _subsample_companies(all_companies, config.fraction, seeds)
+    domains = unique_domains(companies)
+
+    sector_of = {}
+    company_name_of = {}
+    for company in companies:
+        sector_of.setdefault(company.domain, company.sector.code)
+        company_name_of.setdefault(company.domain, company.name)
+
+    # Assign failure modes and vacuous policies over a seeded shuffle.
+    rng = seeds.rng("failure-assignment")
+    shuffled = list(domains)
+    rng.shuffle(shuffled)
+    plan_counts = _scaled_plan(config.failure_plan, config.fraction)
+    failure_mode_of: dict[str, str | None] = {d: None for d in domains}
+    cursor = 0
+    for mode, count in plan_counts.items():
+        for domain in shuffled[cursor : cursor + count]:
+            failure_mode_of[domain] = mode
+        cursor += count
+    n_vacuous = round(VACUOUS_POLICY_COUNT * config.fraction)
+    vacuous_domains = set(shuffled[cursor : cursor + n_vacuous])
+    cursor += n_vacuous
+    if cursor > len(domains):
+        raise CorpusError(
+            f"corpus too small for failure plan: need {cursor} domains, "
+            f"have {len(domains)}"
+        )
+
+    sampler = PracticeSampler(seeds)
+    writer = PolicyWriter(seeds)
+    builder = SiteBuilder(seeds)
+    internet = SimulatedInternet(seed=seeds.rng("net-seed").randrange(2**31))
+
+    practices: dict[str, CompanyPractices] = {}
+    documents: dict[str, PolicyDocument] = {}
+    blueprints: dict[str, SiteBlueprint] = {}
+
+    for domain in domains:
+        mode = failure_mode_of[domain]
+        name = company_name_of[domain]
+        sector = sector_of[domain]
+        needs_doc = mode is None or mode in _MODES_WITH_DOCUMENT
+        doc = None
+        if needs_doc:
+            practice = sampler.sample(domain, sector)
+            practices[domain] = practice
+            doc = writer.write(practice, name,
+                               vacuous=domain in vacuous_domains)
+            documents[domain] = doc
+        if mode is None:
+            site, blueprint = builder.build_healthy_site(doc)
+        else:
+            site, blueprint = builder.build_failing_site(domain, name, mode,
+                                                         doc=doc)
+        internet.register(site)
+        blueprints[domain] = blueprint
+
+    return SyntheticCorpus(
+        config=config,
+        companies=companies,
+        domains=domains,
+        internet=internet,
+        sector_of=sector_of,
+        company_name_of=company_name_of,
+        practices=practices,
+        documents=documents,
+        blueprints=blueprints,
+        failure_mode_of=failure_mode_of,
+        vacuous_domains=vacuous_domains,
+    )

@@ -1,0 +1,406 @@
+"""Calibration targets transcribed from the paper's tables.
+
+The synthetic corpus is generated so that its *ground-truth* practice
+distribution matches the statistics the paper reports for the real Russell
+3000 (Tables 2, 3, and 5): per-category coverage (share of companies with at
+least one mention), the mean/SD of unique descriptor counts, and the named
+per-sector anchors (three highest-coverage sectors plus the lowest).
+
+For the seven sectors a row does not name, coverage is solved so the
+company-weighted average equals the overall target, clamped to keep the
+published ordering (strictly between the lowest and third-highest anchors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.sectors import SECTORS, SECTOR_CODES
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class SectorAnchor:
+    """A named sector statistic from a paper table row."""
+
+    sector: str
+    coverage: float  # percent
+    mean: float | None = None
+    sd: float | None = None
+
+
+@dataclass(frozen=True)
+class CategoryTargets:
+    """Calibration row for one category (data type or purpose)."""
+
+    category: str
+    coverage: float  # percent, overall
+    mean: float
+    sd: float
+    high_anchors: tuple[SectorAnchor, ...]  # sorted by coverage, descending
+    low_anchor: SectorAnchor
+
+    def anchors(self) -> dict[str, SectorAnchor]:
+        result = {a.sector: a for a in self.high_anchors}
+        result[self.low_anchor.sector] = self.low_anchor
+        return result
+
+
+@dataclass(frozen=True)
+class LabelTargets:
+    """Calibration row for one handling/rights practice label."""
+
+    label: str
+    group: str  # "retention" | "protection" | "choices" | "access"
+    coverage: float  # percent, overall
+    high_anchors: tuple[SectorAnchor, ...]
+    low_anchor: SectorAnchor
+
+    def anchors(self) -> dict[str, SectorAnchor]:
+        result = {a.sector: a for a in self.high_anchors}
+        result[self.low_anchor.sector] = self.low_anchor
+        return result
+
+
+def _t(category, coverage, mean, sd, highs, low) -> CategoryTargets:
+    return CategoryTargets(
+        category=category,
+        coverage=coverage,
+        mean=mean,
+        sd=sd,
+        high_anchors=tuple(SectorAnchor(*h) for h in highs),
+        low_anchor=SectorAnchor(*low),
+    )
+
+
+def _l(label, group, coverage, highs, low) -> LabelTargets:
+    return LabelTargets(
+        label=label,
+        group=group,
+        coverage=coverage,
+        high_anchors=tuple(SectorAnchor(s, c) for s, c in highs),
+        low_anchor=SectorAnchor(low[0], low[1]),
+    )
+
+
+# --------------------------------------------------------------------------
+# Table 5: collected data types, all 34 categories.
+# Columns: category, coverage%, mean, sd, [3 highest (sector, cov, mean, sd)],
+# lowest (sector, cov, mean, sd).
+# --------------------------------------------------------------------------
+
+DATA_TYPE_TARGETS: tuple[CategoryTargets, ...] = (
+    _t("Contact info", 86.4, 3.6, 1.4,
+       [("HC", 91.0, 3.5, 1.3), ("TC", 90.8, 3.7, 1.0), ("CD", 90.4, 3.8, 1.2)],
+       ("FS", 77.4, 3.4, 1.6)),
+    _t("Personal identifier", 89.5, 3.4, 2.6,
+       [("TC", 93.9, 3.3, 2.2), ("CD", 91.8, 3.8, 2.6), ("CS", 91.3, 3.5, 2.4)],
+       ("EN", 77.8, 2.6, 2.1)),
+    _t("Professional info", 59.0, 4.5, 5.0,
+       [("IT", 68.7, 5.1, 5.6), ("HC", 65.6, 4.8, 4.9), ("TC", 65.3, 3.9, 4.7)],
+       ("UT", 44.4, 3.0, 2.9)),
+    _t("Demographic info", 49.9, 4.7, 4.2,
+       [("TC", 67.3, 4.2, 3.8), ("CD", 65.3, 4.7, 4.0), ("CS", 62.1, 4.9, 4.0)],
+       ("MT", 29.8, 3.9, 4.1)),
+    _t("Educational info", 27.9, 2.2, 2.3,
+       [("HC", 34.6, 1.7, 1.3), ("FS", 31.4, 2.5, 2.3), ("CS", 28.2, 2.0, 2.2)],
+       ("MT", 15.8, 2.4, 2.8)),
+    _t("Vehicle info", 5.0, 3.0, 8.2,
+       [("CD", 11.3, 5.6, 15.5), ("RE", 9.7, 1.4, 0.5), ("IN", 8.0, 2.3, 2.1)],
+       ("HC", 0.4, 2.0, 1.4)),
+    _t("Device info", 74.4, 4.0, 2.9,
+       [("TC", 88.8, 4.6, 2.9), ("CD", 86.3, 4.5, 3.5), ("IT", 83.0, 4.3, 3.2)],
+       ("FS", 58.3, 4.0, 2.5)),
+    _t("Online identifier", 80.9, 1.7, 0.9,
+       [("TC", 88.8, 1.9, 1.5), ("CD", 88.3, 1.9, 1.1), ("UT", 87.0, 1.3, 0.8)],
+       ("FS", 65.7, 1.7, 0.9)),
+    _t("Account info", 50.0, 2.4, 1.6,
+       [("CD", 64.6, 2.5, 1.7), ("TC", 62.2, 2.3, 1.5), ("IT", 60.4, 2.4, 1.6)],
+       ("EN", 30.3, 2.2, 1.6)),
+    _t("Network connectivity", 29.5, 1.5, 1.0,
+       [("CD", 45.0, 1.5, 1.1), ("TC", 44.9, 2.3, 1.6), ("IT", 34.7, 1.6, 1.1)],
+       ("EN", 14.1, 1.4, 0.6)),
+    _t("Social media data", 23.3, 1.6, 1.2,
+       [("CD", 39.5, 1.7, 1.4), ("TC", 36.7, 2.3, 1.5), ("CS", 34.0, 1.8, 1.4)],
+       ("MT", 9.6, 1.2, 0.4)),
+    _t("External data", 12.4, 1.7, 1.4,
+       [("TC", 23.5, 1.7, 1.2), ("UT", 18.5, 1.4, 1.0), ("CS", 17.5, 1.3, 0.6)],
+       ("EN", 5.1, 1.0, 0.0)),
+    _t("Medical info", 28.3, 3.7, 3.5,
+       [("HC", 50.1, 4.7, 4.4), ("CS", 31.1, 3.6, 2.7), ("FS", 28.0, 4.0, 3.8)],
+       ("EN", 11.1, 1.9, 1.6)),
+    _t("Biometric data", 16.4, 2.6, 3.0,
+       [("FS", 20.2, 3.6, 3.8), ("HC", 19.1, 2.4, 2.9), ("CD", 18.9, 2.3, 2.2)],
+       ("EN", 3.0, 2.7, 2.9)),
+    _t("Physical characteristic", 11.2, 1.5, 1.1,
+       [("CS", 16.5, 1.6, 1.1), ("FS", 16.1, 1.4, 0.9), ("CD", 14.4, 1.8, 1.6)],
+       ("EN", 4.0, 1.0, 0.0)),
+    _t("Fitness & health", 3.5, 2.2, 2.5,
+       [("TC", 7.1, 1.7, 1.5), ("CD", 5.2, 3.5, 4.0), ("HC", 4.7, 2.0, 1.9)],
+       ("IT", 1.5, 1.4, 0.9)),
+    _t("Financial info", 53.9, 3.2, 2.3,
+       [("CD", 73.5, 3.3, 2.1), ("UT", 64.8, 2.6, 1.9), ("FS", 63.9, 3.5, 2.9)],
+       ("EN", 27.3, 2.7, 1.5)),
+    _t("Legal info", 28.7, 2.3, 2.1,
+       [("FS", 35.9, 2.7, 2.6), ("CD", 33.0, 2.0, 1.7), ("RE", 32.3, 2.5, 1.7)],
+       ("MT", 16.7, 1.6, 1.1)),
+    _t("Financial capability", 21.5, 2.5, 2.1,
+       [("FS", 51.6, 3.1, 2.2), ("RE", 22.6, 2.6, 1.6), ("CD", 19.2, 2.6, 2.3)],
+       ("CS", 8.7, 1.2, 0.4)),
+    _t("Insurance info", 14.8, 2.0, 1.7,
+       [("FS", 24.2, 2.9, 2.6), ("HC", 22.2, 1.6, 1.2), ("CD", 13.4, 1.5, 0.6)],
+       ("MT", 6.1, 2.0, 0.0)),
+    _t("Precise location", 50.9, 1.5, 0.9,
+       [("TC", 71.4, 1.6, 1.1), ("CD", 68.4, 1.7, 1.1), ("CS", 59.2, 1.6, 0.9)],
+       ("EN", 25.3, 1.4, 0.6)),
+    _t("Approximate location", 33.3, 1.8, 1.2,
+       [("TC", 54.1, 2.0, 1.5), ("IT", 44.9, 1.9, 1.2), ("CD", 43.0, 1.9, 1.2)],
+       ("UT", 16.7, 1.1, 0.3)),
+    _t("Travel data", 6.6, 1.6, 1.9,
+       [("IN", 10.4, 2.0, 3.0), ("CD", 9.6, 2.0, 1.9), ("TC", 9.2, 2.3, 2.5)],
+       ("UT", 1.9, 2.0, 0.0)),
+    _t("Physical interaction", 2.8, 1.2, 0.5,
+       [("CD", 6.5, 1.0, 0.0), ("RE", 4.0, 1.8, 0.8), ("IN", 3.6, 1.0, 0.0)],
+       ("FS", 1.6, 1.0, 0.0)),
+    _t("Internet usage", 72.8, 3.8, 2.8,
+       [("TC", 84.7, 4.1, 2.9), ("CD", 83.2, 4.4, 3.1), ("CS", 80.6, 4.0, 2.3)],
+       ("EN", 48.5, 3.1, 2.5)),
+    _t("Tracking data", 46.7, 2.3, 1.6,
+       [("CD", 55.0, 2.3, 1.6), ("IT", 54.2, 2.2, 1.6), ("TC", 51.0, 2.7, 2.0)],
+       ("FS", 37.7, 2.4, 1.6)),
+    _t("Product/service usage", 50.8, 2.1, 1.8,
+       [("TC", 72.4, 2.4, 1.8), ("CD", 61.9, 2.5, 2.6), ("CS", 60.2, 1.9, 1.2)],
+       ("EN", 32.3, 2.2, 1.7)),
+    _t("Transaction info", 43.9, 2.2, 1.5,
+       [("CD", 63.9, 2.7, 2.1), ("FS", 60.1, 2.1, 1.6), ("CS", 58.3, 2.6, 1.5)],
+       ("EN", 21.2, 2.0, 1.2)),
+    _t("Preferences", 49.1, 2.0, 1.3,
+       [("CD", 65.6, 2.4, 1.7), ("CS", 64.1, 2.1, 1.4), ("TC", 54.1, 2.2, 1.6)],
+       ("UT", 29.6, 2.0, 0.8)),
+    _t("Content generation", 32.8, 2.3, 1.9,
+       [("CD", 49.5, 2.5, 1.8), ("TC", 41.8, 2.3, 1.4), ("CS", 41.7, 2.7, 2.2)],
+       ("UT", 13.0, 1.3, 0.5)),
+    _t("Communication data", 33.8, 1.9, 1.4,
+       [("TC", 48.0, 2.0, 1.4), ("CD", 42.6, 1.9, 1.4), ("IT", 39.0, 2.1, 1.6)],
+       ("UT", 11.1, 1.8, 1.0)),
+    _t("Feedback data", 25.3, 1.8, 1.2,
+       [("CD", 37.1, 2.1, 1.6), ("CS", 34.0, 1.6, 0.9), ("IT", 31.0, 1.9, 1.2)],
+       ("EN", 12.1, 1.9, 1.6)),
+    _t("Content consumption", 26.7, 1.3, 0.8,
+       [("TC", 46.9, 1.9, 1.2), ("IT", 34.7, 1.5, 1.2), ("CS", 33.0, 1.1, 0.2)],
+       ("UT", 11.1, 1.0, 0.0)),
+    _t("Diagnostic data", 14.3, 1.6, 1.3,
+       [("TC", 26.5, 1.5, 0.9), ("IT", 22.0, 2.0, 1.7), ("IN", 17.1, 1.6, 1.7)],
+       ("EN", 4.0, 1.0, 0.0)),
+)
+
+# --------------------------------------------------------------------------
+# Table 2b: data collection purposes (category-level rows).
+# --------------------------------------------------------------------------
+
+PURPOSE_TARGETS: tuple[CategoryTargets, ...] = (
+    _t("Basic functioning", 95.1, 9.1, 7.8,
+       [("CS", 99.0, 9.7, 8.5), ("TC", 98.0, 8.7, 7.7), ("HC", 97.4, 8.9, 7.7)],
+       ("EN", 88.9, 6.1, 5.7)),
+    _t("User experience", 86.5, 3.9, 2.9,
+       [("CS", 93.2, 4.7, 3.4), ("IT", 92.3, 4.1, 3.1), ("CD", 92.1, 4.4, 2.9)],
+       ("FS", 75.1, 3.5, 2.5)),
+    _t("Analytics & research", 81.3, 4.1, 3.1,
+       [("CD", 89.3, 4.3, 3.0), ("TC", 88.8, 5.0, 3.4), ("CS", 87.4, 4.3, 2.8)],
+       ("EN", 66.7, 3.0, 2.5)),
+    _t("Legal & compliance", 73.2, 4.1, 3.3,
+       [("TC", 82.7, 3.5, 2.5), ("FS", 78.3, 4.1, 3.2), ("CD", 78.0, 4.1, 3.2)],
+       ("EN", 47.5, 3.5, 2.5)),
+    _t("Security", 72.5, 4.1, 3.3,
+       [("TC", 85.7, 3.9, 2.9), ("CS", 79.6, 3.9, 2.7), ("CD", 79.0, 4.6, 3.6)],
+       ("EN", 53.5, 3.3, 3.4)),
+    _t("Advertising & sales", 78.0, 3.0, 2.3,
+       [("CD", 91.1, 3.6, 2.6), ("CS", 85.4, 3.6, 2.5), ("IT", 84.8, 3.3, 2.1)],
+       ("EN", 51.5, 2.4, 2.0)),
+    _t("Data sharing", 26.1, 2.1, 2.3,
+       [("TC", 36.7, 2.0, 1.2), ("RE", 35.5, 1.7, 1.2), ("HC", 30.3, 2.8, 4.0)],
+       ("FS", 18.2, 1.8, 1.6)),
+)
+
+# --------------------------------------------------------------------------
+# Table 3: data handling and user rights labels.
+# --------------------------------------------------------------------------
+
+LABEL_TARGETS: tuple[LabelTargets, ...] = (
+    _l("Limited", "retention", 60.9, [("TC", 81.6), ("IT", 81.4)], ("UT", 25.9)),
+    _l("Stated", "retention", 9.9, [("IT", 16.4), ("TC", 15.3)], ("UT", 5.6)),
+    _l("Indefinitely", "retention", 5.5, [("HC", 6.5), ("TC", 6.1)], ("CD", 4.5)),
+    _l("Generic", "protection", 73.1, [("RE", 78.2), ("IT", 76.5)], ("EN", 63.6)),
+    _l("Access limit", "protection", 19.1, [("FS", 29.4), ("IT", 22.0)], ("MT", 11.4)),
+    _l("Secure transfer", "protection", 14.0, [("UT", 18.5), ("TC", 18.4)], ("EN", 7.1)),
+    _l("Secure storage", "protection", 16.1, [("FS", 31.6), ("IT", 21.4)], ("CS", 4.9)),
+    _l("Privacy program", "protection", 9.9, [("IT", 16.4), ("FS", 14.3)], ("RE", 3.2)),
+    _l("Privacy review", "protection", 6.8, [("IT", 13.0), ("UT", 11.1)], ("CS", 2.9)),
+    _l("Secure authentication", "protection", 4.2, [("FS", 7.2), ("IT", 5.3)], ("MT", 1.8)),
+    _l("Opt-out via contact", "choices", 65.2, [("TC", 72.4), ("IT", 71.8)], ("EN", 43.4)),
+    _l("Opt-out via link", "choices", 36.1, [("TC", 61.2), ("CS", 60.2)], ("EN", 17.2)),
+    _l("Privacy settings", "choices", 17.7, [("TC", 29.6), ("IT", 24.5)], ("EN", 8.1)),
+    _l("Opt-in", "choices", 17.7, [("CS", 22.3), ("UT", 22.2)], ("TC", 12.2)),
+    _l("Do not use", "choices", 10.5, [("UT", 14.8), ("CS", 13.6)], ("RE", 8.1)),
+    _l("Edit", "access", 71.6, [("IT", 85.4), ("TC", 80.6)], ("EN", 43.4)),
+    _l("Full delete", "access", 53.5, [("CD", 63.9), ("TC", 62.2)], ("UT", 27.8)),
+    _l("View", "access", 45.6, [("IT", 57.3), ("TC", 52.0)], ("UT", 27.8)),
+    _l("Export", "access", 42.9, [("IT", 61.0), ("CS", 49.5)], ("UT", 18.5)),
+    _l("Partial delete", "access", 11.2, [("TC", 22.4), ("IT", 14.6)], ("UT", 1.9)),
+    _l("Deactivate", "access", 2.5, [("TC", 8.2), ("UT", 5.6)], ("IN", 0.8)),
+)
+
+# --------------------------------------------------------------------------
+# Pipeline-level targets (§3, §4).
+# --------------------------------------------------------------------------
+
+#: Retention periods for the "Stated" label, in days, with sampling weights.
+#: Tuned so the median stated period is ~2 years, the minimum 1 day, and the
+#: maximum 50 years (§5's arescre.com/pg.com/bms.com findings).
+STATED_RETENTION_PERIODS: tuple[tuple[int, str, float], ...] = (
+    (1, "one (1) day", 0.8),
+    (30, "thirty (30) days", 4.0),
+    (90, "ninety (90) days", 5.0),
+    (180, "six (6) months", 8.0),
+    (365, "one (1) year", 14.0),
+    (548, "eighteen (18) months", 8.0),
+    (730, "two (2) years", 22.0),
+    (1095, "three (3) years", 12.0),
+    (1825, "five (5) years", 9.0),
+    (2190, "six (6) years", 6.0),
+    (2555, "seven (7) years", 5.0),
+    (3650, "ten (10) years", 4.0),
+    (9125, "twenty-five (25) years", 1.0),
+    (18250, "fifty (50) years", 0.8),
+)
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Counts of designed failure modes across the domain population (§4).
+
+    ``crawl`` modes yield zero potential privacy pages (the paper's 244);
+    ``extract`` modes crawl fine but produce no usable text (the 103).
+    """
+
+    crawl_modes: dict[str, int] = field(default_factory=lambda: {
+        "no-policy": 175,
+        "timeout": 29,
+        "blocked": 15,
+        "js-dynamic-nav": 10,
+        "legal-notice-link": 10,
+        "js-action-link": 3,
+        "consent-box-link": 2,
+    })
+    extract_modes: dict[str, int] = field(default_factory=lambda: {
+        "pdf-policy": 35,
+        "non-english": 20,
+        "js-dynamic-content": 12,
+        "image-policy": 6,
+        "hidden-expandable": 10,
+        "mixed-language": 3,
+        "empty-policy": 17,
+    })
+
+    def total_crawl_failures(self) -> int:
+        return sum(self.crawl_modes.values())
+
+    def total_extract_failures(self) -> int:
+        return sum(self.extract_modes.values())
+
+    def all_modes(self) -> dict[str, int]:
+        return {**self.crawl_modes, **self.extract_modes}
+
+
+DEFAULT_FAILURE_PLAN = FailurePlan()
+
+#: Healthy domains whose policy is deliberately vacuous (no annotations at
+#: all) — the paper's 2545 − 2529 = 16.
+VACUOUS_POLICY_COUNT = 16
+
+#: Probability that /privacy-policy resp. /privacy exist (§3.1 footnote 3).
+PRIVACY_POLICY_PATH_RATE = 0.545
+PRIVACY_PATH_RATE = 0.486
+
+
+# --------------------------------------------------------------------------
+# Sector coverage solver.
+# --------------------------------------------------------------------------
+
+_SECTOR_COUNT = {s.code: s.company_count for s in SECTORS}
+
+
+def solve_sector_coverage(
+    overall: float,
+    anchors: dict[str, SectorAnchor],
+    ordered_high: tuple[SectorAnchor, ...],
+    low: SectorAnchor,
+) -> dict[str, float]:
+    """Per-sector coverage (fractions) honoring anchors and the overall mean.
+
+    Unnamed sectors share the residual probability mass uniformly, clamped
+    strictly between the lowest anchor and the weakest named high anchor to
+    preserve the published ordering.
+    """
+    total_n = sum(_SECTOR_COUNT.values())
+    anchored_mass = sum(
+        _SECTOR_COUNT[code] * anchor.coverage for code, anchor in anchors.items()
+    )
+    unnamed = [code for code in SECTOR_CODES if code not in anchors]
+    unnamed_n = sum(_SECTOR_COUNT[code] for code in unnamed)
+    if unnamed_n == 0:
+        return {code: anchors[code].coverage / 100.0 for code in SECTOR_CODES}
+    residual = (overall * total_n - anchored_mass) / unnamed_n
+
+    ceiling = min((a.coverage for a in ordered_high), default=100.0)
+    floor = low.coverage
+    margin = max(0.1, 0.02 * (ceiling - floor))
+    lo_bound = min(floor + margin, ceiling)
+    hi_bound = max(ceiling - margin, floor)
+    residual = max(lo_bound, min(hi_bound, residual))
+
+    coverage = {code: anchors[code].coverage for code in anchors}
+    # Small deterministic spread so unnamed sectors are not identical.
+    spread = min(
+        (hi_bound - residual), (residual - lo_bound), 0.05 * max(residual, 1.0)
+    )
+    for index, code in enumerate(sorted(unnamed)):
+        offset = spread * ((index / max(1, len(unnamed) - 1)) * 2.0 - 1.0)
+        coverage[code] = residual + offset
+    return {code: value / 100.0 for code, value in coverage.items()}
+
+
+def category_sector_coverage(target: CategoryTargets) -> dict[str, float]:
+    """Solved per-sector coverage fractions for a category row."""
+    return solve_sector_coverage(
+        target.coverage, target.anchors(), target.high_anchors, target.low_anchor
+    )
+
+
+def label_sector_coverage(target: LabelTargets) -> dict[str, float]:
+    """Solved per-sector coverage fractions for a label row."""
+    return solve_sector_coverage(
+        target.coverage, target.anchors(), target.high_anchors, target.low_anchor
+    )
+
+
+def validate_calibration() -> None:
+    """Sanity checks on transcribed targets; raises on inconsistency."""
+    from repro.taxonomy import DATA_TYPE_TAXONOMY, PURPOSE_TAXONOMY, all_labels
+
+    type_names = {c.name for c in DATA_TYPE_TAXONOMY.categories()}
+    for target in DATA_TYPE_TARGETS:
+        if target.category not in type_names:
+            raise CorpusError(f"unknown data-type category {target.category!r}")
+    purpose_names = {c.name for c in PURPOSE_TAXONOMY.categories()}
+    for target in PURPOSE_TARGETS:
+        if target.category not in purpose_names:
+            raise CorpusError(f"unknown purpose category {target.category!r}")
+    label_names = {lab.name for lab in all_labels()}
+    for target in LABEL_TARGETS:
+        if target.label not in label_names:
+            raise CorpusError(f"unknown practice label {target.label!r}")
+    if len(DATA_TYPE_TARGETS) != 34:
+        raise CorpusError("expected 34 data-type category targets")
+    if len(PURPOSE_TARGETS) != 7:
+        raise CorpusError("expected 7 purpose category targets")

@@ -1,0 +1,171 @@
+"""Synthetic company universe: names, tickers, sectors, and domains.
+
+Mirrors the paper's acquisition step (§3.1): 2916 index constituents whose
+domains are resolved (we derive them deterministically from names instead of
+Google search), with duplicate share classes collapsing to 2892 unique
+domains (the paper's GOOGL/GOOG example).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro._util.rng import SeedSequence
+from repro.corpus.sectors import SECTORS, Sector
+
+_NAME_STEMS = [
+    "Alta", "Apex", "Arbor", "Argent", "Astra", "Atlas", "Aurora", "Axion",
+    "Beacon", "Blue Ridge", "Bolt", "Boreal", "Bristol", "Cadence", "Canyon",
+    "Cascade", "Cedar", "Centura", "Citadel", "Clearwater", "Cobalt",
+    "Compass", "Coral", "Crestview", "Crown", "Cypress", "Delta", "Dynamo",
+    "Eagle", "Echo", "Element", "Ember", "Equinox", "Everest", "Falcon",
+    "Fathom", "Flint", "Forge", "Fortuna", "Frontier", "Gateway", "Glacier",
+    "Golden Oak", "Granite", "Harbor", "Haven", "Helix", "Heritage",
+    "Highland", "Horizon", "Hudson", "Ironwood", "Juniper", "Keystone",
+    "Kindred", "Lakeshore", "Lantern", "Laurel", "Legacy", "Liberty",
+    "Lighthouse", "Lumen", "Magnolia", "Maple", "Meridian", "Mesa",
+    "Midland", "Monarch", "Mosaic", "Nexus", "Nimbus", "North Star",
+    "Oakmont", "Obsidian", "Onyx", "Orchard", "Orion", "Osprey", "Pacific",
+    "Palisade", "Paragon", "Pinnacle", "Pioneer", "Polaris", "Prairie",
+    "Prism", "Quantum", "Quarry", "Radiant", "Rainier", "Redwood", "Regal",
+    "Ridgeline", "Riverstone", "Sable", "Saffron", "Sagebrush", "Sentinel",
+    "Sequoia", "Sierra", "Silverline", "Solstice", "Sparrow", "Spectrum",
+    "Sterling", "Stonebridge", "Summit", "Sunrise", "Sycamore", "Tempest",
+    "Terrace", "Thornton", "Tidewater", "Timber", "Titan", "Torrent",
+    "Trailhead", "Tundra", "Umber", "Unity", "Vanguard Hill", "Vantage",
+    "Vela", "Verdant", "Vertex", "Vista", "Vortex", "Wavecrest", "Westbrook",
+    "Whitfield", "Willow", "Windward", "Wolfpoint", "Wren", "Yellowstone",
+    "Zenith", "Zephyr",
+]
+
+_SECTOR_QUALIFIERS = {
+    "CD": ["Retail", "Brands", "Leisure", "Outfitters", "Hospitality", "Motors",
+           "Home", "Apparel", "Stores", "Restaurants"],
+    "CS": ["Foods", "Beverage", "Farms", "Grocers", "Household", "Consumer"],
+    "EN": ["Energy", "Petroleum", "Drilling", "Pipeline", "Oilfield", "Gas"],
+    "FS": ["Financial", "Bancorp", "Capital", "Insurance", "Trust", "Holdings",
+           "Credit", "Asset Management", "Mortgage", "Securities"],
+    "HC": ["Health", "Therapeutics", "Biosciences", "Pharma", "Medical",
+           "Diagnostics", "Genomics", "Care", "Biotech", "Labs"],
+    "IN": ["Industries", "Manufacturing", "Logistics", "Aerospace", "Rail",
+           "Machinery", "Engineering", "Construction", "Defense"],
+    "IT": ["Technologies", "Software", "Systems", "Semiconductor", "Cloud",
+           "Networks", "Digital", "Data", "Cyber", "Analytics"],
+    "MT": ["Materials", "Chemicals", "Mining", "Metals", "Packaging", "Steel"],
+    "RE": ["Realty", "Properties", "REIT", "Real Estate", "Communities"],
+    "TC": ["Communications", "Media", "Telecom", "Broadcasting", "Interactive",
+           "Wireless"],
+    "UT": ["Utilities", "Power", "Electric", "Water Works", "Energy Services"],
+}
+
+_SUFFIXES = ["Inc.", "Corp.", "Group", "Co.", "Holdings", "PLC", "Ltd."]
+
+#: Number of share-class duplicate listings (2916 companies → 2892 domains).
+DUPLICATE_LISTINGS = 24
+
+
+@dataclass(frozen=True)
+class Company:
+    """One index constituent."""
+
+    name: str
+    ticker: str
+    sector: Sector
+    domain: str
+    #: True when this row is an extra share class of an earlier company.
+    is_duplicate_listing: bool = False
+
+
+def _domain_from_name(name: str) -> str:
+    base = re.sub(r"\b(inc|corp|group|co|holdings|plc|ltd)\.?$", "",
+                  name.lower()).strip()
+    base = re.sub(r"[^a-z0-9]+", "", base)
+    return f"{base}.com"
+
+
+def _ticker_from_name(name: str, rng) -> str:
+    letters = re.sub(r"[^A-Z]", "", name.upper())
+    length = rng.choice([3, 3, 4])
+    ticker = letters[:length]
+    while len(ticker) < length:
+        ticker += rng.choice("ABCDEFGHKLMNPRSTVWXYZ")
+    return ticker
+
+
+def generate_companies(seeds: SeedSequence) -> list[Company]:
+    """Generate the full synthetic index (deterministic in the seed).
+
+    Returns 2916 rows: 2892 unique companies (one per domain) followed by
+    :data:`DUPLICATE_LISTINGS` extra share-class rows of randomly chosen
+    earlier companies.
+    """
+    rng = seeds.rng("companies")
+    companies: list[Company] = []
+    used_names: set[str] = set()
+    used_domains: set[str] = set()
+    used_tickers: set[str] = set()
+
+    for sector in SECTORS:
+        quals = _SECTOR_QUALIFIERS[sector.code]
+        produced = 0
+        attempt = 0
+        while produced < sector.company_count:
+            attempt += 1
+            stem = rng.choice(_NAME_STEMS)
+            qual = rng.choice(quals)
+            suffix = rng.choice(_SUFFIXES)
+            name = f"{stem} {qual} {suffix}"
+            # Different legal suffixes collapse to the same domain, so
+            # uniqueness must be enforced on the domain, not just the name.
+            if name in used_names or _domain_from_name(name) in used_domains:
+                if attempt > 200_000:  # pragma: no cover - defensive
+                    raise RuntimeError("name space exhausted")
+                continue
+            used_names.add(name)
+            used_domains.add(_domain_from_name(name))
+            ticker = _ticker_from_name(f"{stem}{qual}", rng)
+            while ticker in used_tickers:
+                # Grow rather than mutate in place: guarantees termination
+                # even when a 3-letter prefix space is exhausted.
+                ticker += rng.choice("ABCDEFGHKLMNPRSTVWXYZ")
+            used_tickers.add(ticker)
+            companies.append(
+                Company(
+                    name=name,
+                    ticker=ticker,
+                    sector=sector,
+                    domain=_domain_from_name(name),
+                )
+            )
+            produced += 1
+
+    # Append extra share classes of randomly chosen companies (same domain,
+    # different ticker) — the paper's GOOGL/GOOG situation.
+    for original_index in rng.sample(range(len(companies)), DUPLICATE_LISTINGS):
+        original = companies[original_index]
+        dup_ticker = original.ticker[:-1] + "L"
+        while dup_ticker in used_tickers:
+            dup_ticker += "X"
+        used_tickers.add(dup_ticker)
+        companies.append(
+            Company(
+                name=original.name + " Class B",
+                ticker=dup_ticker,
+                sector=original.sector,
+                domain=original.domain,
+                is_duplicate_listing=True,
+            )
+        )
+    return companies
+
+
+def unique_domains(companies: list[Company]) -> list[str]:
+    """Deduplicated domains in first-seen order (the paper's 2892)."""
+    seen: set[str] = set()
+    domains: list[str] = []
+    for company in companies:
+        if company.domain not in seen:
+            seen.add(company.domain)
+            domains.append(company.domain)
+    return domains

@@ -1,0 +1,59 @@
+"""Out-of-glossary ("zero-shot") terms.
+
+The paper's prompts explicitly ask the chatbot to generate descriptors of
+its own for data types not listed in the glossary. To exercise that path,
+the policy generator occasionally mentions terms absent from the taxonomy;
+the simulated engine must then invent a descriptor instead of normalizing.
+
+Each entry maps a taxonomy category to phrases that belong to it
+semantically but are *not* surface forms of any canonical descriptor.
+"""
+
+from __future__ import annotations
+
+NOVEL_DATA_TYPE_TERMS: dict[str, tuple[str, ...]] = {
+    "Contact info": ("pager number", "po box details"),
+    "Personal identifier": ("maiden name", "military service number"),
+    "Professional info": ("union membership", "security clearance level"),
+    "Demographic info": ("veteran status", "sexual orientation"),
+    "Educational info": ("scholarship records", "course enrollments"),
+    "Vehicle info": ("toll transponder id", "parking permit number"),
+    "Device info": ("battery level", "installed fonts"),
+    "Online identifier": ("etag identifiers", "browser supercookies"),
+    "Account info": ("loyalty program tier", "referral codes"),
+    "Network connectivity": ("bluetooth beacons nearby", "proxy configuration"),
+    "Social media data": ("follower counts", "group memberships"),
+    "External data": ("census block data", "property tax records"),
+    "Medical info": ("allergy information", "blood type"),
+    "Biometric data": ("gait patterns", "keystroke dynamics"),
+    "Physical characteristic": ("tattoo descriptions", "handedness"),
+    "Fitness & health": ("hydration levels", "calorie intake"),
+    "Financial info": ("cryptocurrency wallet address", "wire transfer details"),
+    "Legal info": ("notary records", "power of attorney documents"),
+    "Financial capability": ("bankruptcy filings", "rent payment history"),
+    "Insurance info": ("deductible amounts", "prior claims denials"),
+    "Precise location": ("indoor positioning data", "altitude readings"),
+    "Approximate location": ("metro area", "designated market area"),
+    "Travel data": ("border crossing records", "layover details"),
+    "Physical interaction": ("queue wait times", "fitting room visits"),
+    "Internet usage": ("scroll depth", "hover patterns"),
+    "Tracking data": ("audio beacons", "cart abandonment trackers"),
+    "Product/service usage": ("feature flag exposure", "beta program participation"),
+    "Transaction info": ("coupon redemptions", "gift card balances"),
+    "Preferences": ("dark mode preference", "notification schedules"),
+    "Content generation": ("voice memos", "screen recordings"),
+    "Communication data": ("video call metadata", "voicemail transcripts"),
+    "Feedback data": ("net promoter scores", "usability test recordings"),
+    "Content consumption": ("podcast listening history", "article read percentage"),
+    "Diagnostic data": ("memory dumps", "thermal throttling events"),
+}
+
+NOVEL_PURPOSE_TERMS: dict[str, tuple[str, ...]] = {
+    "Basic functioning": ("warranty registration", "inventory planning"),
+    "User experience": ("reduce friction in checkout", "interface experiments"),
+    "Analytics & research": ("cohort analysis", "churn prediction"),
+    "Legal & compliance": ("sanctions screening", "export control compliance"),
+    "Security": ("bot detection", "account takeover prevention"),
+    "Advertising & sales": ("lookalike audience modeling", "retargeting campaigns"),
+    "Data sharing": ("co-branding arrangements", "franchisee data exchange"),
+}

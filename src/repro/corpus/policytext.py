@@ -1,0 +1,722 @@
+"""Privacy-policy text realization.
+
+Turns a :class:`~repro.corpus.profiles.CompanyPractices` ground-truth
+profile into a structured policy document: per-aspect sections with varied
+headings, sentences embedding descriptor surface forms (so the annotation
+engine must normalize synonyms), negated mentions, occasional hard
+phrasings (to keep recall realistic), retention/protection/choice/access
+cue sentences, and boilerplate filler calibrated to the paper's median
+policy length (~2,671 words).
+
+Every embedded practice is recorded as an :class:`EmbeddedMention`, giving
+the validation layer an oracle for precision/recall measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.corpus.profiles import CompanyPractices
+from repro.taxonomy import (
+    ACCESS_LABELS,
+    CHOICE_LABELS,
+    DATA_TYPE_TAXONOMY,
+    PROTECTION_LABELS,
+    PURPOSE_TAXONOMY,
+    RETENTION_LABELS,
+    Aspect,
+)
+
+# --------------------------------------------------------------------------
+# Heading banks per aspect (§3.2.1 / Figure 2 glossaries).
+# --------------------------------------------------------------------------
+
+SECTION_HEADINGS: dict[Aspect, tuple[str, ...]] = {
+    Aspect.TYPES: (
+        "Information We Collect",
+        "Types of Data Collected",
+        "Categories of Personal Data",
+        "Personal Information We Collect",
+        "What Information Do We Collect?",
+    ),
+    Aspect.METHODS: (
+        "How We Collect Information",
+        "Data Collection Methods",
+        "Sources of Data We Collect",
+        "Cookies and Tracking Technologies",
+    ),
+    Aspect.PURPOSES: (
+        "How We Use the Information We Collect",
+        "Why Do We Collect Your Data",
+        "Purpose of Data Collection",
+        "Use of Personal Information",
+        "How We Use Your Data",
+    ),
+    Aspect.HANDLING: (
+        "How We Protect Your Information",
+        "Data Retention and Security",
+        "Data Storage and Protection",
+        "Security of Your Personal Data",
+        "How Long We Keep Your Information",
+    ),
+    Aspect.SHARING: (
+        "How We Share Your Information",
+        "Disclosure of Personal Data",
+        "Third Parties and Your Data",
+        "When We Share Information",
+    ),
+    Aspect.RIGHTS: (
+        "Your Rights and Choices",
+        "Your Privacy Rights",
+        "Access and Control of Your Data",
+        "Choices Regarding Your Information",
+        "Managing Your Information",
+    ),
+    Aspect.AUDIENCES: (
+        "California Privacy Rights",
+        "Notice to European Users",
+        "Children's Privacy",
+        "Additional Information for Specific Jurisdictions",
+    ),
+    Aspect.CHANGES: (
+        "Changes to This Policy",
+        "Updates to This Privacy Notice",
+        "Policy Amendments",
+    ),
+    Aspect.OTHER: (
+        "Contact Us",
+        "Introduction",
+        "About This Policy",
+        "Questions and Comments",
+    ),
+}
+
+# --------------------------------------------------------------------------
+# Sentence templates. ``{items}`` receives a comma-joined surface-form list.
+# --------------------------------------------------------------------------
+
+_TYPE_TEMPLATES = (
+    "We may collect your {items}.",
+    "The personal information we collect includes {items}.",
+    "When you use our services, we collect {items}.",
+    "This may include {items}.",
+    "We collect and process {items} when you interact with us.",
+    "Information collected automatically includes {items}.",
+    "You may provide us with {items}.",
+    "We obtain {items} in connection with your use of the services.",
+)
+
+#: Harder phrasings that the annotation engine is expected to miss
+#: occasionally (keeps recall realistic).
+_TYPE_HARD_TEMPLATES = (
+    "Certain records retained by us could, in some circumstances, encompass "
+    "what is commonly described as {items}.",
+    "Among other details incidental to our operations, {items} might on "
+    "occasion come into our possession.",
+)
+
+_NEGATED_TEMPLATES = (
+    "We do not collect {items}.",
+    "We never collect or store {items}.",
+    "This privacy notice does not apply to {items}.",
+    "Please note that we do not request {items} from users of this site.",
+)
+
+_PURPOSE_TEMPLATES = (
+    "We use the information we collect for {items}.",
+    "Your data may be used for {items}.",
+    "The purposes of our processing include {items}.",
+    "We process personal information to support {items}.",
+    "Specifically, we rely on your information for {items}.",
+)
+
+_PURPOSE_VERB_TEMPLATES = (
+    "We use your information to {items}.",
+    "Your personal data helps us {items}.",
+    "We may also use collected data to {items}.",
+)
+
+#: Purpose surface forms that read as verb phrases (start with a verb)
+#: render with the verb templates; noun phrases with the noun templates.
+_VERB_PREFIXES = (
+    "provide", "send", "process", "respond", "communicate", "improve",
+    "enhance", "personalize", "customize", "tailor", "recommend", "suggest",
+    "remember", "save", "perform", "conduct", "develop", "understand",
+    "analyze", "measure", "comply", "enforce", "establish", "exercise",
+    "respond", "resolve", "maintain", "prevent", "detect", "authenticate",
+    "verify", "protect", "keep", "monitor", "assess", "secure", "display",
+    "serve", "identify", "share", "disclose", "sell", "deliver", "operate",
+    "fulfill", "ship", "administer", "troubleshoot", "evaluate", "collect",
+    "complete", "reduce", "manage",
+)
+
+_FILLER_SENTENCES = (
+    "We encourage you to revisit this page periodically to stay informed "
+    "about how we operate.",
+    "Capitalized terms used but not defined in this policy have the meanings "
+    "given to them in our Terms of Service.",
+    "This policy applies to information collected through our websites, "
+    "mobile applications, and other online properties.",
+    "Our services are not directed to individuals under the age of sixteen.",
+    "By using our services, you acknowledge that you have read and "
+    "understood this privacy policy.",
+    "If there is a conflict between this policy and a written agreement "
+    "between you and us, the agreement will control.",
+    "We are committed to maintaining the trust and confidence of visitors "
+    "to our website.",
+    "The practices described in this policy are subject to applicable laws "
+    "in the jurisdictions in which we operate.",
+    "Where required by law, we will seek your consent prior to processing.",
+    "Some features of the services may have supplemental privacy notices "
+    "that apply to specific interactions.",
+    "Nothing in this policy is intended to limit any rights you may have "
+    "under applicable law.",
+    "Our website may contain links to third-party sites whose privacy "
+    "practices differ from ours.",
+    "We recommend consulting the privacy policies of any third-party "
+    "services you access through our site.",
+    "This statement was prepared to describe our information handling "
+    "practices in clear and plain language.",
+    "For residents of certain jurisdictions, additional disclosures may "
+    "appear in the sections below.",
+)
+
+# NOTE: filler/method/sharing sentences deliberately avoid taxonomy surface
+# forms so the generator's mention oracle remains the single source of truth
+# for what the annotation engine should extract.
+_METHOD_SENTENCES = (
+    "We collect information directly from you when you fill out forms, "
+    "create an account, or reach out to our support team.",
+    "We use small text files placed on your device and similar technologies "
+    "to gather information automatically as you navigate the site.",
+    "Our servers automatically record certain technical details when you "
+    "visit our website.",
+    "We may receive details about you from measurement partners, business "
+    "collaborators, and publicly available sources.",
+    "When you communicate with us in writing or by telephone, we keep a "
+    "record of that correspondence.",
+    "Measurement partners acting on our behalf gather information through "
+    "embedded instrumentation on our pages.",
+)
+
+_SHARING_SENTENCES = (
+    "We may share information with vendors who perform services on our "
+    "behalf, subject to confidentiality obligations.",
+    "Information may be disclosed if required by law or in response to "
+    "valid legal process.",
+    "In connection with a merger, acquisition, or sale of assets, user "
+    "information may be transferred to the successor entity.",
+    "We do not share personal information with unaffiliated third parties "
+    "for their own direct marketing without notice.",
+)
+
+_AUDIENCE_SENTENCES = (
+    "California residents may have additional rights under the California "
+    "Consumer Privacy Act, including the right to know and the right to "
+    "non-discrimination.",
+    "If you are located in the European Economic Area, we process your "
+    "personal data in accordance with the General Data Protection "
+    "Regulation.",
+    "Our services are not intended for children, and we do not knowingly "
+    "collect personal information from children under thirteen.",
+    "Users in Canada may contact our privacy office for information about "
+    "our compliance with PIPEDA.",
+)
+
+_CHANGES_SENTENCES = (
+    "We may update this privacy policy from time to time; the revised "
+    "version will be posted on this page with an updated effective date.",
+    "If we make material changes, we will provide notice through the "
+    "services or by other means prior to the change taking effect.",
+    "Your continued use of the services after changes become effective "
+    "constitutes acceptance of the revised policy.",
+)
+
+_INTRO_SENTENCES = (
+    "{company} respects your privacy and is committed to protecting the "
+    "personal information you share with us.",
+    "This privacy policy describes how {company} collects, uses, and "
+    "discloses information about you.",
+    "Your privacy matters to {company}, and this notice explains our "
+    "information practices across our products and services.",
+)
+
+_CONTACT_SENTENCES = (
+    "If you have questions about this policy, please contact our privacy "
+    "team at privacy@{domain}.",
+    "You may write to us at the postal address listed on our corporate "
+    "website, attention Privacy Office.",
+    "For privacy inquiries, email privacy@{domain} or call our toll-free "
+    "support line.",
+)
+
+_ELABORATION_SENTENCES = (
+    "The scope of what we gather depends on which features you choose to "
+    "use and the nature of your relationship with us.",
+    "We apply the principle of minimization, gathering only what is "
+    "reasonably required for the stated objectives.",
+    "From time to time we review the categories described above to confirm "
+    "that they remain accurate and complete.",
+    "Our employees receive periodic instruction regarding the handling of "
+    "customer records and the importance of confidentiality.",
+    "Records may be maintained in systems operated by us or by carefully "
+    "selected contractors acting under written instructions.",
+    "The legal basis for our processing varies by jurisdiction and by the "
+    "specific interaction involved.",
+    "We document our processing activities in accordance with our internal "
+    "governance framework.",
+    "In evaluating new features, we consider the implications for the "
+    "practices described in this notice before launch.",
+    "Certain categories described above may not apply to you depending on "
+    "how you interact with our offerings.",
+    "We periodically benchmark our practices against recognized industry "
+    "frameworks and adjust them where appropriate.",
+    "Questions about the scope of a particular category can be directed to "
+    "the address in the contact section below.",
+    "Our governance committee meets regularly to consider questions raised "
+    "by customers about the matters described here.",
+    "Any exceptions to the practices described in this section are set out "
+    "in the supplemental notices referenced above.",
+    "The descriptions in this section are intended to be read together with "
+    "the remainder of this notice.",
+    "We endeavor to keep the terminology in this notice consistent with the "
+    "definitions used by applicable regulators.",
+)
+
+#: Target total length: the paper reports a median policy length of 2,671
+#: words (excluding audiences/changes/other). Padding paragraphs are drawn
+#: until each document reaches its sampled target.
+TARGET_MEDIAN_WORDS = 2671
+TARGET_LENGTH_SIGMA = 0.38
+
+#: Probability that a type mention uses a deliberately hard phrasing.
+HARD_PHRASING_RATE = 0.06
+
+#: Probability that an aspect's content is merged into another section
+#: (no dedicated heading) — drives the paper's full-text fallback (708/2545).
+MERGED_SECTION_RATE = 0.082
+
+
+@dataclass(frozen=True)
+class EmbeddedMention:
+    """Oracle record of one practice embedded into the policy text."""
+
+    aspect: Aspect
+    kind: str  # "type" | "purpose" | "retention" | "protection" | "choice" | "access"
+    category: str  # taxonomy category or label group
+    descriptor: str  # canonical descriptor / label name / novel phrase
+    surface: str  # exact text placed in the document
+    negated: bool = False
+    novel: bool = False
+    period_days: int | None = None
+
+
+@dataclass
+class PolicySection:
+    """One rendered section of a policy document."""
+
+    aspect: Aspect
+    heading: str | None
+    paragraphs: list[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        return "\n".join(self.paragraphs)
+
+
+@dataclass
+class PolicyDocument:
+    """A rendered policy with its embedding oracle."""
+
+    domain: str
+    company_name: str
+    sections: list[PolicySection]
+    mentions: list[EmbeddedMention]
+    #: Aspects whose content was merged into another section (no heading).
+    merged_aspects: list[Aspect] = field(default_factory=list)
+
+    def word_count(self) -> int:
+        return sum(len(p.split()) for s in self.sections for p in s.paragraphs)
+
+    def full_text(self) -> str:
+        parts: list[str] = []
+        for section in self.sections:
+            if section.heading:
+                parts.append(section.heading)
+            parts.extend(section.paragraphs)
+        return "\n".join(parts)
+
+
+def _join_items(items: list[str]) -> str:
+    if len(items) == 1:
+        return items[0]
+    if len(items) == 2:
+        return f"{items[0]} and {items[1]}"
+    return ", ".join(items[:-1]) + f", and {items[-1]}"
+
+
+def _chunk(rng, values: list, lo: int = 2, hi: int = 4) -> list[list]:
+    """Split values into randomly sized chunks of ``lo``..``hi`` items."""
+    chunks: list[list] = []
+    index = 0
+    while index < len(values):
+        size = rng.randint(lo, hi)
+        chunks.append(values[index : index + size])
+        index += size
+    return chunks
+
+
+class PolicyWriter:
+    """Renders ground-truth practices into policy text."""
+
+    def __init__(self, seeds):
+        self.seeds = seeds
+
+    # -- public API ----------------------------------------------------------
+
+    def write(self, practices: CompanyPractices, company_name: str,
+              vacuous: bool = False) -> PolicyDocument:
+        """Render a policy document for one company.
+
+        When ``vacuous`` is set, a policy with only generic prose is
+        produced (the paper's 16 zero-annotation domains).
+        """
+        rng = self.seeds.rng("policy", practices.domain)
+        mentions: list[EmbeddedMention] = []
+        merged: list[Aspect] = []
+        sections: list[PolicySection] = []
+
+        sections.append(self._intro_section(rng, practices, company_name))
+        if vacuous:
+            sections.extend(self._vacuous_body(rng))
+        else:
+            body = self._body_sections(rng, practices, mentions, merged)
+            self._pad_to_target_length(rng, body)
+            sections.extend(body)
+        sections.append(self._simple_section(rng, Aspect.AUDIENCES,
+                                             _AUDIENCE_SENTENCES))
+        sections.append(self._simple_section(rng, Aspect.CHANGES,
+                                             _CHANGES_SENTENCES))
+        sections.append(self._contact_section(rng, practices.domain))
+
+        return PolicyDocument(
+            domain=practices.domain,
+            company_name=company_name,
+            sections=sections,
+            mentions=mentions,
+            merged_aspects=merged,
+        )
+
+    # -- section builders ------------------------------------------------------
+
+    def _intro_section(self, rng, practices, company_name) -> PolicySection:
+        intro = rng.choice(_INTRO_SENTENCES).format(company=company_name)
+        filler = rng.sample(_FILLER_SENTENCES, k=3)
+        return PolicySection(
+            aspect=Aspect.OTHER,
+            heading=None,
+            paragraphs=[intro + " " + " ".join(filler)],
+        )
+
+    def _vacuous_body(self, rng) -> list[PolicySection]:
+        """Sections that pass extraction but contain nothing annotatable.
+
+        These model the paper's 16 domains with a successful extraction but
+        zero annotations: the policy has recognizable section headings, yet
+        the prose underneath never names a data type, purpose, or practice.
+        """
+        filler = rng.sample(_FILLER_SENTENCES, k=4)
+        return [
+            PolicySection(
+                aspect=Aspect.OTHER,
+                heading="Our Commitment",
+                paragraphs=[" ".join(filler)],
+            ),
+            PolicySection(
+                aspect=Aspect.TYPES,
+                heading=rng.choice(SECTION_HEADINGS[Aspect.TYPES]),
+                paragraphs=[
+                    "The categories described in this notice depend on your "
+                    "relationship with us and on the offerings you choose. "
+                    "Details are available upon written request."
+                ],
+            ),
+            PolicySection(
+                aspect=Aspect.HANDLING,
+                heading=rng.choice(SECTION_HEADINGS[Aspect.HANDLING]),
+                paragraphs=[
+                    "We care deeply about the records entrusted to us and "
+                    "handle them with appropriate diligence at every stage "
+                    "of our operations."
+                ],
+            ),
+        ]
+
+    def _contact_section(self, rng, domain) -> PolicySection:
+        return PolicySection(
+            aspect=Aspect.OTHER,
+            heading=rng.choice(("Contact Us", "Questions and Comments")),
+            paragraphs=[rng.choice(_CONTACT_SENTENCES).format(domain=domain)],
+        )
+
+    def _simple_section(self, rng, aspect, bank) -> PolicySection:
+        count = rng.randint(1, min(3, len(bank)))
+        return PolicySection(
+            aspect=aspect,
+            heading=rng.choice(SECTION_HEADINGS[aspect]),
+            paragraphs=[" ".join(rng.sample(list(bank), k=count))],
+        )
+
+    def _body_sections(self, rng, practices, mentions, merged):
+        """The four annotated aspects plus methods/sharing."""
+        type_paras = self._type_paragraphs(rng, practices, mentions)
+        purpose_paras = self._purpose_paragraphs(rng, practices, mentions)
+        handling_paras = self._handling_paragraphs(rng, practices, mentions)
+        rights_paras = self._rights_paragraphs(rng, practices, mentions)
+
+        aspect_paras = [
+            (Aspect.TYPES, type_paras),
+            (Aspect.METHODS, [" ".join(rng.sample(_METHOD_SENTENCES, k=3))]),
+            (Aspect.PURPOSES, purpose_paras),
+            (Aspect.HANDLING, handling_paras),
+            (Aspect.SHARING, [" ".join(rng.sample(_SHARING_SENTENCES, k=2))]),
+            (Aspect.RIGHTS, rights_paras),
+        ]
+
+        sections: list[PolicySection] = []
+        carry: list[tuple[Aspect, list[str]]] = []
+        for aspect, paragraphs in aspect_paras:
+            if not paragraphs:
+                continue
+            mergeable = aspect in (Aspect.TYPES, Aspect.PURPOSES,
+                                   Aspect.HANDLING, Aspect.RIGHTS)
+            if mergeable and rng.random() < MERGED_SECTION_RATE:
+                merged.append(aspect)
+                carry.append((aspect, paragraphs))
+                continue
+            sections.append(
+                PolicySection(
+                    aspect=aspect,
+                    heading=rng.choice(SECTION_HEADINGS[aspect]),
+                    paragraphs=paragraphs,
+                )
+            )
+        # Merged content rides along inside another section's body, where
+        # only the full-text fallback will find it.
+        for aspect, paragraphs in carry:
+            if sections:
+                host = rng.choice(sections)
+                host.paragraphs.extend(paragraphs)
+            else:  # degenerate: everything merged — emit without headings
+                sections.append(PolicySection(aspect=aspect, heading=None,
+                                              paragraphs=paragraphs))
+        return sections
+
+    def _pad_to_target_length(self, rng, body: list[PolicySection]) -> None:
+        """Append elaboration filler until the body reaches its target size."""
+        if not body:
+            return
+        target = int(TARGET_MEDIAN_WORDS *
+                     math.exp(rng.gauss(0.0, TARGET_LENGTH_SIGMA)))
+        current = sum(len(p.split()) for s in body for p in s.paragraphs)
+        guard = 0
+        while current < target and guard < 200:
+            guard += 1
+            section = rng.choice(body)
+            sentences = rng.sample(_ELABORATION_SENTENCES,
+                                   k=rng.randint(2, 4))
+            paragraph = " ".join(sentences)
+            section.paragraphs.append(paragraph)
+            current += len(paragraph.split())
+
+    # -- paragraph realization ---------------------------------------------------
+
+    def _type_paragraphs(self, rng, practices, mentions) -> list[str]:
+        entries: list[tuple[str, str, bool]] = []  # (category, descriptor, novel)
+        for category, descriptors in practices.data_types.items():
+            entries.extend((category, d, False) for d in descriptors)
+        for category, phrases in practices.novel_data_types.items():
+            entries.extend((category, p, True) for p in phrases)
+        if not entries and not practices.negated_types:
+            return []
+        rng.shuffle(entries)
+
+        paragraphs: list[str] = []
+        sentences: list[str] = []
+        for chunk in _chunk(rng, entries):
+            surfaces = []
+            for category, descriptor, novel in chunk:
+                surface = self._surface_for(rng, category, descriptor, novel)
+                surfaces.append(surface)
+                mentions.append(
+                    EmbeddedMention(
+                        aspect=Aspect.TYPES,
+                        kind="type",
+                        category=category,
+                        descriptor=descriptor,
+                        surface=surface,
+                        novel=novel,
+                    )
+                )
+            hard = rng.random() < HARD_PHRASING_RATE
+            bank = _TYPE_HARD_TEMPLATES if hard else _TYPE_TEMPLATES
+            sentences.append(rng.choice(bank).format(items=_join_items(surfaces)))
+            if len(sentences) >= 3:
+                paragraphs.append(" ".join(sentences))
+                sentences = []
+        # Negated mentions appear in the same section.
+        for category, descriptor in practices.negated_types:
+            surface = self._surface_for(rng, category, descriptor, novel=False)
+            mentions.append(
+                EmbeddedMention(
+                    aspect=Aspect.TYPES,
+                    kind="type",
+                    category=category,
+                    descriptor=descriptor,
+                    surface=surface,
+                    negated=True,
+                )
+            )
+            sentences.append(rng.choice(_NEGATED_TEMPLATES).format(items=surface))
+        if sentences:
+            paragraphs.append(" ".join(sentences))
+        return paragraphs
+
+    def _surface_for(self, rng, category: str, descriptor: str,
+                     novel: bool) -> str:
+        if novel:
+            return descriptor
+        taxonomy = (DATA_TYPE_TAXONOMY
+                    if category in {c.name for c in DATA_TYPE_TAXONOMY.categories()}
+                    else PURPOSE_TAXONOMY)
+        desc = taxonomy.category(category).descriptor(descriptor)
+        return rng.choice(desc.all_surface_forms())
+
+    def _purpose_paragraphs(self, rng, practices, mentions) -> list[str]:
+        entries: list[tuple[str, str, bool]] = []
+        for category, descriptors in practices.purposes.items():
+            entries.extend((category, d, False) for d in descriptors)
+        for category, phrases in practices.novel_purposes.items():
+            entries.extend((category, p, True) for p in phrases)
+        if not entries:
+            return []
+        rng.shuffle(entries)
+
+        paragraphs: list[str] = []
+        sentences: list[str] = []
+        for chunk in _chunk(rng, entries, lo=2, hi=3):
+            surfaces = []
+            verbish = True
+            for category, descriptor, novel in chunk:
+                surface = self._surface_for(rng, category, descriptor, novel)
+                surfaces.append(surface)
+                if surface.split()[0].lower() not in _VERB_PREFIXES:
+                    verbish = False
+                mentions.append(
+                    EmbeddedMention(
+                        aspect=Aspect.PURPOSES,
+                        kind="purpose",
+                        category=category,
+                        descriptor=descriptor,
+                        surface=surface,
+                        novel=novel,
+                    )
+                )
+            bank = _PURPOSE_VERB_TEMPLATES if verbish else _PURPOSE_TEMPLATES
+            sentences.append(rng.choice(bank).format(items=_join_items(surfaces)))
+            if len(sentences) >= 3:
+                paragraphs.append(" ".join(sentences))
+                sentences = []
+        if sentences:
+            paragraphs.append(" ".join(sentences))
+        return paragraphs
+
+    def _handling_paragraphs(self, rng, practices, mentions) -> list[str]:
+        sentences: list[str] = []
+        for fact in practices.retention:
+            label = RETENTION_LABELS.label(fact.label)
+            cue = rng.choice(label.cues)
+            if fact.label == "Stated":
+                cue = cue.format(period=fact.period_text)
+            if fact.anonymized:
+                cue = cue + " in anonymized and aggregated form"
+            sentence = _capitalize(cue)
+            sentences.append(sentence)
+            mentions.append(
+                EmbeddedMention(
+                    aspect=Aspect.HANDLING,
+                    kind="retention",
+                    category="Data retention",
+                    descriptor=fact.label,
+                    surface=cue,
+                    period_days=fact.period_days,
+                )
+            )
+        for name in practices.protection:
+            label = PROTECTION_LABELS.label(name)
+            cue = rng.choice(label.cues)
+            sentences.append(_embed_cue(rng, cue))
+            mentions.append(
+                EmbeddedMention(
+                    aspect=Aspect.HANDLING,
+                    kind="protection",
+                    category="Data protection",
+                    descriptor=name,
+                    surface=cue,
+                )
+            )
+        if not sentences:
+            return []
+        rng.shuffle(sentences)
+        return [" ".join(chunk) for chunk in _chunk(rng, sentences, lo=2, hi=4)]
+
+    def _rights_paragraphs(self, rng, practices, mentions) -> list[str]:
+        sentences: list[str] = []
+        for name in practices.choices:
+            label = CHOICE_LABELS.label(name)
+            cue = rng.choice(label.cues)
+            sentences.append(_embed_cue(rng, cue))
+            mentions.append(
+                EmbeddedMention(
+                    aspect=Aspect.RIGHTS,
+                    kind="choice",
+                    category="User choices",
+                    descriptor=name,
+                    surface=cue,
+                )
+            )
+        for name in practices.access:
+            label = ACCESS_LABELS.label(name)
+            cue = rng.choice(label.cues)
+            sentences.append(_embed_cue(rng, cue))
+            mentions.append(
+                EmbeddedMention(
+                    aspect=Aspect.RIGHTS,
+                    kind="access",
+                    category="User access",
+                    descriptor=name,
+                    surface=cue,
+                )
+            )
+        if not sentences:
+            return []
+        rng.shuffle(sentences)
+        return [" ".join(chunk) for chunk in _chunk(rng, sentences, lo=2, hi=4)]
+
+
+_CUE_WRAPPERS = (
+    "Please note that {cue}.",
+    "Where applicable, {cue}.",
+    "{cue_cap}.",
+    "In addition, {cue}.",
+    "Depending on your jurisdiction, {cue}.",
+)
+
+
+def _capitalize(text: str) -> str:
+    return text[0].upper() + text[1:] if text else text
+
+
+def _embed_cue(rng, cue: str) -> str:
+    template = rng.choice(_CUE_WRAPPERS)
+    return template.format(cue=cue, cue_cap=_capitalize(cue))

@@ -1,0 +1,54 @@
+"""The 11 S&P sectors and the synthetic index's sector composition.
+
+Sector sizes are chosen so that the number of companies whose policies
+survive the pipeline (~2529 in the paper) lands near the implied per-sector
+denominators one can back out of the paper's percentage tables (e.g. the
+Utilities percentages in Table 3 are consistent with ~54 annotated UT
+companies, Energy with ~99, Communication services with ~98).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sector:
+    """One S&P sector."""
+
+    code: str
+    name: str
+    #: Number of companies in the synthetic index.
+    company_count: int
+
+
+SECTORS: tuple[Sector, ...] = (
+    Sector("CD", "Consumer discretionary", 417),
+    Sector("CS", "Consumer staples", 118),
+    Sector("EN", "Energy", 114),
+    Sector("FS", "Financials", 462),
+    Sector("HC", "Health care", 472),
+    Sector("IN", "Industrials", 442),
+    Sector("IT", "Information technology", 420),
+    Sector("MT", "Materials", 131),
+    Sector("RE", "Real estate", 142),
+    Sector("TC", "Communication services", 112),
+    Sector("UT", "Utilities", 62),
+)
+
+SECTOR_CODES: tuple[str, ...] = tuple(s.code for s in SECTORS)
+
+_BY_CODE = {s.code: s for s in SECTORS}
+
+#: Unique companies (= unique domains, the paper's 2892). The index holds
+#: 24 additional share-class listings for a total of 2916 rows.
+TOTAL_UNIQUE_COMPANIES = sum(s.company_count for s in SECTORS)
+
+
+def sector(code: str) -> Sector:
+    """Look up a sector by its two-letter code."""
+    return _BY_CODE[code]
+
+
+def sector_names() -> dict[str, str]:
+    return {s.code: s.name for s in SECTORS}

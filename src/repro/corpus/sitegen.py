@@ -1,0 +1,546 @@
+"""Synthetic corporate website construction.
+
+Renders policy documents into HTML pages and assembles complete
+:class:`~repro.web.site.Website` objects: a homepage with realistic
+header/footer chrome, one or more privacy pages (direct link, alias paths,
+or a two-hop privacy-center layout), and the §4 failure modes (bot
+blocking, timeouts, JS-only navigation/content, PDF policies, non-English
+sites, policies hidden in collapsed elements or images, and so on).
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from dataclasses import dataclass, field
+
+from repro._util.rng import SeedSequence
+from repro.corpus.calibration import (
+    PRIVACY_PATH_RATE,
+    PRIVACY_POLICY_PATH_RATE,
+)
+from repro.corpus.policytext import PolicyDocument
+from repro.web.http import Status
+from repro.web.robots import DENY_ALL
+from repro.web.site import SimPage, Website
+
+_PRIVACY_LINK_TEXTS = (
+    "Privacy Policy",
+    "Privacy Notice",
+    "Privacy Statement",
+    "Privacy",
+    "Your Privacy Rights",
+    "Privacy & Cookies",
+)
+
+_FOOTER_OTHER_LINKS = (
+    ("/terms", "Terms of Service"),
+    ("/accessibility", "Accessibility"),
+    ("/careers", "Careers"),
+    ("/sitemap", "Sitemap"),
+    ("/investors", "Investor Relations"),
+    ("/contact", "Contact"),
+)
+
+_NAV_LINKS = (
+    ("/", "Home"),
+    ("/about", "About Us"),
+    ("/products", "Products"),
+    ("/news", "Newsroom"),
+    ("/support", "Support"),
+)
+
+_CANONICAL_POLICY_PATHS = (
+    "/privacy-policy",
+    "/privacy",
+    "/legal/privacy",
+    "/legal/privacy-policy",
+    "/privacy-notice",
+    "/about/privacy",
+)
+
+_GERMAN_POLICY = """
+<h1>Datenschutzerklärung</h1>
+<p>Wir freuen uns über Ihren Besuch auf unserer Webseite. Der Schutz Ihrer
+personenbezogenen Daten ist uns ein wichtiges Anliegen. Diese
+Datenschutzerklärung informiert Sie über die Art, den Umfang und den Zweck
+der Verarbeitung von Daten auf dieser Webseite.</p>
+<h2>Erhebung und Verarbeitung von Daten</h2>
+<p>Bei jedem Zugriff auf unsere Webseite werden durch den Server
+automatisch Informationen erfasst und in Protokolldateien gespeichert.
+Diese Daten werden nicht mit anderen Datenquellen zusammengeführt und nach
+einer statistischen Auswertung gelöscht. Wenn Sie uns eine Anfrage über das
+Kontaktformular senden, werden Ihre Angaben zur Bearbeitung der Anfrage bei
+uns gespeichert.</p>
+<h2>Ihre Rechte</h2>
+<p>Sie haben jederzeit das Recht auf Auskunft über die bei uns gespeicherten
+Daten sowie das Recht auf Berichtigung oder Löschung dieser Daten. Bitte
+wenden Sie sich dazu an die im Impressum angegebene Adresse.</p>
+"""
+
+
+@dataclass
+class SiteBlueprint:
+    """Everything needed to audit a generated site later."""
+
+    domain: str
+    failure_mode: str | None
+    policy_path: str | None
+    privacy_page_paths: list[str] = field(default_factory=list)
+    heading_style: str = "h2"
+    uses_privacy_center: bool = False
+
+
+class SiteBuilder:
+    """Builds :class:`Website` objects for companies, healthy or failing."""
+
+    def __init__(self, seeds: SeedSequence):
+        self.seeds = seeds
+
+    # -- policy HTML -----------------------------------------------------------
+
+    def policy_html(self, doc: PolicyDocument, heading_style: str,
+                    rng) -> str:
+        """Render a policy document to HTML in the given heading style.
+
+        Styles: ``h2`` / ``h3`` — proper heading tags; ``bold`` — headings
+        as standalone ``<strong>`` lines; ``mixed`` — alternating; ``none``
+        — headings inlined into paragraph text (forces the pipeline's
+        full-text segmentation fallback).
+        """
+        parts: list[str] = [f"<h1>{html_escape.escape(doc.company_name)} "
+                            "Privacy Policy</h1>"]
+        for index, section in enumerate(doc.sections):
+            heading = section.heading
+            if heading:
+                escaped = html_escape.escape(heading)
+                if heading_style == "h2":
+                    parts.append(f"<h2>{escaped}</h2>")
+                elif heading_style == "h3":
+                    parts.append(f"<h3>{escaped}</h3>")
+                elif heading_style == "bold":
+                    parts.append(f"<div><strong>{escaped}</strong></div>")
+                elif heading_style == "mixed":
+                    if index % 2 == 0:
+                        parts.append(f"<h2>{escaped}</h2>")
+                    else:
+                        parts.append(f"<p><b>{escaped}</b></p>")
+                elif heading_style == "none":
+                    # Heading text folded into the body paragraph.
+                    if section.paragraphs:
+                        section = type(section)(
+                            aspect=section.aspect,
+                            heading=None,
+                            paragraphs=[escaped + ". " + section.paragraphs[0]]
+                            + section.paragraphs[1:],
+                        )
+            for paragraph in section.paragraphs:
+                parts.append(f"<p>{html_escape.escape(paragraph)}</p>")
+        return "\n".join(parts)
+
+    # -- page chrome -------------------------------------------------------------
+
+    def _chrome(self, domain: str, body: str, footer_links, nav_links=(),
+                title: str = "") -> str:
+        nav_html = "".join(
+            f'<a href="{href}">{html_escape.escape(text)}</a> '
+            for href, text in nav_links
+        )
+        footer_html = "".join(
+            f'<a href="{href}">{html_escape.escape(text)}</a> '
+            for href, text in footer_links
+        )
+        return (
+            "<!DOCTYPE html>\n"
+            f"<html><head><title>{html_escape.escape(title or domain)}</title>"
+            "<meta charset='utf-8'></head><body>"
+            f"<header><nav>{nav_html}</nav></header>"
+            f"<main>{body}</main>"
+            f"<footer>{footer_html}</footer>"
+            "</body></html>"
+        )
+
+    def _homepage_body(self, company_name: str, rng) -> str:
+        blurbs = (
+            f"<h1>Welcome to {html_escape.escape(company_name)}</h1>",
+            "<p>We deliver industry-leading products and services to "
+            "customers around the world.</p>",
+            "<p>Explore our latest announcements, investor materials, and "
+            "career opportunities.</p>",
+        )
+        return "\n".join(blurbs)
+
+    # -- healthy site -----------------------------------------------------------
+
+    def build_healthy_site(self, doc: PolicyDocument, rng=None) -> tuple[Website, SiteBlueprint]:
+        """A site whose policy the crawler should find and extract."""
+        rng = rng or self.seeds.rng("site", doc.domain)
+        domain = doc.domain
+        site = Website(domain=domain)
+        heading_style = rng.choices(
+            ["h2", "h3", "bold", "mixed", "none"],
+            weights=[0.42, 0.18, 0.18, 0.16, 0.06],
+        )[0]
+        use_center = rng.random() < 0.18
+
+        canonical = rng.choice(_CANONICAL_POLICY_PATHS)
+        policy_html = self.policy_html(doc, heading_style, rng)
+
+        footer_links = list(_FOOTER_OTHER_LINKS[: rng.randint(2, 5)])
+        privacy_paths: list[str] = []
+
+        if use_center:
+            center_path = "/privacy-center"
+            if canonical in ("/privacy", "/privacy-center"):
+                canonical = "/legal/privacy-policy"
+            center_body = (
+                "<h1>Privacy Center</h1>"
+                "<p>Learn how we handle your information.</p>"
+                f'<p><a href="{canonical}">Read our full Privacy Policy</a></p>'
+                '<p><a href="/privacy-choices">Manage Privacy Choices</a></p>'
+            )
+            site.add_page(SimPage(
+                path=center_path,
+                html=self._chrome(domain, center_body, footer_links,
+                                  _NAV_LINKS, "Privacy Center"),
+            ))
+            site.add_page(SimPage(
+                path="/privacy-choices",
+                html=self._chrome(
+                    domain,
+                    "<h1>Privacy Choices</h1><p>Use your account settings "
+                    "page to manage communication preferences.</p>",
+                    footer_links, _NAV_LINKS, "Privacy Choices"),
+            ))
+            footer_target = center_path
+            privacy_paths.append(center_path)
+        else:
+            footer_target = canonical
+
+        site.add_page(SimPage(
+            path=canonical,
+            html=self._chrome(domain, policy_html, footer_links, _NAV_LINKS,
+                              "Privacy Policy"),
+        ))
+        privacy_paths.append(canonical)
+
+        # Alias paths per §3.1 footnote 3: overall existence rates are the
+        # calibration targets; the alias probability accounts for the share
+        # of sites whose canonical path already is the alias (~1/6 each).
+        # The §3.1 rates are over *all* domains, including the ~12% whose
+        # sites fail the crawl and mostly lack these paths; healthy sites
+        # must therefore exceed the headline rate.
+        healthy_share = 0.88
+        alias_pp = (PRIVACY_POLICY_PATH_RATE / healthy_share - 1 / 6) / (1 - 1 / 6)
+        alias_p = (PRIVACY_PATH_RATE / healthy_share - 1 / 6) / (1 - 1 / 6)
+        if canonical != "/privacy-policy" and rng.random() < alias_pp:
+            site.add_page(SimPage(path="/privacy-policy",
+                                  redirect_to=canonical,
+                                  status=Status.MOVED_PERMANENTLY))
+        if canonical != "/privacy" and rng.random() < alias_p:
+            site.add_page(SimPage(path="/privacy", redirect_to=canonical,
+                                  status=Status.MOVED_PERMANENTLY))
+
+        # Auxiliary privacy pages (raise crawled-page counts to realistic
+        # levels without adding annotatable content).
+        if rng.random() < 0.35:
+            site.add_page(SimPage(
+                path="/privacy-choices",
+                html=self._chrome(
+                    domain,
+                    "<h1>Your Privacy Choices</h1><p>We offer several ways "
+                    "to manage how we communicate with you. Visit the pages "
+                    "linked below to learn more.</p>",
+                    footer_links, _NAV_LINKS, "Your Privacy Choices"),
+            ))
+            footer_links = footer_links + [("/privacy-choices",
+                                            "Your Privacy Choices")]
+            privacy_paths.append("/privacy-choices")
+        if rng.random() < 0.30:
+            site.add_page(SimPage(
+                path="/privacy-faq",
+                html=self._chrome(
+                    domain,
+                    "<h1>Privacy FAQ</h1><p>Answers to common questions "
+                    "about this notice are collected on this page.</p>",
+                    footer_links, _NAV_LINKS, "Privacy FAQ"),
+            ))
+            # Link from the top of the policy page (exercises the paper's
+            # step-4 top-link following).
+            policy_page = site.page(canonical)
+            policy_page.html = policy_page.html.replace(
+                "<main>",
+                '<main><p><a href="/privacy-faq">Privacy FAQ</a></p>', 1)
+            privacy_paths.append("/privacy-faq")
+
+        if rng.random() < 0.30:
+            # California-specific notice (audiences content only).
+            site.add_page(SimPage(
+                path="/california-privacy",
+                html=self._chrome(
+                    domain,
+                    "<h1>California Privacy Notice</h1><p>California "
+                    "residents may have additional rights under the "
+                    "California Consumer Privacy Act. This page summarizes "
+                    "the disclosures required for California residents.</p>",
+                    footer_links, _NAV_LINKS, "California Privacy Notice"),
+            ))
+            footer_links = footer_links + [("/california-privacy",
+                                            "California Privacy Notice")]
+            privacy_paths.append("/california-privacy")
+        extra_privacy_links = sum(
+            1 for _, text in footer_links if "privacy" in text.lower()
+        )
+        if extra_privacy_links < 2 and rng.random() < 0.25:
+            # Stale footer link to a privacy page that no longer exists —
+            # the crawler navigates, gets a 404, and moves on. Capped so the
+            # real policy link always sits within the crawler's 3-footer-link
+            # budget.
+            footer_links = footer_links + [("/privacy-statement-old",
+                                            "Privacy Statement")]
+
+        privacy_link_text = rng.choice(_PRIVACY_LINK_TEXTS)
+        home_footer = footer_links + [(footer_target, privacy_link_text)]
+        rng.shuffle(home_footer)
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(doc.company_name, rng),
+                              home_footer, _NAV_LINKS, doc.company_name),
+        ))
+        blueprint = SiteBlueprint(
+            domain=domain,
+            failure_mode=None,
+            policy_path=canonical,
+            privacy_page_paths=privacy_paths,
+            heading_style=heading_style,
+            uses_privacy_center=use_center,
+        )
+        return site, blueprint
+
+    # -- failing sites -----------------------------------------------------------
+
+    def build_failing_site(self, domain: str, company_name: str, mode: str,
+                           doc: PolicyDocument | None = None) -> tuple[Website, SiteBlueprint]:
+        """A site designed to fail crawl or extraction in a specific way."""
+        rng = self.seeds.rng("site", domain, mode)
+        builder = getattr(self, "_mode_" + mode.replace("-", "_"), None)
+        if builder is None:
+            raise ValueError(f"unknown failure mode {mode!r}")
+        site = builder(domain, company_name, rng, doc)
+        blueprint = SiteBlueprint(domain=domain, failure_mode=mode,
+                                  policy_path=None)
+        return site, blueprint
+
+    # Each mode builder returns a Website.
+
+    def _plain_homepage(self, domain, company_name, footer_links):
+        site = Website(domain=domain)
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(company_name, None),
+                              footer_links, _NAV_LINKS, company_name),
+        ))
+        return site
+
+    def _mode_no_policy(self, domain, company_name, rng, doc):
+        return self._plain_homepage(domain, company_name,
+                                    list(_FOOTER_OTHER_LINKS[:4]))
+
+    def _mode_timeout(self, domain, company_name, rng, doc):
+        site = self._plain_homepage(domain, company_name,
+                                    list(_FOOTER_OTHER_LINKS[:3]))
+        site.timeout_probability = 1.0
+        return site
+
+    def _mode_blocked(self, domain, company_name, rng, doc):
+        site = self._plain_homepage(domain, company_name,
+                                    list(_FOOTER_OTHER_LINKS[:3]))
+        site.blocks_bots = True
+        if rng.random() < 0.5:
+            site.robots = DENY_ALL
+        return site
+
+    def _mode_js_dynamic_nav(self, domain, company_name, rng, doc):
+        """Privacy links exist only after slow client-side rendering."""
+        site = self._plain_homepage(company_name=company_name, domain=domain,
+                                    footer_links=list(_FOOTER_OTHER_LINKS[:3]))
+        home = site.page("/")
+        home.js_html = '<footer><a href="/privacy">Privacy Policy</a></footer>'
+        home.js_delay_ms = 90_000  # slower than any crawler budget
+        return site
+
+    def _mode_legal_notice_link(self, domain, company_name, rng, doc):
+        """The policy link does not contain the word 'privacy'."""
+        site = Website(domain=domain)
+        footer = list(_FOOTER_OTHER_LINKS[:3]) + [("/legal-notices",
+                                                   "Legal Notices")]
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(company_name, rng),
+                              footer, _NAV_LINKS, company_name),
+        ))
+        body = "<h1>Legal Notices</h1><p>Our legal notices describe how we " \
+               "collect your email address and name, and how you may " \
+               "contact us to opt out.</p>"
+        site.add_page(SimPage(
+            path="/legal-notices",
+            html=self._chrome(domain, body, footer, _NAV_LINKS,
+                              "Legal Notices"),
+        ))
+        return site
+
+    def _mode_js_action_link(self, domain, company_name, rng, doc):
+        """The privacy 'link' triggers a JavaScript action, no href target."""
+        site = Website(domain=domain)
+        footer_html = (
+            '<a href="/terms">Terms of Service</a> '
+            '<a href="javascript:openPrivacyModal()">Privacy Policy</a>'
+        )
+        body = self._homepage_body(company_name, rng)
+        page_html = (
+            f"<!DOCTYPE html><html><head><title>{domain}</title></head>"
+            f"<body><main>{body}</main><footer>{footer_html}</footer>"
+            "</body></html>"
+        )
+        site.add_page(SimPage(path="/", html=page_html))
+        return site
+
+    def _mode_consent_box_link(self, domain, company_name, rng, doc):
+        """The only privacy link lives in a consent overlay injected at
+        runtime, which the headless browser never captures."""
+        return self._plain_homepage(domain, company_name,
+                                    list(_FOOTER_OTHER_LINKS[:4]))
+
+    def _mode_pdf_policy(self, domain, company_name, rng, doc):
+        site = Website(domain=domain)
+        footer = list(_FOOTER_OTHER_LINKS[:3]) + [("/privacy.pdf",
+                                                   "Privacy Policy")]
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(company_name, rng),
+                              footer, _NAV_LINKS, company_name),
+        ))
+        site.add_page(SimPage(
+            path="/privacy.pdf",
+            html="%PDF-1.7\n%synthetic binary policy document",
+            content_type="application/pdf",
+        ))
+        return site
+
+    def _mode_non_english(self, domain, company_name, rng, doc):
+        site = Website(domain=domain)
+        footer = [("/impressum", "Impressum"), ("/datenschutz",
+                                                "Datenschutz & Privacy")]
+        body = (f"<h1>Willkommen bei {html_escape.escape(company_name)}</h1>"
+                "<p>Wir liefern weltweit führende Produkte und "
+                "Dienstleistungen für unsere Kunden.</p>")
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, body, footer, (), company_name),
+            language="de",
+        ))
+        site.add_page(SimPage(
+            path="/datenschutz",
+            html=self._chrome(domain, _GERMAN_POLICY, footer, (),
+                              "Datenschutz"),
+            language="de",
+        ))
+        return site
+
+    def _mode_js_dynamic_content(self, domain, company_name, rng, doc):
+        """Policy page is an empty shell whose content loads too slowly."""
+        site = Website(domain=domain)
+        footer = list(_FOOTER_OTHER_LINKS[:3]) + [("/privacy",
+                                                   "Privacy Policy")]
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(company_name, rng),
+                              footer, _NAV_LINKS, company_name),
+        ))
+        shell = "<h1>Privacy Policy</h1><div id='policy-root'></div>"
+        page = SimPage(
+            path="/privacy",
+            html=self._chrome(domain, shell, footer, _NAV_LINKS,
+                              "Privacy Policy"),
+        )
+        if doc is not None:
+            page.js_html = self.policy_html(doc, "h2", rng)
+        page.js_delay_ms = 90_000
+        site.add_page(page)
+        return site
+
+    def _mode_image_policy(self, domain, company_name, rng, doc):
+        site = Website(domain=domain)
+        footer = list(_FOOTER_OTHER_LINKS[:3]) + [("/privacy",
+                                                   "Privacy Policy")]
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(company_name, rng),
+                              footer, _NAV_LINKS, company_name),
+        ))
+        body = ("<h1>Privacy Policy</h1>"
+                '<img src="/assets/privacy-policy-scan.png" '
+                'alt="policy document">')
+        site.add_page(SimPage(
+            path="/privacy",
+            html=self._chrome(domain, body, footer, _NAV_LINKS,
+                              "Privacy Policy"),
+        ))
+        return site
+
+    def _mode_hidden_expandable(self, domain, company_name, rng, doc):
+        """Nearly all policy text sits inside collapsed <details> blocks."""
+        site = Website(domain=domain)
+        footer = list(_FOOTER_OTHER_LINKS[:3]) + [("/privacy",
+                                                   "Privacy Policy")]
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(company_name, rng),
+                              footer, _NAV_LINKS, company_name),
+        ))
+        inner = (self.policy_html(doc, "h2", rng) if doc is not None
+                 else "<p>Policy details.</p>")
+        body = ("<h1>Privacy Policy</h1>"
+                f"<details><summary>Read the full policy</summary>{inner}"
+                "</details>")
+        site.add_page(SimPage(
+            path="/privacy",
+            html=self._chrome(domain, body, footer, _NAV_LINKS,
+                              "Privacy Policy"),
+        ))
+        return site
+
+    def _mode_mixed_language(self, domain, company_name, rng, doc):
+        site = Website(domain=domain)
+        footer = list(_FOOTER_OTHER_LINKS[:3]) + [("/privacy",
+                                                   "Privacy Policy")]
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(company_name, rng),
+                              footer, _NAV_LINKS, company_name),
+        ))
+        english = (self.policy_html(doc, "h2", rng) if doc is not None
+                   else "<p>We collect your email address.</p>")
+        body = english + _GERMAN_POLICY + _GERMAN_POLICY
+        site.add_page(SimPage(
+            path="/privacy",
+            html=self._chrome(domain, body, footer, _NAV_LINKS,
+                              "Privacy Policy"),
+        ))
+        return site
+
+    def _mode_empty_policy(self, domain, company_name, rng, doc):
+        site = Website(domain=domain)
+        footer = list(_FOOTER_OTHER_LINKS[:3]) + [("/privacy",
+                                                   "Privacy Policy")]
+        site.add_page(SimPage(
+            path="/",
+            html=self._chrome(domain, self._homepage_body(company_name, rng),
+                              footer, _NAV_LINKS, company_name),
+        ))
+        body = "<h1>Privacy Policy</h1><p>Coming soon.</p>"
+        site.add_page(SimPage(
+            path="/privacy",
+            html=self._chrome(domain, body, footer, _NAV_LINKS,
+                              "Privacy Policy"),
+        ))
+        return site

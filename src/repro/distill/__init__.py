@@ -1,0 +1,18 @@
+"""Distilling chatbot annotations into an offline annotator (§6 future work)."""
+
+from repro.distill.evaluate import DistillationReport, evaluate_distillation
+from repro.distill.model import (
+    DistilledAnnotator,
+    DistilledMention,
+    DistilledOutput,
+    DistilledPractice,
+)
+
+__all__ = [
+    "DistillationReport",
+    "evaluate_distillation",
+    "DistilledAnnotator",
+    "DistilledMention",
+    "DistilledOutput",
+    "DistilledPractice",
+]

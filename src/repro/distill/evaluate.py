@@ -1,0 +1,123 @@
+"""Evaluation harness for the distilled annotator.
+
+Protocol: split annotated domains into train/test, train the distilled
+annotator on the training records, annotate the *test* policies from raw
+text, and measure
+
+- **agreement with the teacher** — how much of the chatbot pipeline's
+  output the student reproduces (the distillation objective), and
+- **oracle precision/recall** — how the student fares against the
+  generator ground truth (so teacher errors are not rewarded).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.build import SyntheticCorpus
+from repro.distill.model import DistilledAnnotator
+from repro.pipeline.records import DomainAnnotations
+
+
+@dataclass
+class DistillationReport:
+    """Agreement/precision figures for one evaluation run."""
+
+    train_domains: int
+    test_domains: int
+    lexicon_size: int
+    profile_count: int
+    teacher_type_annotations: int
+    student_type_annotations: int
+    type_agreement_recall: float  # share of teacher type pairs reproduced
+    type_agreement_precision: float  # share of student pairs teacher has
+    oracle_type_precision: float
+    oracle_type_recall: float
+    practice_agreement_recall: float
+
+
+def _teacher_pairs(record: DomainAnnotations) -> set[tuple[str, str]]:
+    return {(t.category, t.descriptor) for t in record.types}
+
+
+def _teacher_practices(record: DomainAnnotations) -> set[tuple[str, str]]:
+    return ({(h.group, h.label) for h in record.handling}
+            | {(r.group, r.label) for r in record.rights})
+
+
+def evaluate_distillation(corpus: SyntheticCorpus,
+                          records: list[DomainAnnotations],
+                          train_share: float = 0.7,
+                          seed: int = 0) -> DistillationReport:
+    """Run the full distillation evaluation protocol."""
+    annotated = [r for r in records
+                 if r.status == "annotated" and r.domain in corpus.documents]
+    rng = random.Random(seed)
+    shuffled = list(annotated)
+    rng.shuffle(shuffled)
+    split = max(1, int(len(shuffled) * train_share))
+    train, test = shuffled[:split], shuffled[split:]
+
+    annotator = DistilledAnnotator.train(train)
+
+    teacher_total = student_total = 0
+    agree_teacher = agree_student = 0
+    oracle_tp = oracle_fp = oracle_fn = 0
+    practice_teacher_total = practice_agree = 0
+
+    for record in test:
+        document = corpus.documents[record.domain]
+        lines = []
+        counter = 0
+        for section in document.sections:
+            if section.heading:
+                counter += 1
+                lines.append((counter, section.heading))
+            for paragraph in section.paragraphs:
+                counter += 1
+                lines.append((counter, paragraph))
+        output = annotator.annotate_lines(lines)
+
+        student_pairs = {(m.category, m.descriptor) for m in output.types}
+        teacher_pairs = _teacher_pairs(record)
+        teacher_total += len(teacher_pairs)
+        student_total += len(student_pairs)
+        agree_teacher += len(teacher_pairs & student_pairs)
+        agree_student += len(student_pairs & teacher_pairs)
+
+        practices = corpus.practices.get(record.domain)
+        truth = set()
+        if practices is not None:
+            truth = {(c, d) for c, ds in practices.data_types.items()
+                     for d in ds}
+            truth |= {(c, p.lower())
+                      for c, ps in practices.novel_data_types.items()
+                      for p in ps}
+            oracle_tp += len(student_pairs & truth)
+            oracle_fp += len(student_pairs - truth)
+            oracle_fn += len(truth - student_pairs)
+
+        student_practices = {(p.group, p.label) for p in output.practices}
+        teacher_practices = _teacher_practices(record)
+        practice_teacher_total += len(teacher_practices)
+        practice_agree += len(teacher_practices & student_practices)
+
+    return DistillationReport(
+        train_domains=len(train),
+        test_domains=len(test),
+        lexicon_size=annotator.lexicon_size,
+        profile_count=annotator.profile_count(),
+        teacher_type_annotations=teacher_total,
+        student_type_annotations=student_total,
+        type_agreement_recall=agree_teacher / teacher_total
+        if teacher_total else 0.0,
+        type_agreement_precision=agree_student / student_total
+        if student_total else 0.0,
+        oracle_type_precision=oracle_tp / (oracle_tp + oracle_fp)
+        if (oracle_tp + oracle_fp) else 0.0,
+        oracle_type_recall=oracle_tp / (oracle_tp + oracle_fn)
+        if (oracle_tp + oracle_fn) else 0.0,
+        practice_agreement_recall=practice_agree / practice_teacher_total
+        if practice_teacher_total else 0.0,
+    )

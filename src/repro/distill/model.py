@@ -1,0 +1,232 @@
+"""Offline distillation of chatbot annotations (paper §6 future work).
+
+The paper closes by naming "training offline LLMs to replicate the
+chatbot-generated annotations" as future work. This module implements the
+classical version of that idea: distill the pipeline's annotation corpus
+into a self-contained offline annotator that needs **no chat model at
+all** —
+
+- a *learned lexicon* mapping stemmed verbatim phrases to the
+  (category, descriptor) pairs the chatbot assigned them (majority vote),
+- *learned practice profiles*: per practice label, a stem-frequency
+  profile of the evidence sentences the chatbot labeled, matched at
+  inference time by cosine similarity.
+
+The distilled annotator generalizes across policies because the chatbot's
+normalization already collapsed surface variation; its ceiling is the
+teacher's output (it cannot out-normalize what it never saw).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.chatbot.lexicon import PhraseMatcher, stem_token
+from repro.chatbot.engine import _trigger_sentence_ranges, _in_ranges  # noqa: WPS450
+from repro.chatbot.engine import _COLLECT_TRIGGER_RE, _PURPOSE_TRIGGER_RE
+from repro._util.textproc import sentence_split
+from repro.pipeline.records import DomainAnnotations
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+#: Minimum times a phrase must be seen to enter the learned lexicon.
+MIN_PHRASE_SUPPORT = 2
+
+#: Out-of-glossary ("novel") teacher annotations are only trusted when they
+#: recur across many domains. The teacher's extraction noise (random
+#: in-text spans) repeats at corpus scale — boilerplate sentences recur in
+#: thousands of policies, so the same junk window can be annotated a
+#: handful of times — while genuinely novel terms recur far more often.
+NOVEL_MIN_SUPPORT = 25
+
+#: Cosine similarity threshold for practice-profile matching (tuned on the
+#: default corpus: ≥0.8 teacher agreement without measurable type-precision
+#: loss).
+PRACTICE_SIMILARITY_THRESHOLD = 0.38
+
+
+def _stem_phrase(text: str) -> tuple[str, ...]:
+    return tuple(stem_token(t) for t in _WORD_RE.findall(text))
+
+
+@dataclass
+class LabelProfile:
+    """Stem-frequency profile of one practice label's evidence sentences."""
+
+    group: str
+    label: str
+    counts: Counter = field(default_factory=Counter)
+    documents: int = 0
+
+    def add_sentence(self, sentence: str) -> None:
+        self.documents += 1
+        for stem in set(_stem_phrase(sentence)):
+            self.counts[stem] += 1
+
+    def vector(self) -> dict[str, float]:
+        if not self.documents:
+            return {}
+        return {stem: count / self.documents
+                for stem, count in self.counts.items()
+                if count / self.documents >= 0.2}
+
+
+def _cosine(a: dict[str, float], b: set[str]) -> float:
+    if not a or not b:
+        return 0.0
+    dot = sum(weight for stem, weight in a.items() if stem in b)
+    norm_a = math.sqrt(sum(w * w for w in a.values()))
+    norm_b = math.sqrt(len(b))
+    return dot / (norm_a * norm_b) if norm_a and norm_b else 0.0
+
+
+@dataclass(frozen=True)
+class DistilledMention:
+    """One extraction by the distilled annotator."""
+
+    line: int
+    verbatim: str
+    category: str
+    descriptor: str
+
+
+@dataclass(frozen=True)
+class DistilledPractice:
+    """One practice detection by the distilled annotator."""
+
+    line: int
+    group: str
+    label: str
+    verbatim: str
+    similarity: float
+
+
+@dataclass
+class DistilledOutput:
+    """Everything the distilled annotator found in one document."""
+
+    types: list[DistilledMention] = field(default_factory=list)
+    purposes: list[DistilledMention] = field(default_factory=list)
+    practices: list[DistilledPractice] = field(default_factory=list)
+
+
+class DistilledAnnotator:
+    """A chat-model-free annotator trained from pipeline records."""
+
+    def __init__(self) -> None:
+        self._type_matcher = PhraseMatcher()
+        self._purpose_matcher = PhraseMatcher()
+        self._profiles: list[LabelProfile] = []
+        self._trained = False
+        self.lexicon_size = 0
+
+    # -- training --------------------------------------------------------------
+
+    @classmethod
+    def train(cls, records: list[DomainAnnotations]) -> "DistilledAnnotator":
+        """Learn lexicon and practice profiles from annotation records."""
+        annotator = cls()
+        type_votes: dict[tuple[str, ...], Counter] = defaultdict(Counter)
+        purpose_votes: dict[tuple[str, ...], Counter] = defaultdict(Counter)
+        phrase_text: dict[tuple[str, ...], str] = {}
+        novel_phrases: set[tuple[str, ...]] = set()
+        profiles: dict[tuple[str, str], LabelProfile] = {}
+
+        for record in records:
+            for annotation in record.types:
+                stems = _stem_phrase(annotation.verbatim)
+                if stems:
+                    type_votes[stems][(annotation.category,
+                                       annotation.descriptor)] += 1
+                    phrase_text.setdefault(stems, annotation.verbatim)
+                    if annotation.novel:
+                        novel_phrases.add(stems)
+            for annotation in record.purposes:
+                stems = _stem_phrase(annotation.verbatim)
+                if stems:
+                    purpose_votes[stems][(annotation.category,
+                                          annotation.descriptor)] += 1
+                    phrase_text.setdefault(stems, annotation.verbatim)
+                    if annotation.novel:
+                        novel_phrases.add(stems)
+            for annotation in record.handling + record.rights:
+                key = (annotation.group, annotation.label)
+                profile = profiles.get(key)
+                if profile is None:
+                    profile = LabelProfile(group=annotation.group,
+                                           label=annotation.label)
+                    profiles[key] = profile
+                profile.add_sentence(annotation.verbatim)
+
+        for votes, matcher in ((type_votes, annotator._type_matcher),
+                               (purpose_votes, annotator._purpose_matcher)):
+            for stems, counter in votes.items():
+                (category, descriptor), support = counter.most_common(1)[0]
+                total = sum(counter.values())
+                threshold = (NOVEL_MIN_SUPPORT if stems in novel_phrases
+                             else MIN_PHRASE_SUPPORT)
+                if total < threshold:
+                    continue
+                # Require a clear majority — ambiguous phrases hurt precision.
+                if support / total < 0.6:
+                    continue
+                matcher.add(phrase_text[stems], (category, descriptor))
+                annotator.lexicon_size += 1
+
+        annotator._profiles = [p for p in profiles.values() if p.documents >= 2]
+        annotator._trained = True
+        return annotator
+
+    # -- inference ---------------------------------------------------------------
+
+    def annotate_lines(self, lines: list[tuple[int, str]]) -> DistilledOutput:
+        """Annotate numbered policy text lines."""
+        if not self._trained:
+            raise RuntimeError("annotator is not trained")
+        output = DistilledOutput()
+        profile_vectors = [(p, p.vector()) for p in self._profiles]
+        for number, text in lines:
+            self._extract(number, text, self._type_matcher,
+                          _COLLECT_TRIGGER_RE, output.types)
+            self._extract(number, text, self._purpose_matcher,
+                          _PURPOSE_TRIGGER_RE, output.purposes)
+            for sentence in sentence_split(text):
+                stems = set(_stem_phrase(sentence))
+                best = None
+                best_score = PRACTICE_SIMILARITY_THRESHOLD
+                for profile, vector in profile_vectors:
+                    score = _cosine(vector, stems)
+                    if score > best_score:
+                        best, best_score = profile, score
+                if best is not None:
+                    output.practices.append(
+                        DistilledPractice(
+                            line=number, group=best.group, label=best.label,
+                            verbatim=sentence, similarity=best_score,
+                        )
+                    )
+        return output
+
+    @staticmethod
+    def _extract(number, text, matcher, trigger_re, out) -> None:
+        contexts = _trigger_sentence_ranges(text, trigger_re)
+        if not contexts:
+            return
+        for match in matcher.find_all(text):
+            if not _in_ranges(contexts, match.char_start, match.char_end):
+                continue
+            category, descriptor = match.payload
+            out.append(
+                DistilledMention(
+                    line=number,
+                    verbatim=match.verbatim(text),
+                    category=category,
+                    descriptor=descriptor,
+                )
+            )
+
+    def profile_count(self) -> int:
+        return len(self._profiles)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch package-level failures without masking programming errors
+(``TypeError``, ``ValueError`` raised by misuse still propagate normally).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class UrlError(ReproError):
+    """Raised when a URL cannot be parsed or resolved."""
+
+
+class FetchError(ReproError):
+    """Raised when a simulated network fetch fails outright.
+
+    Attributes:
+        url: The URL that was being fetched.
+        reason: Short machine-readable reason code (e.g. ``"timeout"``,
+            ``"dns"``, ``"connection-reset"``).
+    """
+
+    def __init__(self, url: str, reason: str, message: str | None = None):
+        super().__init__(message or f"fetch of {url!r} failed: {reason}")
+        self.url = url
+        self.reason = reason
+
+
+class RobotsDisallowedError(FetchError):
+    """Raised when robots.txt forbids fetching a URL."""
+
+    def __init__(self, url: str):
+        super().__init__(url, "robots-disallowed", f"robots.txt disallows {url!r}")
+
+
+class HtmlParseError(ReproError):
+    """Raised when HTML is too malformed for the parser to recover."""
+
+
+class TaxonomyError(ReproError):
+    """Raised on inconsistent taxonomy definitions or unknown labels."""
+
+
+class ChatModelError(ReproError):
+    """Raised when a chat model cannot produce a completion."""
+
+
+class TaskOutputError(ChatModelError):
+    """Raised when a chatbot completion cannot be parsed as the task output.
+
+    Attributes:
+        raw_output: The completion text that failed to parse.
+    """
+
+    def __init__(self, message: str, raw_output: str = ""):
+        super().__init__(message)
+        self.raw_output = raw_output
+
+
+class PipelineError(ReproError):
+    """Raised on unrecoverable pipeline orchestration failures."""
+
+
+class CorpusError(ReproError):
+    """Raised on invalid corpus/calibration configuration."""

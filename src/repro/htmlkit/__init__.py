@@ -1,0 +1,45 @@
+"""HTML parsing, text rendering, and heading extraction.
+
+A from-scratch substrate replacing the paper's use of Playwright-rendered
+HTML plus the ``inscriptis`` text converter:
+
+- :func:`parse_html` — forgiving DOM parser.
+- :func:`html_to_document` / :func:`html_to_text` — layout-aware rendering
+  into line-numbered :class:`TextDocument` objects.
+- :func:`build_sections` / :func:`table_of_contents` — the Appendix-B
+  heading machinery.
+"""
+
+from repro.htmlkit.dom import Element, TextNode, parse_html
+from repro.htmlkit.headings import (
+    Section,
+    TocEntry,
+    build_sections,
+    render_toc,
+    table_of_contents,
+)
+from repro.htmlkit.render import (
+    BOLD_HEADING_LEVEL,
+    TextDocument,
+    TextLine,
+    html_to_document,
+    html_to_text,
+    render_document,
+)
+
+__all__ = [
+    "Element",
+    "TextNode",
+    "parse_html",
+    "Section",
+    "TocEntry",
+    "build_sections",
+    "render_toc",
+    "table_of_contents",
+    "BOLD_HEADING_LEVEL",
+    "TextDocument",
+    "TextLine",
+    "html_to_document",
+    "html_to_text",
+    "render_document",
+]

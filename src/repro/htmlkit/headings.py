@@ -1,0 +1,103 @@
+"""Heading detection, section building, and table-of-contents generation.
+
+Implements the paper's Appendix B heading-based segmentation substrate:
+headings are ``<h1>``–``<h6>`` plus standalone bold lines (already tagged by
+the renderer); each piece of text is assigned to the first heading preceding
+it; a table of contents is generated recognizing the hierarchy implied by
+heading levels (``h1``–``h6`` followed by bold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.htmlkit.render import TextDocument, TextLine
+
+
+@dataclass
+class Section:
+    """A contiguous run of lines assigned to one heading.
+
+    ``heading`` is ``None`` for preamble text occurring before the first
+    heading. ``start``/``end`` are inclusive 1-based line numbers covering
+    the body (heading line excluded).
+    """
+
+    heading: TextLine | None
+    start: int
+    end: int
+
+    @property
+    def heading_text(self) -> str:
+        return self.heading.text if self.heading else ""
+
+    @property
+    def level(self) -> int:
+        return self.heading.heading_level if self.heading else 0
+
+    def body_lines(self, doc: TextDocument) -> list[TextLine]:
+        return [line for line in doc.lines if self.start <= line.number <= self.end]
+
+    def body_text(self, doc: TextDocument) -> str:
+        return doc.slice_text(self.start, self.end)
+
+
+@dataclass
+class TocEntry:
+    """One entry of a table of contents."""
+
+    line_number: int
+    title: str
+    depth: int
+
+    def render(self) -> str:
+        return f"[{self.line_number}] {'  ' * self.depth}{self.title}"
+
+
+def build_sections(doc: TextDocument) -> list[Section]:
+    """Split a document into heading-delimited sections.
+
+    Every non-heading line is assigned to the closest preceding heading;
+    lines before the first heading form an unnamed preamble section.
+    Sections are returned in document order and may have empty bodies
+    (``end < start``) when two headings are adjacent.
+    """
+    sections: list[Section] = []
+    current_heading: TextLine | None = None
+    body_start = 1
+    for line in doc.lines:
+        if line.is_heading:
+            end = line.number - 1
+            if current_heading is not None or end >= body_start:
+                sections.append(Section(current_heading, body_start, end))
+            current_heading = line
+            body_start = line.number + 1
+    end = len(doc.lines)
+    if current_heading is not None or end >= body_start:
+        sections.append(Section(current_heading, body_start, end))
+    return sections
+
+
+def table_of_contents(doc: TextDocument) -> list[TocEntry]:
+    """Generate a hierarchical table of contents for a document.
+
+    Depth is derived from the ordered set of distinct heading levels present
+    in the document (so a page using only ``<h3>`` and bold still nests two
+    levels deep).
+    """
+    headings = doc.headings()
+    levels = sorted({line.heading_level for line in headings})
+    depth_of = {level: index for index, level in enumerate(levels)}
+    return [
+        TocEntry(
+            line_number=line.number,
+            title=line.text,
+            depth=depth_of[line.heading_level],
+        )
+        for line in headings
+    ]
+
+
+def render_toc(entries: list[TocEntry]) -> str:
+    """Render TOC entries in the prompt input format (one per line)."""
+    return "\n".join(entry.render() for entry in entries)

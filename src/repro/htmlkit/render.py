@@ -1,0 +1,226 @@
+"""Layout-aware HTML→text rendering (an ``inscriptis`` work-alike).
+
+Converts an HTML element tree into a :class:`TextDocument` — an ordered list
+of non-empty text lines, each carrying provenance:
+
+- ``heading_level``: 1–6 for ``<h1>``–``<h6>``; 7 for standalone bold lines
+  (text wrapped in ``<b>``/``<strong>`` appearing on its own line, the
+  paper's §B criterion); ``None`` for ordinary text.
+- ``source``: the nearest block element that produced the line.
+
+Line numbers are 1-based; they are the ``[123]`` references used in chatbot
+prompts and annotations.
+
+Rendering rules mirror what matters for policy text extraction: block
+elements break lines, list items get markers, table rows become single
+lines, ``display:none`` content and non-``open`` ``<details>`` bodies are
+dropped (which is how real pipelines miss "expandable" policy text), and
+script/style/head content is ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro._util.textproc import collapse_whitespace
+from repro.htmlkit.dom import Element, TextNode, parse_html
+
+BLOCK_TAGS = frozenset(
+    {
+        "address", "article", "aside", "blockquote", "body", "center",
+        "details", "div", "dl", "dd", "dt", "fieldset", "figure",
+        "figcaption", "footer", "form", "h1", "h2", "h3", "h4", "h5", "h6",
+        "header", "hr", "html", "li", "main", "nav", "ol", "p", "pre",
+        "section", "summary", "table", "tbody", "td", "tfoot", "th",
+        "thead", "tr", "ul",
+    }
+)
+
+_SKIP_TAGS = frozenset({"script", "style", "head", "noscript", "template",
+                        "iframe", "svg", "canvas", "select", "option"})
+
+_HEADING_LEVELS = {f"h{i}": i for i in range(1, 7)}
+
+#: Synthetic heading level assigned to standalone bold lines (below ``<h6>``).
+BOLD_HEADING_LEVEL = 7
+
+_DISPLAY_NONE_RE = re.compile(r"display\s*:\s*none", re.IGNORECASE)
+
+
+@dataclass
+class TextLine:
+    """One rendered line of text with provenance."""
+
+    number: int
+    text: str
+    heading_level: int | None = None
+    source: Element | None = field(default=None, repr=False)
+
+    @property
+    def is_heading(self) -> bool:
+        return self.heading_level is not None
+
+
+@dataclass
+class TextDocument:
+    """The rendered text of an HTML page."""
+
+    lines: list[TextLine]
+
+    @property
+    def text(self) -> str:
+        return "\n".join(line.text for line in self.lines)
+
+    def numbered_text(self, start: int = 1, end: int | None = None) -> str:
+        """Render lines as ``[n] text`` for chatbot prompts."""
+        end = end if end is not None else len(self.lines)
+        return "\n".join(
+            f"[{line.number}] {line.text}"
+            for line in self.lines
+            if start <= line.number <= end
+        )
+
+    def line(self, number: int) -> TextLine:
+        return self.lines[number - 1]
+
+    def headings(self) -> list[TextLine]:
+        return [line for line in self.lines if line.is_heading]
+
+    def word_count(self) -> int:
+        return sum(len(line.text.split()) for line in self.lines)
+
+    def slice_text(self, start: int, end: int) -> str:
+        """Text of lines ``start``..``end`` inclusive (1-based)."""
+        return "\n".join(
+            line.text for line in self.lines if start <= line.number <= end
+        )
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+class _Renderer:
+    def __init__(self) -> None:
+        self.lines: list[TextLine] = []
+        self._chunks: list[str] = []
+        self._chunk_bold: list[bool] = []
+        self._bold_depth = 0
+        self._current_heading: int | None = None
+        self._current_source: Element | None = None
+        self._list_stack: list[tuple[str, int]] = []  # (kind, counter)
+
+    # -- line management ---------------------------------------------------
+
+    def _flush(self) -> None:
+        # Newlines inside a block (source formatting) are just whitespace;
+        # a rendered line must be a single physical line.
+        raw = "".join(self._chunks).replace("\n", " ")
+        text = collapse_whitespace(raw).strip()
+        if text:
+            all_bold = bool(self._chunk_bold) and all(
+                bold for chunk, bold in zip(self._chunks, self._chunk_bold)
+                if chunk.strip()
+            )
+            level = self._current_heading
+            if level is None and all_bold:
+                level = BOLD_HEADING_LEVEL
+            self.lines.append(
+                TextLine(
+                    number=len(self.lines) + 1,
+                    text=text,
+                    heading_level=level,
+                    source=self._current_source,
+                )
+            )
+        self._chunks = []
+        self._chunk_bold = []
+
+    def _emit_text(self, text: str) -> None:
+        if text:
+            self._chunks.append(text)
+            self._chunk_bold.append(self._bold_depth > 0)
+
+    # -- element visitation --------------------------------------------------
+
+    @staticmethod
+    def _is_hidden(element: Element) -> bool:
+        if _DISPLAY_NONE_RE.search(element.get("style")):
+            return True
+        if "hidden" in element.attrs:
+            return True
+        if element.tag == "details" and "open" not in element.attrs:
+            return True
+        return False
+
+    def visit(self, element: Element) -> None:
+        if element.tag in _SKIP_TAGS or self._is_hidden(element):
+            return
+        is_block = element.tag in BLOCK_TAGS
+        heading_level = _HEADING_LEVELS.get(element.tag)
+
+        if is_block:
+            self._flush()
+        if heading_level is not None:
+            self._current_heading = heading_level
+        if is_block:
+            self._current_source = element
+        if element.tag in ("ul", "ol"):
+            self._list_stack.append((element.tag, 0))
+        if element.tag == "li":
+            marker = self._next_marker()
+            self._emit_text(marker)
+        if element.tag == "br":
+            self._flush()
+
+        children = element.children
+        if element.tag == "details":
+            # Render only once; summary first is already in document order.
+            pass
+        for child in children:
+            if isinstance(child, TextNode):
+                self._emit_text(child.text)
+            else:
+                if child.tag in ("b", "strong"):
+                    self._bold_depth += 1
+                    self.visit_inline_or_block(child)
+                    self._bold_depth -= 1
+                else:
+                    self.visit_inline_or_block(child)
+
+        if element.tag in ("ul", "ol") and self._list_stack:
+            self._list_stack.pop()
+        if is_block:
+            self._flush()
+        if heading_level is not None:
+            self._current_heading = None
+
+    def visit_inline_or_block(self, element: Element) -> None:
+        self.visit(element)
+
+    def _next_marker(self) -> str:
+        if not self._list_stack:
+            return "* "
+        kind, count = self._list_stack[-1]
+        count += 1
+        self._list_stack[-1] = (kind, count)
+        return f"{count}. " if kind == "ol" else "* "
+
+
+def render_document(root: Element) -> TextDocument:
+    """Render an element tree into a :class:`TextDocument`."""
+    renderer = _Renderer()
+    body = root.find("body") or root
+    renderer.visit(body)
+    renderer._flush()
+    return TextDocument(lines=renderer.lines)
+
+
+def html_to_document(html: str) -> TextDocument:
+    """Parse and render HTML in one step."""
+    return render_document(parse_html(html))
+
+
+def html_to_text(html: str) -> str:
+    """Plain-text rendering of an HTML string (inscriptis-style)."""
+    return html_to_document(html).text

@@ -1,0 +1,113 @@
+"""Stopword- and script-profile-based language identification.
+
+The crawl pipeline discards non-English privacy pages (§3.1) and documents
+mixing several languages (§4 mentions one combined-language policy being
+discarded by pre-processing). A full langid model is unnecessary: privacy
+prose is stopword-dense, so counting high-frequency function words across a
+handful of languages separates them cleanly, and CJK content is detected by
+script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.textproc import tokenize
+
+_STOPWORDS: dict[str, frozenset[str]] = {
+    "en": frozenset(
+        "the of and to in we you your that for with are our this may not or "
+        "as be on it is by from will have us can when about other if "
+        "information data use".split()
+    ),
+    "de": frozenset(
+        "der die das und zu den von mit sie wir ist nicht ein eine auf werden "
+        "ihre ihrer oder im fur uber daten wenn diese dass bei nach durch "
+        "informationen nutzung".split()
+    ),
+    "fr": frozenset(
+        "le la les des et de nous vous votre vos que pour avec sont sur dans "
+        "ne pas une un est ce cette aux donnees informations si peut lorsque "
+        "utilisation".split()
+    ),
+    "es": frozenset(
+        "el la los las de y que en nosotros usted su sus para con son sobre "
+        "no una un es este esta datos informacion si puede cuando uso como "
+        "nuestra nuestro".split()
+    ),
+}
+
+_MIN_TOKENS = 12
+
+
+@dataclass(frozen=True)
+class LanguageGuess:
+    """Result of language identification."""
+
+    language: str
+    confidence: float
+    scores: dict[str, float]
+
+
+def _script_share(text: str) -> float:
+    """Share of characters in CJK/Cyrillic/Greek scripts."""
+    if not text:
+        return 0.0
+    non_latin = sum(
+        1
+        for ch in text
+        if "Ͱ" <= ch <= "ӿ"  # Greek + Cyrillic
+        or "぀" <= ch <= "ヿ"  # kana
+        or "一" <= ch <= "鿿"  # CJK ideographs
+        or "가" <= ch <= "힯"  # Hangul
+    )
+    letters = sum(1 for ch in text if ch.isalpha())
+    return non_latin / letters if letters else 0.0
+
+
+def detect_language(text: str) -> LanguageGuess:
+    """Identify the dominant language of ``text``.
+
+    Returns ``"und"`` (undetermined) for very short inputs.
+    """
+    if _script_share(text) > 0.25:
+        return LanguageGuess("cjk", 1.0, {"cjk": 1.0})
+    tokens = tokenize(text)
+    if len(tokens) < _MIN_TOKENS:
+        return LanguageGuess("und", 0.0, {})
+    scores: dict[str, float] = {}
+    for lang, stopwords in _STOPWORDS.items():
+        hits = sum(1 for tok in tokens if tok in stopwords)
+        scores[lang] = hits / len(tokens)
+    best = max(scores, key=scores.get)
+    total = sum(scores.values())
+    confidence = scores[best] / total if total else 0.0
+    if scores[best] < 0.05:
+        return LanguageGuess("und", confidence, scores)
+    return LanguageGuess(best, confidence, scores)
+
+
+def is_english(text: str) -> bool:
+    """Whether ``text`` is (predominantly) English."""
+    return detect_language(text).language == "en"
+
+
+def is_mixed_language(text: str, window_lines: int = 40) -> bool:
+    """Detect documents that combine substantial runs of several languages.
+
+    Splits the document into line windows and checks whether two windows
+    confidently disagree about the language — the signal used to discard
+    the combined-language policies §4 mentions.
+    """
+    lines = [line for line in text.split("\n") if line.strip()]
+    if len(lines) < 2:
+        return False
+    languages: set[str] = set()
+    for start in range(0, len(lines), window_lines):
+        window = "\n".join(lines[start : start + window_lines])
+        guess = detect_language(window)
+        if guess.language not in ("und", "cjk"):
+            languages.add(guess.language)
+        elif guess.language == "cjk":
+            languages.add("cjk")
+    return len(languages) > 1

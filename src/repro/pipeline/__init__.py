@@ -1,0 +1,69 @@
+"""The annotation pipeline: crawl → pre-process → segment → annotate → verify."""
+
+from repro.pipeline.api import annotate_policy_html, annotate_policy_text
+from repro.pipeline.annotate import (
+    AnnotateOptions,
+    AspectOutcome,
+    annotate_handling,
+    annotate_purposes,
+    annotate_rights,
+    annotate_types,
+)
+from repro.pipeline.preprocess import (
+    PreprocessedPage,
+    PreprocessResult,
+    preprocess_crawl,
+)
+from repro.pipeline.records import (
+    DomainAnnotations,
+    HandlingAnnotation,
+    PurposeAnnotation,
+    RightsAnnotation,
+    TypeAnnotation,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.pipeline.runner import (
+    DomainTrace,
+    PipelineOptions,
+    PipelineResult,
+    process_crawl,
+    run_pipeline,
+)
+from repro.pipeline.segmentation import (
+    MIN_HEADINGS,
+    SegmentedPolicy,
+    segment_policy,
+)
+from repro.pipeline.verify import HallucinationVerifier, filter_verified
+
+__all__ = [
+    "annotate_policy_html",
+    "annotate_policy_text",
+    "AnnotateOptions",
+    "AspectOutcome",
+    "annotate_handling",
+    "annotate_purposes",
+    "annotate_rights",
+    "annotate_types",
+    "PreprocessedPage",
+    "PreprocessResult",
+    "preprocess_crawl",
+    "DomainAnnotations",
+    "HandlingAnnotation",
+    "PurposeAnnotation",
+    "RightsAnnotation",
+    "TypeAnnotation",
+    "read_jsonl",
+    "write_jsonl",
+    "DomainTrace",
+    "PipelineOptions",
+    "PipelineResult",
+    "process_crawl",
+    "run_pipeline",
+    "MIN_HEADINGS",
+    "SegmentedPolicy",
+    "segment_policy",
+    "HallucinationVerifier",
+    "filter_verified",
+]

@@ -1,0 +1,242 @@
+"""Per-aspect annotation of a segmented policy (paper §3.2.2).
+
+For each aspect, the corresponding section text is fed to the chatbot
+tasks; when a section yields no annotations the *entire* policy text is fed
+instead (the fallback activated for 708/2545 policies in the paper). Every
+annotation's verbatim evidence is checked against the source text by the
+hallucination verifier, and repeated mentions normalizing to the same
+descriptor/label are collapsed to one unique annotation per domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chatbot.models import ChatModel
+from repro.chatbot.practices import parse_retention_period
+from repro.chatbot.tasks import (
+    run_annotate_handling,
+    run_annotate_rights,
+    run_extract_purposes,
+    run_extract_types,
+    run_normalize_purposes,
+    run_normalize_types,
+)
+from repro.errors import TaskOutputError
+from repro.pipeline.records import (
+    HandlingAnnotation,
+    PurposeAnnotation,
+    RightsAnnotation,
+    TypeAnnotation,
+)
+from repro.pipeline.segmentation import SegmentedPolicy
+from repro.pipeline.verify import HallucinationVerifier
+from repro.taxonomy import DATA_TYPE_TAXONOMY, PURPOSE_TAXONOMY, Aspect
+from repro.taxonomy.labels import (
+    ACCESS_LABELS,
+    CHOICE_LABELS,
+    PROTECTION_LABELS,
+    RETENTION_LABELS,
+)
+
+_HANDLING_GROUPS = {
+    "Data retention": set(RETENTION_LABELS.names()),
+    "Data protection": set(PROTECTION_LABELS.names()),
+}
+_RIGHTS_GROUPS = {
+    "User choices": set(CHOICE_LABELS.names()),
+    "User access": set(ACCESS_LABELS.names()),
+}
+
+
+@dataclass(frozen=True)
+class AnnotateOptions:
+    """Knobs for ablations and refinements (paper defaults all on/off)."""
+
+    use_fallback: bool = True
+    use_hallucination_filter: bool = True
+    include_glossary: bool = True
+    include_negation: bool = True
+    #: §6 refinement: skip indefinite retention of anonymized data.
+    refine_anonymized_retention: bool = False
+
+
+@dataclass
+class AspectOutcome:
+    """Annotation outcome for one aspect of one domain."""
+
+    annotations: list = field(default_factory=list)
+    used_fallback: bool = False
+    hallucinations: int = 0
+
+
+def _with_fallback(task, segmented: SegmentedPolicy, aspect: Aspect,
+                   options: AnnotateOptions):
+    """Run ``task`` on the aspect's section, falling back to full text."""
+    lines = segmented.lines_for(aspect)
+    used_fallback = False
+    results = task(lines) if lines else []
+    if not results and options.use_fallback:
+        full = segmented.all_lines()
+        # Only a genuine fallback when it adds text beyond the section.
+        if full and full != lines:
+            used_fallback = True
+            results = task(full)
+    return results, used_fallback
+
+
+def annotate_types(model: ChatModel, segmented: SegmentedPolicy,
+                   verifier: HallucinationVerifier,
+                   options: AnnotateOptions = AnnotateOptions()) -> AspectOutcome:
+    """Extract, verify, normalize, and dedup collected data types."""
+    return _annotate_taxonomy(
+        model, segmented, verifier, options,
+        aspect=Aspect.TYPES,
+        extract=lambda lines: run_extract_types(
+            model, lines, options.include_glossary, options.include_negation
+        ),
+        normalize=lambda phrases: run_normalize_types(
+            model, phrases, options.include_glossary
+        ),
+        taxonomy=DATA_TYPE_TAXONOMY,
+        record_type=TypeAnnotation,
+    )
+
+
+def annotate_purposes(model: ChatModel, segmented: SegmentedPolicy,
+                      verifier: HallucinationVerifier,
+                      options: AnnotateOptions = AnnotateOptions()) -> AspectOutcome:
+    """Extract, verify, normalize, and dedup data collection purposes."""
+    return _annotate_taxonomy(
+        model, segmented, verifier, options,
+        aspect=Aspect.PURPOSES,
+        extract=lambda lines: run_extract_purposes(
+            model, lines, options.include_glossary, options.include_negation
+        ),
+        normalize=lambda phrases: run_normalize_purposes(
+            model, phrases, options.include_glossary
+        ),
+        taxonomy=PURPOSE_TAXONOMY,
+        record_type=PurposeAnnotation,
+    )
+
+
+def _annotate_taxonomy(model, segmented, verifier, options, aspect, extract,
+                       normalize, taxonomy, record_type) -> AspectOutcome:
+    outcome = AspectOutcome()
+    try:
+        phrases, outcome.used_fallback = _with_fallback(extract, segmented,
+                                                        aspect, options)
+    except TaskOutputError:
+        return outcome
+    if options.use_hallucination_filter:
+        kept = [p for p in phrases if verifier.contains(p.text)]
+        outcome.hallucinations = len(phrases) - len(kept)
+        phrases = kept
+    if not phrases:
+        return outcome
+    try:
+        normalized = normalize(phrases)
+    except TaskOutputError:
+        return outcome
+    known_categories = {c.name for c in taxonomy.categories()}
+    descriptor_names = {
+        d.name for c in taxonomy.categories() for d in c.descriptors
+    }
+    seen: set[tuple[str, str]] = set()
+    for item in normalized:
+        if item.category not in known_categories:
+            continue
+        key = (item.category, item.descriptor)
+        if key in seen:
+            continue
+        seen.add(key)
+        outcome.annotations.append(
+            record_type(
+                category=item.category,
+                meta_category=taxonomy.meta_of_category(item.category),
+                descriptor=item.descriptor,
+                verbatim=item.text,
+                line=item.line,
+                novel=item.descriptor not in descriptor_names,
+            )
+        )
+    return outcome
+
+
+def annotate_handling(model: ChatModel, segmented: SegmentedPolicy,
+                      verifier: HallucinationVerifier,
+                      options: AnnotateOptions = AnnotateOptions()) -> AspectOutcome:
+    """Label retention/protection practices."""
+    return _annotate_practices(
+        model, segmented, verifier, options,
+        aspect=Aspect.HANDLING,
+        task=lambda lines: run_annotate_handling(
+            model, lines,
+            ignore_anonymized=options.refine_anonymized_retention,
+        ),
+        valid_groups=_HANDLING_GROUPS,
+        build=_build_handling,
+    )
+
+
+def annotate_rights(model: ChatModel, segmented: SegmentedPolicy,
+                    verifier: HallucinationVerifier,
+                    options: AnnotateOptions = AnnotateOptions()) -> AspectOutcome:
+    """Label choice/access practices."""
+    return _annotate_practices(
+        model, segmented, verifier, options,
+        aspect=Aspect.RIGHTS,
+        task=lambda lines: run_annotate_rights(model, lines),
+        valid_groups=_RIGHTS_GROUPS,
+        build=_build_rights,
+    )
+
+
+def _annotate_practices(model, segmented, verifier, options, aspect, task,
+                        valid_groups, build) -> AspectOutcome:
+    outcome = AspectOutcome()
+    try:
+        results, outcome.used_fallback = _with_fallback(task, segmented,
+                                                        aspect, options)
+    except TaskOutputError:
+        return outcome
+    if options.use_hallucination_filter:
+        kept = [r for r in results if verifier.contains(r.verbatim)]
+        outcome.hallucinations = len(results) - len(kept)
+        results = kept
+    seen: set[tuple[str, str]] = set()
+    for result in results:
+        labels = valid_groups.get(result.group)
+        if labels is None or result.label not in labels:
+            continue
+        key = (result.group, result.label)
+        if key in seen:
+            continue
+        seen.add(key)
+        outcome.annotations.append(build(result))
+    return outcome
+
+
+def _build_handling(result) -> HandlingAnnotation:
+    period_days = None
+    if result.period_text:
+        parsed = parse_retention_period(result.period_text)
+        period_days = parsed.days if parsed else None
+    return HandlingAnnotation(
+        group=result.group,
+        label=result.label,
+        verbatim=result.verbatim,
+        line=result.line,
+        period_text=result.period_text,
+        period_days=period_days,
+    )
+
+
+def _build_rights(result) -> RightsAnnotation:
+    return RightsAnnotation(
+        group=result.group,
+        label=result.label,
+        verbatim=result.verbatim,
+        line=result.line,
+    )

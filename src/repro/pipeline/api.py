@@ -1,0 +1,86 @@
+"""Convenience API for annotating a single policy document.
+
+This is the entry point a downstream user wants when they already have a
+privacy policy (HTML or plain text) and just need structured annotations —
+no crawling, no corpus:
+
+    from repro.pipeline import annotate_policy_html
+
+    record = annotate_policy_html(open("policy.html").read())
+    for t in record.types:
+        print(t.category, "->", t.descriptor)
+"""
+
+from __future__ import annotations
+
+from repro.chatbot.models import ChatModel, make_model
+from repro.htmlkit import TextDocument, TextLine, html_to_document
+from repro.pipeline.annotate import (
+    annotate_handling,
+    annotate_purposes,
+    annotate_rights,
+    annotate_types,
+)
+from repro.pipeline.records import DomainAnnotations
+from repro.pipeline.runner import PipelineOptions
+from repro.pipeline.segmentation import segment_policy
+from repro.pipeline.verify import HallucinationVerifier
+from repro.taxonomy import Aspect
+
+
+def annotate_policy_html(html: str, model: ChatModel | None = None,
+                         options: PipelineOptions | None = None,
+                         domain: str = "document") -> DomainAnnotations:
+    """Annotate one privacy policy given as HTML."""
+    return _annotate_document(html_to_document(html), model, options, domain)
+
+
+def annotate_policy_text(text: str, model: ChatModel | None = None,
+                         options: PipelineOptions | None = None,
+                         domain: str = "document") -> DomainAnnotations:
+    """Annotate one privacy policy given as plain text."""
+    lines = [
+        TextLine(number=index + 1, text=line.strip())
+        for index, line in enumerate(text.splitlines())
+        if line.strip()
+    ]
+    return _annotate_document(TextDocument(lines=lines), model, options,
+                              domain)
+
+
+def _annotate_document(document: TextDocument, model: ChatModel | None,
+                       options: PipelineOptions | None,
+                       domain: str) -> DomainAnnotations:
+    options = options or PipelineOptions()
+    if model is None:
+        model = make_model(options.model_name, seed=options.model_seed)
+    segmented = segment_policy(domain, document, model)
+    verifier = HallucinationVerifier(document.text)
+    annotate_options = options.annotate_options()
+    types = annotate_types(model, segmented, verifier, annotate_options)
+    purposes = annotate_purposes(model, segmented, verifier, annotate_options)
+    handling = annotate_handling(model, segmented, verifier, annotate_options)
+    rights = annotate_rights(model, segmented, verifier, annotate_options)
+    record = DomainAnnotations(
+        domain=domain,
+        sector="--",
+        status="annotated",
+        types=types.annotations,
+        purposes=purposes.annotations,
+        handling=handling.annotations,
+        rights=rights.annotations,
+        fallback_aspects=[
+            aspect.value for aspect, outcome in (
+                (Aspect.TYPES, types), (Aspect.PURPOSES, purposes),
+                (Aspect.HANDLING, handling), (Aspect.RIGHTS, rights),
+            ) if outcome.used_fallback
+        ],
+        extracted_aspects=[a.value for a in segmented.extracted_aspects()],
+        policy_words=segmented.substantive_word_count(),
+        hallucinations_filtered=(types.hallucinations + purposes.hallucinations
+                                 + handling.hallucinations
+                                 + rights.hallucinations),
+    )
+    if not record.has_any_annotation():
+        record.status = "no-annotations"
+    return record

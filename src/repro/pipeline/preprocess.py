@@ -1,0 +1,111 @@
+"""Pre-processing of crawled pages (paper §3.1, §3.2.1).
+
+Takes a domain's :class:`~repro.crawler.crawler.CrawlResult` and produces
+the text the annotation stages work on:
+
+1. Drop non-HTML documents (PDF policies are unsupported, a §4 failure
+   class).
+2. Render each potential privacy page to a line-numbered text document.
+3. Remove duplicate pages (same final URL or identical rendered text).
+4. Remove non-English pages and discard documents mixing languages.
+5. Concatenate the surviving pages into one combined, globally numbered
+   document for segmentation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crawler.crawler import CrawlResult, PageRecord
+from repro.htmlkit import TextDocument, TextLine, html_to_document
+from repro.lang import detect_language, is_mixed_language
+
+
+@dataclass
+class PreprocessedPage:
+    """One retained privacy page."""
+
+    url: str
+    document: TextDocument
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of pre-processing one domain's crawl."""
+
+    domain: str
+    pages: list[PreprocessedPage] = field(default_factory=list)
+    combined: TextDocument | None = None
+    #: Pages dropped and why: (url, reason).
+    dropped: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.combined is not None and len(self.combined.lines) > 0
+
+    def page_count(self) -> int:
+        return len(self.pages)
+
+
+def preprocess_crawl(crawl: CrawlResult) -> PreprocessResult:
+    """Run the full §3.1 pre-processing for one domain."""
+    result = PreprocessResult(domain=crawl.domain)
+    seen_urls: set[str] = set()
+    seen_hashes: set[str] = set()
+
+    for page in crawl.potential_privacy_pages():
+        reason = _drop_reason(page, seen_urls, seen_hashes)
+        if reason is not None:
+            result.dropped.append((page.requested_url, reason))
+            continue
+        document = html_to_document(page.html)
+        text = document.text
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        if digest in seen_hashes:
+            result.dropped.append((page.requested_url, "duplicate-content"))
+            continue
+        seen_hashes.add(digest)
+        seen_urls.add(page.final_url)
+        guess = detect_language(text)
+        if guess.language not in ("en", "und"):
+            result.dropped.append((page.requested_url, "non-english"))
+            continue
+        if is_mixed_language(text):
+            result.dropped.append((page.requested_url, "mixed-language"))
+            continue
+        result.pages.append(PreprocessedPage(url=page.final_url,
+                                             document=document))
+
+    if result.pages:
+        result.combined = _combine_documents(
+            [page.document for page in result.pages]
+        )
+    return result
+
+
+def _drop_reason(page: PageRecord, seen_urls: set[str],
+                 seen_hashes: set[str]) -> str | None:
+    if page.is_pdf:
+        return "pdf-unsupported"
+    if not page.content_type.startswith("text/html"):
+        return "non-html"
+    if page.final_url in seen_urls:
+        return "duplicate-url"
+    return None
+
+
+def _combine_documents(documents: list[TextDocument]) -> TextDocument:
+    """Concatenate documents with continuous global line numbers."""
+    lines: list[TextLine] = []
+    for document in documents:
+        for line in document.lines:
+            lines.append(
+                TextLine(
+                    number=len(lines) + 1,
+                    text=line.text,
+                    heading_level=line.heading_level,
+                    source=line.source,
+                )
+            )
+    return TextDocument(lines=lines)

@@ -1,0 +1,243 @@
+"""End-to-end pipeline orchestration (the architecture of Figure 1).
+
+``run_pipeline`` drives every stage for each domain — crawl → pre-process
+→ segment → annotate → verify — and aggregates the run-level statistics the
+paper reports in §3 and §4. Per-domain details are kept as light-weight
+:class:`DomainTrace` objects (page HTML is dropped after pre-processing to
+keep full-corpus runs inside a laptop's memory budget).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.chatbot.models import ChatModel, make_model
+from repro.corpus.build import SyntheticCorpus
+from repro.crawler.crawler import CrawlResult, PrivacyCrawler
+from repro.pipeline.annotate import (
+    AnnotateOptions,
+    annotate_handling,
+    annotate_purposes,
+    annotate_rights,
+    annotate_types,
+)
+from repro.pipeline.preprocess import preprocess_crawl
+from repro.pipeline.records import DomainAnnotations
+from repro.pipeline.segmentation import SegmentedPolicy, segment_policy
+from repro.pipeline.verify import HallucinationVerifier
+from repro.taxonomy import Aspect
+from repro.web.browser import Browser
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Pipeline configuration, including ablation switches."""
+
+    model_name: str = "sim-gpt-4-turbo"
+    model_seed: int = 0
+    #: Feed whole policies to annotation tasks instead of sections.
+    use_segmentation: bool = True
+    use_fallback: bool = True
+    use_hallucination_filter: bool = True
+    include_glossary: bool = True
+    include_negation: bool = True
+    #: §6 refinement: ignore indefinite retention of anonymized data.
+    refine_anonymized_retention: bool = False
+
+    def annotate_options(self) -> AnnotateOptions:
+        return AnnotateOptions(
+            use_fallback=self.use_fallback,
+            use_hallucination_filter=self.use_hallucination_filter,
+            include_glossary=self.include_glossary,
+            include_negation=self.include_negation,
+            refine_anonymized_retention=self.refine_anonymized_retention,
+        )
+
+
+@dataclass
+class DomainTrace:
+    """Summary of what happened to one domain (no page bodies)."""
+
+    domain: str
+    navigations: int = 0
+    potential_privacy_pages: int = 0
+    retained_pages: int = 0
+    drop_reasons: list[str] = field(default_factory=list)
+    page_errors: list[str] = field(default_factory=list)
+    crawl_succeeded: bool = False
+    extraction_succeeded: bool = False
+    used_heading_path: bool = False
+    used_text_analysis: bool = False
+    policy_words: int = 0
+    saw_pdf: bool = False
+
+
+@dataclass
+class PipelineResult:
+    """A full pipeline run: records, traces, and aggregate stats."""
+
+    records: list[DomainAnnotations]
+    traces: dict[str, DomainTrace]
+    options: PipelineOptions
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    # -- §3 statistics -----------------------------------------------------------
+
+    def domains_total(self) -> int:
+        return len(self.traces)
+
+    def crawl_successes(self) -> int:
+        return sum(1 for t in self.traces.values() if t.crawl_succeeded)
+
+    def extraction_successes(self) -> int:
+        return sum(1 for t in self.traces.values() if t.extraction_succeeded)
+
+    def annotated_domains(self) -> list[DomainAnnotations]:
+        return [r for r in self.records if r.status == "annotated"]
+
+    def fallback_domains(self) -> int:
+        return sum(1 for r in self.records if r.fallback_aspects)
+
+    def mean_pages_crawled(self) -> float:
+        return statistics.mean(t.navigations for t in self.traces.values())
+
+    def mean_privacy_pages(self) -> float:
+        successes = [t.retained_pages for t in self.traces.values()
+                     if t.crawl_succeeded]
+        return statistics.mean(successes) if successes else 0.0
+
+    def median_policy_words(self) -> int:
+        words = sorted(
+            t.policy_words for t in self.traces.values()
+            if t.extraction_succeeded and t.policy_words
+        )
+        return words[len(words) // 2] if words else 0
+
+    def record_for(self, domain: str) -> DomainAnnotations | None:
+        for record in self.records:
+            if record.domain == domain:
+                return record
+        return None
+
+
+def run_pipeline(corpus: SyntheticCorpus,
+                 options: PipelineOptions | None = None,
+                 model: ChatModel | None = None,
+                 domains: list[str] | None = None,
+                 progress=None) -> PipelineResult:
+    """Run the full pipeline over (a subset of) a corpus."""
+    options = options or PipelineOptions()
+    if model is None:
+        model = make_model(options.model_name, seed=options.model_seed)
+    browser = Browser(internet=corpus.internet)
+    crawler = PrivacyCrawler(browser)
+    domains = domains if domains is not None else corpus.domains
+
+    records: list[DomainAnnotations] = []
+    traces: dict[str, DomainTrace] = {}
+    for index, domain in enumerate(domains):
+        crawl = crawler.crawl_domain(domain)
+        record, trace = process_crawl(corpus, crawl, model, options)
+        records.append(record)
+        traces[domain] = trace
+        if progress is not None:
+            progress(index + 1, len(domains), domain)
+    return PipelineResult(
+        records=records,
+        traces=traces,
+        options=options,
+        prompt_tokens=model.usage.prompt_tokens,
+        completion_tokens=model.usage.completion_tokens,
+    )
+
+
+def process_crawl(corpus: SyntheticCorpus, crawl: CrawlResult,
+                  model: ChatModel,
+                  options: PipelineOptions) -> tuple[DomainAnnotations, DomainTrace]:
+    """Process one domain's crawl into an annotation record + trace."""
+    domain = crawl.domain
+    sector = corpus.sector_of.get(domain, "??")
+    trace = DomainTrace(domain=domain)
+    trace.navigations = crawl.navigations
+    trace.page_errors = crawl.errors()
+    potential = crawl.potential_privacy_pages()
+    trace.potential_privacy_pages = len(potential)
+    trace.crawl_succeeded = crawl.crawl_succeeded
+    trace.saw_pdf = any(page.is_pdf for page in potential)
+
+    if not crawl.crawl_succeeded:
+        return DomainAnnotations(domain=domain, sector=sector,
+                                 status="crawl-failed"), trace
+
+    pre = preprocess_crawl(crawl)
+    trace.retained_pages = pre.page_count()
+    trace.drop_reasons = [reason for _, reason in pre.dropped]
+    if not pre.ok:
+        return DomainAnnotations(domain=domain, sector=sector,
+                                 status="extract-failed"), trace
+
+    segmented = segment_policy(domain, pre.combined, model)
+    if not options.use_segmentation:
+        segmented = _unsegmented(segmented)
+    trace.used_heading_path = segmented.used_heading_path
+    trace.used_text_analysis = segmented.used_text_analysis
+    trace.extraction_succeeded = segmented.extraction_succeeded
+    trace.policy_words = segmented.substantive_word_count()
+    if not segmented.extraction_succeeded:
+        return DomainAnnotations(domain=domain, sector=sector,
+                                 status="extract-failed"), trace
+
+    record = _annotate_domain(domain, sector, segmented, model, options)
+    return record, trace
+
+
+def _unsegmented(segmented: SegmentedPolicy) -> SegmentedPolicy:
+    """Ablation: every annotated aspect sees the whole document."""
+    all_lines = segmented.all_lines()
+    for aspect in Aspect.annotated():
+        segmented.aspect_lines[aspect] = list(all_lines)
+    return segmented
+
+
+def _annotate_domain(domain: str, sector: str, segmented: SegmentedPolicy,
+                     model: ChatModel,
+                     options: PipelineOptions) -> DomainAnnotations:
+    verifier = HallucinationVerifier(segmented.document.text)
+    annotate_options = options.annotate_options()
+
+    types = annotate_types(model, segmented, verifier, annotate_options)
+    purposes = annotate_purposes(model, segmented, verifier, annotate_options)
+    handling = annotate_handling(model, segmented, verifier, annotate_options)
+    rights = annotate_rights(model, segmented, verifier, annotate_options)
+
+    fallback_aspects = [
+        aspect.value
+        for aspect, outcome in (
+            (Aspect.TYPES, types),
+            (Aspect.PURPOSES, purposes),
+            (Aspect.HANDLING, handling),
+            (Aspect.RIGHTS, rights),
+        )
+        if outcome.used_fallback
+    ]
+    record = DomainAnnotations(
+        domain=domain,
+        sector=sector,
+        status="annotated",
+        types=types.annotations,
+        purposes=purposes.annotations,
+        handling=handling.annotations,
+        rights=rights.annotations,
+        fallback_aspects=fallback_aspects,
+        extracted_aspects=[a.value for a in segmented.extracted_aspects()],
+        policy_words=segmented.substantive_word_count(),
+        hallucinations_filtered=(
+            types.hallucinations + purposes.hallucinations
+            + handling.hallucinations + rights.hallucinations
+        ),
+    )
+    if not record.has_any_annotation():
+        record.status = "no-annotations"
+    return record

@@ -1,0 +1,145 @@
+"""Two-step policy segmentation (paper §3.2.1 and Appendix B).
+
+Step 1 — *segmentation based on headings*: when the combined document has
+more than five headings (``<h1>``–``<h6>`` plus standalone bold lines),
+assign body text to the preceding heading, build a table of contents, and
+ask the chatbot to label the TOC entries with the nine aspects.
+
+Step 2 — *segmentation via text analysis*: when step 1 yields no text for
+at least one of the four annotated aspects (types, purposes, handling,
+rights), feed the entire numbered text to a chatbot task that divides and
+labels it directly; results are merged into the step-1 map.
+
+A domain counts as a *successful extraction* when any aspect other than
+audiences/changes/other received text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chatbot.models import ChatModel
+from repro.chatbot.tasks import run_label_headings, run_segment_text
+from repro.errors import TaskOutputError
+from repro.htmlkit import TextDocument, build_sections, table_of_contents
+from repro.taxonomy import Aspect
+
+#: Minimum heading count for the heading-based path (Appendix B).
+MIN_HEADINGS = 5
+
+
+@dataclass
+class SegmentedPolicy:
+    """Per-aspect text of one domain's policy."""
+
+    domain: str
+    document: TextDocument
+    #: aspect -> ordered (line number, text) pairs.
+    aspect_lines: dict[Aspect, list[tuple[int, str]]] = field(default_factory=dict)
+    used_heading_path: bool = False
+    used_text_analysis: bool = False
+
+    def lines_for(self, aspect: Aspect) -> list[tuple[int, str]]:
+        return self.aspect_lines.get(aspect, [])
+
+    def all_lines(self) -> list[tuple[int, str]]:
+        return [(line.number, line.text) for line in self.document.lines]
+
+    def extracted_aspects(self) -> list[Aspect]:
+        return [aspect for aspect, lines in self.aspect_lines.items() if lines]
+
+    @property
+    def extraction_succeeded(self) -> bool:
+        """§3.2.1: text extracted for a substantive aspect."""
+        substantive = set(Aspect.substantive())
+        return any(
+            aspect in substantive and lines
+            for aspect, lines in self.aspect_lines.items()
+        )
+
+    def substantive_word_count(self) -> int:
+        """Words across aspects other than audiences/changes/other (the
+        paper's policy-length metric)."""
+        counted: set[int] = set()
+        total = 0
+        substantive = set(Aspect.substantive())
+        for aspect, lines in self.aspect_lines.items():
+            if aspect not in substantive:
+                continue
+            for number, text in lines:
+                if number not in counted:
+                    counted.add(number)
+                    total += len(text.split())
+        return total
+
+
+def segment_policy(domain: str, document: TextDocument,
+                   model: ChatModel) -> SegmentedPolicy:
+    """Run the two-step segmentation for one domain."""
+    result = SegmentedPolicy(domain=domain, document=document)
+    headings = document.headings()
+
+    if len(headings) > MIN_HEADINGS:
+        result.used_heading_path = True
+        _segment_by_headings(result, document, model)
+
+    missing = [
+        aspect for aspect in Aspect.annotated()
+        if not result.aspect_lines.get(aspect)
+    ]
+    if missing:
+        result.used_text_analysis = True
+        _segment_by_text(result, document, model)
+    return result
+
+
+def _segment_by_headings(result: SegmentedPolicy, document: TextDocument,
+                         model: ChatModel) -> None:
+    sections = build_sections(document)
+    toc = table_of_contents(document)
+    toc_payload = [(entry.line_number, "  " * entry.depth + entry.title)
+                   for entry in toc]
+    try:
+        labels = run_label_headings(model, toc_payload)
+    except TaskOutputError:
+        return
+    aspect_by_heading_line = {label.line: label.aspects for label in labels}
+    for section in sections:
+        if section.heading is None:
+            continue
+        aspects = aspect_by_heading_line.get(section.heading.number)
+        if not aspects:
+            continue
+        body = [
+            (line.number, line.text)
+            for line in section.body_lines(document)
+        ]
+        if not body:
+            continue
+        for aspect in aspects:
+            result.aspect_lines.setdefault(aspect, []).extend(body)
+
+
+def _segment_by_text(result: SegmentedPolicy, document: TextDocument,
+                     model: ChatModel) -> None:
+    lines = [(line.number, line.text) for line in document.lines]
+    if not lines:
+        return
+    try:
+        spans = run_segment_text(model, lines)
+    except TaskOutputError:
+        return
+    by_number = {line.number: line.text for line in document.lines}
+    for span in spans:
+        body = [
+            (number, by_number[number])
+            for number in range(span.start, span.end + 1)
+            if number in by_number
+        ]
+        if not body:
+            continue
+        existing = result.aspect_lines.setdefault(span.aspect, [])
+        known = {number for number, _ in existing}
+        existing.extend(
+            (number, text) for number, text in body if number not in known
+        )

@@ -1,0 +1,46 @@
+"""Programmatic hallucination filtering (paper §3.2.2).
+
+"To detect and remove hallucinations, we programmatically verify that the
+chatbot-generated annotations are indeed present in the privacy policy
+text." Verification is whitespace/case/punctuation-tolerant and accepts
+light plural-inflection differences (the chatbot is asked for the exact
+words, but "cookie" vs "cookies" should not count as a hallucination).
+"""
+
+from __future__ import annotations
+
+from repro._util.textproc import normalize_for_match
+from repro.chatbot.lexicon import stem_token
+
+
+class HallucinationVerifier:
+    """Checks that annotation evidence strings occur in the source text."""
+
+    def __init__(self, source_text: str):
+        self._normalized = " " + normalize_for_match(source_text) + " "
+        self._stems = set()
+        tokens = self._normalized.split()
+        self._stem_text = " " + " ".join(stem_token(t) for t in tokens) + " "
+
+    def contains(self, verbatim: str) -> bool:
+        """Whether ``verbatim`` appears in the source (fuzz-tolerant)."""
+        needle = normalize_for_match(verbatim)
+        if not needle:
+            return False
+        if needle in self._normalized:
+            return True
+        stemmed = " ".join(stem_token(t) for t in needle.split())
+        return f" {stemmed} " in self._stem_text or stemmed in self._stem_text
+
+
+def filter_verified(annotations, verifier: HallucinationVerifier,
+                    get_verbatim=lambda a: a.verbatim):
+    """Split annotations into (verified, hallucinated)."""
+    verified = []
+    hallucinated = []
+    for annotation in annotations:
+        if verifier.contains(get_verbatim(annotation)):
+            verified.append(annotation)
+        else:
+            hallucinated.append(annotation)
+    return verified, hallucinated

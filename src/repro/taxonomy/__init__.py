@@ -1,0 +1,57 @@
+"""Taxonomies and label sets for privacy-policy annotation.
+
+Public surface:
+
+- :class:`~repro.taxonomy.base.Aspect` — the nine policy aspects.
+- :data:`DATA_TYPE_TAXONOMY` — 6 meta-categories / 34 categories of
+  collected data types with normalized descriptors and surface forms.
+- :data:`PURPOSE_TAXONOMY` — 3 meta-categories / 7 categories of data
+  collection purposes.
+- Flat label sets for data handling (:data:`RETENTION_LABELS`,
+  :data:`PROTECTION_LABELS`) and user rights (:data:`CHOICE_LABELS`,
+  :data:`ACCESS_LABELS`).
+"""
+
+from repro.taxonomy.base import (
+    ASPECT_DEFINITIONS,
+    Aspect,
+    Category,
+    Descriptor,
+    DescriptorRef,
+    MetaCategory,
+    Taxonomy,
+)
+from repro.taxonomy.data_types import DATA_TYPE_TAXONOMY
+from repro.taxonomy.labels import (
+    ACCESS_LABELS,
+    CHOICE_LABELS,
+    HANDLING_LABEL_SETS,
+    PROTECTION_LABELS,
+    RETENTION_LABELS,
+    RIGHTS_LABEL_SETS,
+    LabelSet,
+    PracticeLabel,
+    all_labels,
+)
+from repro.taxonomy.purposes import PURPOSE_TAXONOMY
+
+__all__ = [
+    "ASPECT_DEFINITIONS",
+    "Aspect",
+    "Category",
+    "Descriptor",
+    "DescriptorRef",
+    "MetaCategory",
+    "Taxonomy",
+    "DATA_TYPE_TAXONOMY",
+    "PURPOSE_TAXONOMY",
+    "RETENTION_LABELS",
+    "PROTECTION_LABELS",
+    "CHOICE_LABELS",
+    "ACCESS_LABELS",
+    "HANDLING_LABEL_SETS",
+    "RIGHTS_LABEL_SETS",
+    "LabelSet",
+    "PracticeLabel",
+    "all_labels",
+]

@@ -1,0 +1,285 @@
+"""Core taxonomy data model.
+
+The paper's pipeline normalizes verbatim mentions against a manually curated
+taxonomy: a tree of *meta-categories* → *categories* → *normalized
+descriptors*. Each descriptor additionally carries the *surface forms* under
+which it appears in real policies (e.g. "mailing address" and "home address"
+both normalize to the descriptor ``postal address``); these double as the
+glossary examples attached to chatbot prompts and as the lexicon the
+simulated annotation engine matches against.
+
+Descriptors also carry a relative ``weight`` describing how often the term
+occurs in the wild; the synthetic corpus generator samples descriptors
+proportionally to weight so that within-category frequency shares reproduce
+the shape of the paper's Table 1 / Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro._util.textproc import normalize_for_match
+from repro.errors import TaxonomyError
+
+
+class Aspect(str, Enum):
+    """The nine aspects a privacy policy is segmented into (§3.2.1)."""
+
+    TYPES = "types"
+    METHODS = "methods"
+    PURPOSES = "purposes"
+    HANDLING = "handling"
+    SHARING = "sharing"
+    RIGHTS = "rights"
+    AUDIENCES = "audiences"
+    CHANGES = "changes"
+    OTHER = "other"
+
+    @classmethod
+    def annotated(cls) -> tuple["Aspect", ...]:
+        """Aspects for which annotations are produced (the study's focus)."""
+        return (cls.TYPES, cls.PURPOSES, cls.HANDLING, cls.RIGHTS)
+
+    @classmethod
+    def substantive(cls) -> tuple["Aspect", ...]:
+        """Aspects counting toward a *successful extraction* (§3.2.1).
+
+        The paper ignores ``audiences``, ``changes``, and ``other`` when
+        deciding whether text extraction succeeded.
+        """
+        return (
+            cls.TYPES,
+            cls.METHODS,
+            cls.PURPOSES,
+            cls.HANDLING,
+            cls.SHARING,
+            cls.RIGHTS,
+        )
+
+
+ASPECT_DEFINITIONS: dict[Aspect, str] = {
+    Aspect.TYPES: "What types or categories of data are collected.",
+    Aspect.METHODS: (
+        "How data may be collected, including methods, sources, or tools "
+        "used for data collection."
+    ),
+    Aspect.PURPOSES: (
+        "What are the purposes of data collection, including why data is "
+        "collected and how it is used."
+    ),
+    Aspect.HANDLING: (
+        "How the collected data is handled, stored, or protected, including "
+        "data processing, data retention, and security mechanisms."
+    ),
+    Aspect.SHARING: (
+        "Whether and how data is shared with or disclosed to third parties."
+    ),
+    Aspect.RIGHTS: (
+        "User rights, choices, and controls, including access, edit, "
+        "deletion, and opt-out options."
+    ),
+    Aspect.AUDIENCES: (
+        "Information related to specific audiences, e.g., children or users "
+        "from California, Europe, etc."
+    ),
+    Aspect.CHANGES: "If and how users will be informed of changes.",
+    Aspect.OTHER: (
+        "Information not covered above, including introductory or generic "
+        "statements, contact information, and other information not directly "
+        "related to data privacy."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """A normalized descriptor plus the surface forms that map onto it.
+
+    Attributes:
+        name: The normalized descriptor string (always lower-case).
+        surface_forms: Phrases that should normalize to this descriptor.
+            The descriptor name itself is always an implicit surface form.
+        weight: Relative sampling/popularity weight within its category.
+    """
+
+    name: str
+    surface_forms: tuple[str, ...] = ()
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaxonomyError("descriptor name must be non-empty")
+        if self.weight <= 0:
+            raise TaxonomyError(f"descriptor {self.name!r} has non-positive weight")
+
+    def all_surface_forms(self) -> tuple[str, ...]:
+        """All phrases mapping to this descriptor, including its own name."""
+        forms = [self.name]
+        for form in self.surface_forms:
+            if form != self.name:
+                forms.append(form)
+        return tuple(forms)
+
+
+@dataclass(frozen=True)
+class Category:
+    """A taxonomy category grouping related descriptors."""
+
+    name: str
+    descriptors: tuple[Descriptor, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.descriptors:
+            raise TaxonomyError(f"category {self.name!r} has no descriptors")
+        names = [d.name for d in self.descriptors]
+        if len(set(names)) != len(names):
+            raise TaxonomyError(f"category {self.name!r} has duplicate descriptors")
+
+    def descriptor(self, name: str) -> Descriptor:
+        for desc in self.descriptors:
+            if desc.name == name:
+                return desc
+        raise TaxonomyError(f"category {self.name!r} has no descriptor {name!r}")
+
+    def top_descriptors(self, n: int = 3) -> list[Descriptor]:
+        """The ``n`` highest-weight descriptors (Table 1's top-3 column)."""
+        return sorted(self.descriptors, key=lambda d: -d.weight)[:n]
+
+
+@dataclass(frozen=True)
+class MetaCategory:
+    """A top-level grouping of categories (e.g. "Physical profile")."""
+
+    name: str
+    categories: tuple[Category, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise TaxonomyError(f"meta-category {self.name!r} has no categories")
+
+    def category(self, name: str) -> Category:
+        for cat in self.categories:
+            if cat.name == name:
+                return cat
+        raise TaxonomyError(f"meta-category {self.name!r} has no category {name!r}")
+
+
+@dataclass(frozen=True)
+class DescriptorRef:
+    """Fully qualified position of a descriptor within a taxonomy."""
+
+    meta_category: str
+    category: str
+    descriptor: str
+
+
+@dataclass
+class Taxonomy:
+    """A complete taxonomy with fast lookup indexes.
+
+    The surface-form index maps the *normalized* form of every surface
+    phrase to its descriptor reference; ambiguous surface forms (one phrase
+    mapping to two descriptors) are rejected at construction time so the
+    normalizer is a function.
+    """
+
+    name: str
+    meta_categories: tuple[MetaCategory, ...]
+    _surface_index: dict[str, DescriptorRef] = field(init=False, repr=False)
+    _category_index: dict[str, tuple[str, Category]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._surface_index = {}
+        self._category_index = {}
+        for meta in self.meta_categories:
+            for cat in meta.categories:
+                if cat.name in self._category_index:
+                    raise TaxonomyError(
+                        f"duplicate category {cat.name!r} in taxonomy {self.name!r}"
+                    )
+                self._category_index[cat.name] = (meta.name, cat)
+                for desc in cat.descriptors:
+                    for form in desc.all_surface_forms():
+                        key = normalize_for_match(form)
+                        ref = DescriptorRef(meta.name, cat.name, desc.name)
+                        existing = self._surface_index.get(key)
+                        if existing is not None and existing != ref:
+                            raise TaxonomyError(
+                                f"surface form {form!r} is ambiguous: maps to "
+                                f"{existing} and {ref}"
+                            )
+                        self._surface_index[key] = ref
+
+    # -- lookups ---------------------------------------------------------
+
+    def categories(self) -> list[Category]:
+        return [cat for meta in self.meta_categories for cat in meta.categories]
+
+    def descriptors(self) -> list[Descriptor]:
+        return [d for cat in self.categories() for d in cat.descriptors]
+
+    def meta_category(self, name: str) -> MetaCategory:
+        for meta in self.meta_categories:
+            if meta.name == name:
+                return meta
+        raise TaxonomyError(f"taxonomy {self.name!r} has no meta-category {name!r}")
+
+    def category(self, name: str) -> Category:
+        try:
+            return self._category_index[name][1]
+        except KeyError:
+            raise TaxonomyError(
+                f"taxonomy {self.name!r} has no category {name!r}"
+            ) from None
+
+    def meta_of_category(self, name: str) -> str:
+        try:
+            return self._category_index[name][0]
+        except KeyError:
+            raise TaxonomyError(
+                f"taxonomy {self.name!r} has no category {name!r}"
+            ) from None
+
+    def lookup_surface(self, phrase: str) -> DescriptorRef | None:
+        """Resolve a verbatim phrase to its descriptor, or None if unknown."""
+        return self._surface_index.get(normalize_for_match(phrase))
+
+    def ref(self, category: str, descriptor: str) -> DescriptorRef:
+        """Build a validated :class:`DescriptorRef` for a known descriptor."""
+        try:
+            meta_name, cat = self._category_index[category]
+        except KeyError:
+            raise TaxonomyError(
+                f"taxonomy {self.name!r} has no category {category!r}"
+            ) from None
+        return DescriptorRef(meta_name, category, cat.descriptor(descriptor).name)
+
+    # -- stats -----------------------------------------------------------
+
+    def size(self) -> tuple[int, int, int]:
+        """Return ``(n_meta_categories, n_categories, n_descriptors)``."""
+        cats = self.categories()
+        return (
+            len(self.meta_categories),
+            len(cats),
+            sum(len(c.descriptors) for c in cats),
+        )
+
+    # -- glossary rendering ------------------------------------------------
+
+    def glossary_lines(self, max_terms_per_category: int = 8) -> list[str]:
+        """Render glossary lines for inclusion in a chatbot prompt.
+
+        One line per category listing its most common descriptors, mirroring
+        the glossaries in the paper's Figure 2 prompts.
+        """
+        lines: list[str] = []
+        for meta in self.meta_categories:
+            for cat in meta.categories:
+                terms = [d.name for d in cat.top_descriptors(max_terms_per_category)]
+                quoted = ", ".join(f'"{t}"' for t in terms)
+                lines.append(f"- **{cat.name}:** {quoted}")
+        return lines

@@ -1,0 +1,611 @@
+"""The collected-data-type taxonomy (paper §3.2.2, Tables 1/4/5).
+
+Six meta-categories, 34 categories, and ~125 normalized descriptors. Weights
+encode within-category frequency shares: for each category the paper reports
+its top-3 descriptors with percentages (Table 4); those are used verbatim as
+weights, and the remaining descriptors share the residual mass with decaying
+weights. Surface forms capture the synonym mappings the chatbot performs
+(e.g. "mailing address" → ``postal address``).
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy.base import Category, Descriptor, MetaCategory, Taxonomy
+
+
+def _d(name: str, *forms: str, w: float) -> Descriptor:
+    return Descriptor(name=name, surface_forms=tuple(forms), weight=w)
+
+
+# --------------------------------------------------------------------------
+# Physical profile
+# --------------------------------------------------------------------------
+
+CONTACT_INFO = Category(
+    name="Contact info",
+    description="Information used to contact an individual.",
+    descriptors=(
+        _d("email address", "e-mail address", "electronic mail address", w=27.3),
+        _d("postal address", "mailing address", "home address", "street address",
+           "physical address", w=25.6),
+        _d("phone number", "telephone number", "mobile number", "cell phone number",
+           "mobile phone number", w=25.1),
+        _d("contact info", "contact information", "contact details", w=12.0),
+        _d("fax number", "facsimile number", w=5.0),
+        _d("emergency contact", "emergency contact details", w=5.0),
+    ),
+)
+
+PERSONAL_IDENTIFIER = Category(
+    name="Personal identifier",
+    description="Identifiers tied to a natural person.",
+    descriptors=(
+        _d("name", "full name", "first and last name", "legal name", "surname", w=31.0),
+        _d("unique personal identifier", "unique identifier", "personal identifier",
+           w=11.7),
+        _d("social security number", "ssn", "social security no", w=8.6),
+        _d("date of birth", "birth date", "birthdate", w=8.0),
+        _d("driver's license number", "driver license number", "drivers license", w=7.5),
+        _d("passport number", "passport details", w=7.0),
+        _d("government-issued identifier", "government id", "national id number",
+           "state identification card number", w=6.5),
+        _d("signature specimen", "specimen signature", w=2.0),
+    ),
+)
+
+PROFESSIONAL_INFO = Category(
+    name="Professional info",
+    description="Employment and career-related information.",
+    descriptors=(
+        _d("employment history", "work history", "employment records", w=16.3),
+        _d("employer details", "employer name", "current employer", w=10.8),
+        _d("job title", "position title", "role title", w=10.5),
+        _d("professional info", "professional information", "professional details", w=9.0),
+        _d("salary information", "compensation details", "pay history", w=8.0),
+        _d("professional licenses", "professional certifications", w=7.0),
+        _d("resume", "cv", "curriculum vitae", w=6.5),
+        _d("work performance data", "performance reviews", w=4.0),
+    ),
+)
+
+DEMOGRAPHIC_INFO = Category(
+    name="Demographic info",
+    description="Demographic attributes of an individual.",
+    descriptors=(
+        _d("gender", "gender identity", "sex", w=14.1),
+        _d("age", "age range", "age group", w=10.6),
+        _d("demographic info", "demographic information", "demographic data", w=9.9),
+        _d("ethnicity", "race", "racial or ethnic origin", w=9.0),
+        _d("marital status", "family status", w=8.0),
+        _d("nationality", "national origin", w=7.0),
+        _d("citizenship", "citizenships held", "residency status", w=6.0),
+        _d("household data", "household composition", "family members", w=5.0),
+        _d("religion", "religious beliefs", w=3.5),
+        _d("political affiliation", "political opinions", w=3.0),
+    ),
+)
+
+EDUCATIONAL_INFO = Category(
+    name="Educational info",
+    description="Education-related records.",
+    descriptors=(
+        _d("educational info", "education information", "education history",
+           "educational background", w=30.7),
+        _d("schools attended", "educational institutions attended", w=6.4),
+        _d("degrees earned", "degrees", "academic degrees", w=5.5),
+        _d("academic transcripts", "grades", "academic records", w=5.0),
+        _d("student id", "student identification number", w=3.0),
+    ),
+)
+
+VEHICLE_INFO = Category(
+    name="Vehicle info",
+    description="Vehicle ownership and registration data.",
+    descriptors=(
+        _d("vehicle info", "vehicle information", "vehicle details", w=14.3),
+        _d("vin", "vehicle identification number", w=10.2),
+        _d("vehicle registration", "license plate number", "registration details", w=5.6),
+        _d("vehicle telematics", "driving behavior data", "vehicle usage data", w=4.0),
+    ),
+)
+
+PHYSICAL_PROFILE = MetaCategory(
+    name="Physical profile",
+    description="Data describing who a person is in the physical world.",
+    categories=(
+        CONTACT_INFO,
+        PERSONAL_IDENTIFIER,
+        PROFESSIONAL_INFO,
+        DEMOGRAPHIC_INFO,
+        EDUCATIONAL_INFO,
+        VEHICLE_INFO,
+    ),
+)
+
+# --------------------------------------------------------------------------
+# Digital profile
+# --------------------------------------------------------------------------
+
+DEVICE_INFO = Category(
+    name="Device info",
+    description="Information about a user's device and software.",
+    descriptors=(
+        _d("browser type", "type of browser", "type of browser software",
+           "browser version", w=22.4),
+        _d("operating system", "type of operating system", "os version", w=15.6),
+        _d("device identifier", "device id", "advertising identifier",
+           "mobile device identifier", w=12.9),
+        _d("device info", "device information", "device details", "device type",
+           w=11.0),
+        _d("hardware model", "device model", "device make and model", w=8.0),
+        _d("screen resolution", "display settings", w=5.0),
+        _d("device settings", "language settings", "time zone setting", w=5.0),
+        _d("mac address", "hardware address", w=4.0),
+    ),
+)
+
+ONLINE_IDENTIFIER = Category(
+    name="Online identifier",
+    description="Network-level identifiers of a user.",
+    descriptors=(
+        _d("ip address", "internet protocol address", "internet address",
+           "current internet address", w=65.5),
+        _d("online identifier", "online identifiers", w=9.1),
+        _d("domain name", "referring domain", w=3.9),
+        _d("session identifier", "session id", w=3.0),
+    ),
+)
+
+ACCOUNT_INFO = Category(
+    name="Account info",
+    description="Account registration and credential data.",
+    descriptors=(
+        _d("username", "user name", "login name", "user id", w=30.1),
+        _d("password", "account password", "login credentials", w=19.1),
+        _d("account info", "account information", "account details",
+           "registration information", w=9.0),
+        _d("account number", "customer number", "membership number", w=8.0),
+        _d("security questions", "security question answers", w=5.0),
+        _d("account preferences", "account settings data", w=4.0),
+    ),
+)
+
+NETWORK_CONNECTIVITY = Category(
+    name="Network connectivity",
+    description="Information about a user's network connection.",
+    descriptors=(
+        _d("isp", "internet service provider", w=21.6),
+        _d("internet connection", "connection type", "connection speed", w=17.3),
+        _d("network traffic", "network activity", "network logs", w=8.0),
+        _d("wifi network info", "wi-fi connection information", "network name", w=6.0),
+        _d("carrier information", "mobile carrier", "mobile network operator", w=5.0),
+    ),
+)
+
+SOCIAL_MEDIA_DATA = Category(
+    name="Social media data",
+    description="Data originating from social media platforms.",
+    descriptors=(
+        _d("social media handle", "social media username", "social media profile",
+           w=23.4),
+        _d("profile picture", "profile photo", "avatar", w=19.1),
+        _d("social media data", "social media information", "social network data",
+           w=9.4),
+        _d("friends list", "social connections", "contact lists from social media",
+           w=6.0),
+        _d("social media posts", "public posts", w=5.0),
+    ),
+)
+
+EXTERNAL_DATA = Category(
+    name="External data",
+    description="Data obtained from third-party sources.",
+    descriptors=(
+        _d("third-party data", "data from third parties", "information from third-party sources", w=24.8),
+        _d("data from partners", "partner data", "information from our partners", w=17.2),
+        _d("inferences", "inferred data", "derived data", "inferences drawn about you",
+           w=5.6),
+        _d("public records", "publicly available information", w=5.0),
+        _d("data broker data", "information from data brokers", w=3.0),
+    ),
+)
+
+DIGITAL_PROFILE = MetaCategory(
+    name="Digital profile",
+    description="Data describing a user's digital identity and devices.",
+    categories=(
+        DEVICE_INFO,
+        ONLINE_IDENTIFIER,
+        ACCOUNT_INFO,
+        NETWORK_CONNECTIVITY,
+        SOCIAL_MEDIA_DATA,
+        EXTERNAL_DATA,
+    ),
+)
+
+# --------------------------------------------------------------------------
+# Bio/health profile
+# --------------------------------------------------------------------------
+
+MEDICAL_INFO = Category(
+    name="Medical info",
+    description="Medical and health records.",
+    descriptors=(
+        _d("medical info", "medical information", "health information",
+           "health data", w=14.7),
+        _d("medical conditions", "health conditions", "diagnoses", w=10.1),
+        _d("disability status", "disability information", w=4.3),
+        _d("medical history", "patient history", "medical records", w=9.0),
+        _d("prescription information", "medications", "treatment information", w=8.0),
+        _d("mental health information", "behavioral health data", w=4.0),
+        _d("vaccination status", "immunization records", w=3.5),
+    ),
+)
+
+BIOMETRIC_DATA = Category(
+    name="Biometric data",
+    description="Biometric identifiers and measurements.",
+    descriptors=(
+        _d("biometric data", "biometric information", "biometric identifiers", w=25.0),
+        _d("facial data", "face geometry", "facial recognition data", "imagery of the face",
+           w=12.6),
+        _d("fingerprint", "fingerprints", "palm prints", w=10.9),
+        _d("voice print", "voice prints", "voiceprint", "voice recognition data", w=8.0),
+        _d("retina scan", "imagery of the iris or retina", "iris scan", w=6.0),
+        _d("dna data", "genetic information", "genetic data", w=4.0),
+    ),
+)
+
+PHYSICAL_CHARACTERISTIC = Category(
+    name="Physical characteristic",
+    description="Physical attributes of a person.",
+    descriptors=(
+        _d("physical characteristics", "physical description", "physical attributes",
+           w=46.6),
+        _d("weight", "body weight", w=7.3),
+        _d("height", "body height", w=6.3),
+        _d("eye color", "hair color", w=4.0),
+        _d("clothing size", "shoe size", w=3.0),
+        _d("photographs of you", "photos and images of you", "your photograph", w=5.0),
+    ),
+)
+
+FITNESS_HEALTH = Category(
+    name="Fitness & health",
+    description="Wellness, fitness, and activity tracking data.",
+    descriptors=(
+        _d("physical activity info", "physical activity data", "exercise data",
+           "activity levels", w=25.0),
+        _d("sleep patterns", "sleep data", "sleep tracking information", w=17.3),
+        _d("health metrics", "heart rate", "step counts", "vital signs", w=3.8),
+        _d("fitness goals", "wellness information", "fitness data", w=6.0),
+        _d("dietary information", "nutrition data", "dietary preferences", w=4.0),
+    ),
+)
+
+BIO_HEALTH_PROFILE = MetaCategory(
+    name="Bio/health profile",
+    description="Biometric, medical, and wellness data.",
+    categories=(
+        MEDICAL_INFO,
+        BIOMETRIC_DATA,
+        PHYSICAL_CHARACTERISTIC,
+        FITNESS_HEALTH,
+    ),
+)
+
+# --------------------------------------------------------------------------
+# Financial/legal profile
+# --------------------------------------------------------------------------
+
+FINANCIAL_INFO = Category(
+    name="Financial info",
+    description="Financial account and payment information.",
+    descriptors=(
+        _d("payment card info", "credit card number", "debit card number",
+           "payment card information", "credit or debit card details", w=25.6),
+        _d("financial info", "financial information", "financial data",
+           "financial details", w=15.3),
+        _d("bank account info", "bank account number", "bank account information",
+           "banking details", w=14.7),
+        _d("billing information", "billing address", "billing details", w=10.0),
+        _d("payment history", "payment records", w=6.0),
+        _d("tax information", "tax identification number", "taxpayer id", w=5.0),
+        _d("investment information", "brokerage account information", w=4.0),
+    ),
+)
+
+LEGAL_INFO = Category(
+    name="Legal info",
+    description="Legal records and documents.",
+    descriptors=(
+        _d("signature", "electronic signature", "your signature", w=21.2),
+        _d("background checks", "background check results", "background screening",
+           w=9.8),
+        _d("criminal records", "criminal history", "criminal background", w=7.2),
+        _d("legal info", "legal information", "legal records", w=8.0),
+        _d("court records", "litigation records", "legal proceedings", w=5.0),
+        _d("immigration status", "visa status", "work authorization", w=5.0),
+    ),
+)
+
+FINANCIAL_CAPABILITY = Category(
+    name="Financial capability",
+    description="Creditworthiness and income data.",
+    descriptors=(
+        _d("income", "income information", "income level", "annual income", w=17.6),
+        _d("credit history", "credit records", "credit information", w=13.9),
+        _d("credit score", "credit rating", "credit scores", w=7.6),
+        _d("assets", "asset information", "net worth", w=7.0),
+        _d("student loan information", "student loan financial information",
+           "loan information", w=5.0),
+        _d("debt obligations", "liabilities", "outstanding debts", w=4.0),
+    ),
+)
+
+INSURANCE_INFO = Category(
+    name="Insurance info",
+    description="Insurance coverage and claims data.",
+    descriptors=(
+        _d("health insurance", "health insurance information", "health plan details",
+           w=29.2),
+        _d("insurance policy number", "policy number", "insurance policy details",
+           w=19.5),
+        _d("insurance info", "insurance information", "insurance coverage", w=9.7),
+        _d("claims history", "insurance claims information", "claims data", w=7.0),
+        _d("beneficiary information", "beneficiary details", w=4.0),
+    ),
+)
+
+FINANCIAL_LEGAL_PROFILE = MetaCategory(
+    name="Financial/legal profile",
+    description="Financial, legal, and insurance data.",
+    categories=(
+        FINANCIAL_INFO,
+        LEGAL_INFO,
+        FINANCIAL_CAPABILITY,
+        INSURANCE_INFO,
+    ),
+)
+
+# --------------------------------------------------------------------------
+# Physical behavior
+# --------------------------------------------------------------------------
+
+PRECISE_LOCATION = Category(
+    name="Precise location",
+    description="Fine-grained geolocation data.",
+    descriptors=(
+        _d("gps location", "gps coordinates", "latitude and longitude coordinates",
+           "gps data", w=54.8),
+        _d("precise location", "precise geolocation", "exact location",
+           "precise location data", w=13.0),
+        _d("device location", "location of your device", "real-time device location",
+           w=4.1),
+        _d("geolocation data", "geolocation information", w=6.0),
+    ),
+)
+
+APPROXIMATE_LOCATION = Category(
+    name="Approximate location",
+    description="Coarse-grained location data.",
+    descriptors=(
+        _d("country", "country of residence", "country location", w=18.7),
+        _d("zip code", "postal code", "zip or postal code", w=18.0),
+        _d("approximate location", "general location", "approximate geolocation",
+           "coarse location", w=17.6),
+        _d("city", "city and state", "region", w=10.0),
+        _d("time zone", "timezone", w=5.0),
+    ),
+)
+
+TRAVEL_DATA = Category(
+    name="Travel data",
+    description="Travel and movement records.",
+    descriptors=(
+        _d("movement patterns", "movement data", "mobility patterns", w=26.1),
+        _d("travel history", "trip history", "places visited", w=10.9),
+        _d("travel data", "travel information", "travel details", w=2.2),
+        _d("itinerary information", "booking details", "flight information", w=6.0),
+        _d("commute information", "route information", w=3.0),
+    ),
+)
+
+PHYSICAL_INTERACTION = Category(
+    name="Physical interaction",
+    description="In-person interactions with the company.",
+    descriptors=(
+        _d("in-store interactions", "in-store activity", "store visits", w=43.3),
+        _d("event participation", "event attendance", w=4.4),
+        _d("interactions", "in-person interactions", w=4.4),
+        _d("cctv footage", "security camera footage", "video surveillance footage",
+           w=8.0),
+    ),
+)
+
+PHYSICAL_BEHAVIOR = MetaCategory(
+    name="Physical behavior",
+    description="Data about a person's behaviour in the physical world.",
+    categories=(
+        PRECISE_LOCATION,
+        APPROXIMATE_LOCATION,
+        TRAVEL_DATA,
+        PHYSICAL_INTERACTION,
+    ),
+)
+
+# --------------------------------------------------------------------------
+# Digital behavior
+# --------------------------------------------------------------------------
+
+INTERNET_USAGE = Category(
+    name="Internet usage",
+    description="Browsing and online activity data.",
+    descriptors=(
+        _d("browsing history", "browsing activity", "web browsing history",
+           "pages visited", "pages you view", w=14.5),
+        _d("search history", "search queries", "search terms", w=8.3),
+        _d("click behavior", "clickstream data", "clicks", "links clicked", w=7.7),
+        _d("online activity", "internet activity", "online behavior", w=10.0),
+        _d("referring url", "referring website", "referral source", "exit pages", w=7.0),
+        _d("time spent on pages", "visit duration", "session duration", w=6.0),
+        _d("date and time of access", "access times", "time and date of your visit",
+           w=6.0),
+        _d("interaction with advertisements", "ad interactions", "ads viewed", w=5.0),
+    ),
+)
+
+TRACKING_DATA = Category(
+    name="Tracking data",
+    description="Tracking technologies and the data they collect.",
+    descriptors=(
+        _d("cookies", "cookie data", "cookie identifiers", "browser cookies", w=43.4),
+        _d("web beacons", "pixel tags", "pixels", "clear gifs", w=19.0),
+        _d("online tracking technologies", "tracking technologies",
+           "similar tracking technologies", w=6.8),
+        _d("local storage", "html5 local storage", w=4.0),
+        _d("device fingerprint", "browser fingerprint", "fingerprinting data", w=3.0),
+        _d("sdk data", "embedded scripts", "software development kits", w=3.0),
+    ),
+)
+
+PRODUCT_SERVICE_USAGE = Category(
+    name="Product/service usage",
+    description="Usage of the company's products and services.",
+    descriptors=(
+        _d("user engagement metrics", "engagement data", "usage metrics",
+           "usage statistics", w=20.6),
+        _d("website usage", "use of our website", "site usage information", w=9.7),
+        _d("app usage", "application usage data", "use of our mobile app", w=9.1),
+        _d("feature usage", "features you use", "features accessed", w=7.0),
+        _d("service usage data", "use of our services", "usage of the services", w=8.0),
+        _d("usage frequency", "frequency of use", w=4.0),
+    ),
+)
+
+TRANSACTION_INFO = Category(
+    name="Transaction info",
+    description="Purchase and transaction records.",
+    descriptors=(
+        _d("purchase history", "purchasing history", "order history",
+           "products purchased", w=28.6),
+        _d("transaction info", "transaction information", "transaction data",
+           "transaction details", w=9.5),
+        _d("commercial info", "commercial information", w=5.5),
+        _d("order information", "order details", "shopping cart contents", w=8.0),
+        _d("return history", "refund requests", w=3.0),
+        _d("subscription details", "subscription information", w=4.0),
+    ),
+)
+
+PREFERENCES = Category(
+    name="Preferences",
+    description="User preferences and interests.",
+    descriptors=(
+        _d("language preferences", "preferred language", "language choice", w=20.3),
+        _d("preferences", "your preferences", "user preferences", w=16.5),
+        _d("product preferences", "shopping preferences", "favorite products", w=7.0),
+        _d("communication preferences", "marketing preferences",
+           "contact preferences", w=9.0),
+        _d("interests", "your interests", "areas of interest", w=8.0),
+        _d("wishlist items", "saved items", w=3.0),
+    ),
+)
+
+CONTENT_GENERATION = Category(
+    name="Content generation",
+    description="Content users create or upload.",
+    descriptors=(
+        _d("uploaded media", "photos you upload", "uploaded content",
+           "images you provide", "videos you upload", w=31.7),
+        _d("comments & posts", "comments", "posts", "comments and posts",
+           "user posts", w=9.1),
+        _d("audio recordings", "voice recordings", "recordings of calls", w=4.5),
+        _d("user-generated content", "content you create", "content you submit",
+           w=10.0),
+        _d("reviews", "product reviews", "ratings and reviews", w=6.0),
+    ),
+)
+
+COMMUNICATION_DATA = Category(
+    name="Communication data",
+    description="Records of communications with or through the company.",
+    descriptors=(
+        _d("email records", "email communications", "emails you send us",
+           "email correspondence", w=23.4),
+        _d("call records", "call recordings", "phone call records", "call logs", w=15.3),
+        _d("communication data", "communications", "communication records",
+           "correspondence", w=9.0),
+        _d("chat transcripts", "chat logs", "live chat records", "chat messages",
+           w=8.0),
+        _d("text messages", "sms messages", "message content", w=6.0),
+    ),
+)
+
+FEEDBACK_DATA = Category(
+    name="Feedback data",
+    description="Feedback, surveys, and support interactions.",
+    descriptors=(
+        _d("survey responses", "survey answers", "questionnaire responses", w=26.1),
+        _d("cust. service interactions", "customer service interactions",
+           "customer support interactions", "support requests", w=13.9),
+        _d("feedback data", "feedback", "your feedback", "customer feedback", w=9.9),
+        _d("complaints", "complaint records", w=5.0),
+        _d("contest entries", "sweepstakes entries", "promotion entries", w=4.0),
+    ),
+)
+
+CONTENT_CONSUMPTION = Category(
+    name="Content consumption",
+    description="Content users access or download.",
+    descriptors=(
+        _d("accessed content", "content you access", "content viewed",
+           "content you view", w=62.0),
+        _d("downloaded content", "downloads", "files downloaded", w=6.2),
+        _d("access logs", "server logs", "log files", "log data", w=5.3),
+        _d("viewing history", "watch history", "media consumption", w=6.0),
+    ),
+)
+
+DIAGNOSTIC_DATA = Category(
+    name="Diagnostic data",
+    description="Software diagnostics and performance data.",
+    descriptors=(
+        _d("error reports", "error logs", "system errors", w=13.4),
+        _d("crash reports", "crash data", "crash logs", w=10.7),
+        _d("diagnostic data", "diagnostic information", "diagnostics", w=9.1),
+        _d("performance data", "performance metrics", "app performance data", w=8.0),
+        _d("debug information", "debugging data", w=3.0),
+    ),
+)
+
+DIGITAL_BEHAVIOR = MetaCategory(
+    name="Digital behavior",
+    description="Data about a user's behaviour in the digital world.",
+    categories=(
+        INTERNET_USAGE,
+        TRACKING_DATA,
+        PRODUCT_SERVICE_USAGE,
+        TRANSACTION_INFO,
+        PREFERENCES,
+        CONTENT_GENERATION,
+        COMMUNICATION_DATA,
+        FEEDBACK_DATA,
+        CONTENT_CONSUMPTION,
+        DIAGNOSTIC_DATA,
+    ),
+)
+
+# --------------------------------------------------------------------------
+
+DATA_TYPE_TAXONOMY = Taxonomy(
+    name="data-types",
+    meta_categories=(
+        PHYSICAL_PROFILE,
+        DIGITAL_PROFILE,
+        BIO_HEALTH_PROFILE,
+        FINANCIAL_LEGAL_PROFILE,
+        PHYSICAL_BEHAVIOR,
+        DIGITAL_BEHAVIOR,
+    ),
+)

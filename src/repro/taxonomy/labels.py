@@ -1,0 +1,336 @@
+"""Label sets for data handling and user rights (paper §3.2.2, Table 1).
+
+Unlike data types and purposes — which are normalized against a hierarchical
+taxonomy — retention, protection, choices, and access annotations use flat
+label sets based on the practices defined by Wilson et al. Each label
+carries *cue phrases*: canonical sentence fragments that signal the practice.
+The synthetic policy generator realizes a practice by rendering one of its
+cue phrases into a sentence, and the simulated annotation engine detects the
+practice by matching cue phrases (with the usual fuzz tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TaxonomyError
+
+
+@dataclass(frozen=True)
+class PracticeLabel:
+    """A single handling/rights practice label.
+
+    Attributes:
+        name: Canonical label name as reported in the paper's tables.
+        meta_category: Which group the label belongs to ("Data retention",
+            "Data protection", "User choices", or "User access").
+        description: Human-readable description (Table 1's description column).
+        cues: Phrases whose presence signals this practice.
+    """
+
+    name: str
+    meta_category: str
+    description: str
+    cues: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cues:
+            raise TaxonomyError(f"label {self.name!r} has no cue phrases")
+
+
+@dataclass(frozen=True)
+class LabelSet:
+    """A named, ordered collection of practice labels."""
+
+    name: str
+    labels: tuple[PracticeLabel, ...]
+
+    def __post_init__(self) -> None:
+        names = [lab.name for lab in self.labels]
+        if len(set(names)) != len(names):
+            raise TaxonomyError(f"label set {self.name!r} has duplicate labels")
+
+    def label(self, name: str) -> PracticeLabel:
+        for lab in self.labels:
+            if lab.name == name:
+                return lab
+        raise TaxonomyError(f"label set {self.name!r} has no label {name!r}")
+
+    def names(self) -> list[str]:
+        return [lab.name for lab in self.labels]
+
+
+RETENTION_LABELS = LabelSet(
+    name="Data retention",
+    labels=(
+        PracticeLabel(
+            name="Limited",
+            meta_category="Data retention",
+            description="Retention period is limited but unspecified.",
+            cues=(
+                "retain your personal information for as long as necessary",
+                "keep your data only as long as needed",
+                "retain your information for as long as required to fulfill the purposes",
+                "no longer than is necessary for the purposes",
+                "retained for a limited period",
+                "as long as reasonably necessary",
+            ),
+        ),
+        PracticeLabel(
+            name="Stated",
+            meta_category="Data retention",
+            description="Retention period is specified (and extracted by the chatbot).",
+            cues=(
+                "retain your personal information for {period}",
+                "we keep your data for {period}",
+                "retained for a period of {period}",
+                "retain your personal information for the period you are actively "
+                "using our services plus {period}",
+                "stored for {period} after your last interaction",
+            ),
+        ),
+        PracticeLabel(
+            name="Indefinitely",
+            meta_category="Data retention",
+            description="Collected data is retained indefinitely.",
+            cues=(
+                "retain your information indefinitely",
+                "keep your data indefinitely",
+                "may be retained indefinitely",
+                "retained for an indefinite period",
+            ),
+        ),
+    ),
+)
+
+PROTECTION_LABELS = LabelSet(
+    name="Data protection",
+    labels=(
+        PracticeLabel(
+            name="Generic",
+            meta_category="Data protection",
+            description="Generic statement regarding data protection/security.",
+            cues=(
+                "commercially reasonable administrative, technical, and organizational safeguards",
+                "appropriate technical and organizational measures",
+                "reasonable security measures to protect your information",
+                "industry standard safeguards to protect your data",
+                "we take the security of your data seriously",
+                "appropriate physical, electronic, and managerial procedures",
+            ),
+        ),
+        PracticeLabel(
+            name="Access limit",
+            meta_category="Data protection",
+            description="Data access is restricted on a need-to-know basis.",
+            cues=(
+                "access to your personal information is restricted to employees who need it",
+                "limit access to your data on a need-to-know basis",
+                "only authorized personnel may access your information",
+                "access is limited to those with a business need to know",
+            ),
+        ),
+        PracticeLabel(
+            name="Secure transfer",
+            meta_category="Data protection",
+            description="Data transfer is secured, e.g., via encryption.",
+            cues=(
+                "secure socket layer (ssl) encryption technology for payment transactions",
+                "data is encrypted in transit using tls",
+                "transmitted over encrypted connections",
+                "encrypted during transmission",
+                "uses https to protect data in transit",
+            ),
+        ),
+        PracticeLabel(
+            name="Secure storage",
+            meta_category="Data protection",
+            description="Data is stored securely, e.g., in an encrypted format or database.",
+            cues=(
+                "stored in encrypted databases",
+                "data is encrypted at rest",
+                "stored on secure servers",
+                "maintained in a secure, encrypted format",
+            ),
+        ),
+        PracticeLabel(
+            name="Privacy program",
+            meta_category="Data protection",
+            description="Company has a data privacy/protection program.",
+            cues=(
+                "we maintain a comprehensive data privacy program",
+                "our information security program",
+                "dedicated privacy office oversees data protection",
+                "company-wide data protection program",
+            ),
+        ),
+        PracticeLabel(
+            name="Privacy review",
+            meta_category="Data protection",
+            description="Privacy measures and data protection practices are reviewed/audited.",
+            cues=(
+                "regularly review our security practices",
+                "our data protection practices are audited",
+                "periodic assessments of our privacy safeguards",
+                "security measures are reviewed on a regular basis",
+            ),
+        ),
+        PracticeLabel(
+            name="Secure authentication",
+            meta_category="Data protection",
+            description="User authentication is secured, e.g., via encryption or 2FA.",
+            cues=(
+                "two-factor authentication is available to protect your account",
+                "passwords are stored in hashed form",
+                "multi-factor authentication",
+                "credentials are encrypted",
+            ),
+        ),
+    ),
+)
+
+CHOICE_LABELS = LabelSet(
+    name="User choices",
+    labels=(
+        PracticeLabel(
+            name="Opt-out via contact",
+            meta_category="User choices",
+            description="Users must directly contact the company (e.g., via email) to opt-out.",
+            cues=(
+                "to opt out, contact us at",
+                "you may opt out by emailing us",
+                "opt out of marketing communications by contacting us",
+                "email us to withdraw your consent",
+                "unsubscribe by writing to us at",
+            ),
+        ),
+        PracticeLabel(
+            name="Opt-out via link",
+            meta_category="User choices",
+            description="Users can opt-out via a link provided by the company.",
+            cues=(
+                "click the opt-out of sale/sharing request tab on this page",
+                "use the unsubscribe link included in every email",
+                "opt out through the link provided below",
+                "click here to opt out of targeted advertising",
+                "follow the do not sell my personal information link",
+            ),
+        ),
+        PracticeLabel(
+            name="Privacy settings",
+            meta_category="User choices",
+            description="Company provides controls via a dedicated privacy settings page.",
+            cues=(
+                "change your preferences as well as update your personal information "
+                "through your account settings",
+                "manage your privacy preferences in your account settings",
+                "adjust your privacy settings at any time",
+                "privacy dashboard lets you control how your data is used",
+            ),
+        ),
+        PracticeLabel(
+            name="Opt-in",
+            meta_category="User choices",
+            description="Users must consent before data can be collected, used, or shared.",
+            cues=(
+                "we will obtain your consent before collecting",
+                "only with your prior consent",
+                "you must opt in before we share your information",
+                "with your explicit consent",
+            ),
+        ),
+        PracticeLabel(
+            name="Do not use",
+            meta_category="User choices",
+            description="The only option is for users to not use a feature or service.",
+            cues=(
+                "if you do not agree with this policy, please do not use our services",
+                "your only choice is to stop using the website",
+                "you may choose not to use the feature",
+                "if you disable cookies, some features may be unavailable to you",
+            ),
+        ),
+    ),
+)
+
+ACCESS_LABELS = LabelSet(
+    name="User access",
+    labels=(
+        PracticeLabel(
+            name="Edit",
+            meta_category="User access",
+            description="Users can modify, correct, or delete specific data.",
+            cues=(
+                "see and/or update certain of your personal information",
+                "request that we correct inaccurate information",
+                "you may update or correct your personal information",
+                "right to rectify your personal data",
+                "modify the information in your profile",
+            ),
+        ),
+        PracticeLabel(
+            name="Full delete",
+            meta_category="User access",
+            description="Users can fully delete their account (all data is removed from servers/databases).",
+            cues=(
+                "request that we delete your personal information",
+                "right to erasure of your personal data",
+                "you may delete your account and all associated data",
+                "request deletion of all your data from our servers",
+            ),
+        ),
+        PracticeLabel(
+            name="View",
+            meta_category="User access",
+            description="Users can view their data.",
+            cues=(
+                "request access to the personal information we hold about you",
+                "right to know what personal data we have collected",
+                "you may request a summary of your personal information",
+                "view the data we have collected about you",
+            ),
+        ),
+        PracticeLabel(
+            name="Export",
+            meta_category="User access",
+            description="Users can export or obtain a copy of their data.",
+            cues=(
+                "obtain a copy of your personal information",
+                "right to data portability",
+                "request your data in a portable format",
+                "export your information in a machine-readable format",
+            ),
+        ),
+        PracticeLabel(
+            name="Partial delete",
+            meta_category="User access",
+            description="Users can partially delete their account (company may retain some of their data).",
+            cues=(
+                "we may retain certain information as required by law after deletion",
+                "some data may be retained after you delete your account",
+                "delete portions of your information, though we may keep records "
+                "needed for legal purposes",
+            ),
+        ),
+        PracticeLabel(
+            name="Deactivate",
+            meta_category="User access",
+            description="Users can deactivate their account (company retains access to their data).",
+            cues=(
+                "you may deactivate your account at any time",
+                "deactivating your account does not remove your data from our systems",
+                "account deactivation is available in your settings",
+            ),
+        ),
+    ),
+)
+
+
+HANDLING_LABEL_SETS = (RETENTION_LABELS, PROTECTION_LABELS)
+RIGHTS_LABEL_SETS = (CHOICE_LABELS, ACCESS_LABELS)
+
+
+def all_labels() -> list[PracticeLabel]:
+    """Every handling/rights label across the four sets."""
+    sets = HANDLING_LABEL_SETS + RIGHTS_LABEL_SETS
+    return [label for label_set in sets for label in label_set.labels]

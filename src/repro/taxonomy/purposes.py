@@ -1,0 +1,189 @@
+"""The data-collection-purpose taxonomy (paper §3.2.2, Tables 1/2b).
+
+Three meta-categories (Operations, Legal, Third-party), seven categories,
+and 48 normalized descriptors. Weights encode the within-category frequency
+shares reported in Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy.base import Category, Descriptor, MetaCategory, Taxonomy
+
+
+def _d(name: str, *forms: str, w: float) -> Descriptor:
+    return Descriptor(name=name, surface_forms=tuple(forms), weight=w)
+
+
+BASIC_FUNCTIONING = Category(
+    name="Basic functioning",
+    description="Operating, providing, and administering the service.",
+    descriptors=(
+        _d("cust. service", "customer service", "provide customer support",
+           "respond to your inquiries", w=9.3),
+        _d("cust. communication", "customer communication", "communicate with you",
+           "send you notifications", w=8.0),
+        _d("transaction processing", "process transactions", "process your orders",
+           "complete purchases", "process payments", w=4.8),
+        _d("service provision", "provide our services", "deliver our products",
+           "operate the website", w=8.5),
+        _d("account management", "manage your account", "maintain your account",
+           "account administration", w=6.0),
+        _d("contract fulfillment", "performance of a contract",
+           "for the performance of a contract or to conduct business with you",
+           "fulfill our contractual obligations", w=5.0),
+        _d("order fulfillment", "fulfill your orders", "ship your orders",
+           "deliver purchases", w=5.0),
+        _d("service administration", "administer the services",
+           "internal administration", w=4.0),
+        _d("technical support", "troubleshooting", "provide technical assistance",
+           w=4.0),
+        _d("recruitment", "process your job application", "evaluate candidates",
+           "recruiting purposes", w=3.5),
+        _d("billing", "billing purposes", "invoicing", "collect payments", w=4.0),
+        _d("identity verification", "verify your identity", "confirm your identity",
+           w=3.5),
+    ),
+)
+
+USER_EXPERIENCE = Category(
+    name="User experience",
+    description="Improving and personalizing the user experience.",
+    descriptors=(
+        _d("product improvement", "improve our products", "improve our services",
+           "enhance our offerings", w=20.1),
+        _d("personalization", "personalize your experience", "customize content",
+           "tailor our services to you", w=16.3),
+        _d("quality assurance", "quality control", "ensure quality of service", w=4.4),
+        _d("user experience enhancement", "enhance user experience",
+           "improve your experience", w=8.0),
+        _d("content recommendation", "recommend content", "suggest products",
+           "provide recommendations", w=5.0),
+        _d("remember preferences", "remember your settings", "save your preferences",
+           w=5.0),
+        _d("accessibility", "accessibility improvements", w=2.0),
+    ),
+)
+
+ANALYTICS_RESEARCH = Category(
+    name="Analytics & research",
+    description="Analytics, measurement, and research.",
+    descriptors=(
+        _d("analytics", "perform analytics", "data analytics", "web analytics",
+           "usage analytics", w=17.4),
+        _d("product/service development", "develop new products",
+           "develop new services", "product development", w=8.6),
+        _d("research", "conduct research", "research purposes", "market research",
+           w=6.2),
+        _d("statistical analysis", "statistical purposes", "aggregate statistics",
+           w=6.0),
+        _d("trend analysis", "understand usage trends", "analyze trends", w=5.0),
+        _d("performance measurement", "measure effectiveness",
+           "measure the performance of our website", w=5.0),
+        _d("audience measurement", "understand our audience",
+           "understand our user base", w=3.0),
+    ),
+)
+
+OPERATIONS = MetaCategory(
+    name="Operations",
+    description="Purposes serving the company's basic operations.",
+    categories=(BASIC_FUNCTIONING, USER_EXPERIENCE, ANALYTICS_RESEARCH),
+)
+
+LEGAL_COMPLIANCE = Category(
+    name="Legal & compliance",
+    description="Meeting legal and regulatory obligations.",
+    descriptors=(
+        _d("legal compliance", "comply with legal obligations", "comply with the law",
+           "comply with applicable laws", w=28.1),
+        _d("regulatory compliance", "comply with regulations",
+           "meet regulatory requirements", w=10.2),
+        _d("policy compliance", "enforce our policies", "enforce our terms of service",
+           "enforce our agreements", w=7.4),
+        _d("legal claims", "establish or defend legal claims",
+           "exercise or defend legal rights", w=6.0),
+        _d("law enforcement requests", "respond to law enforcement",
+           "respond to lawful requests", "respond to subpoenas", w=6.0),
+        _d("dispute resolution", "resolve disputes", w=4.0),
+        _d("audit obligations", "auditing purposes", "internal audits", w=3.0),
+        _d("record keeping", "maintain business records", "record retention obligations",
+           w=3.0),
+    ),
+)
+
+SECURITY = Category(
+    name="Security",
+    description="Protecting the service, company, and users.",
+    descriptors=(
+        _d("fraud prevention", "prevent fraud", "detect fraud",
+           "detect and prevent fraudulent activity", w=21.8),
+        _d("authentication", "authenticate users", "verify your credentials", w=6.6),
+        _d("product/service safety", "protect the safety of our services",
+           "keep our services safe", "safety of our users", w=5.4),
+        _d("security monitoring", "monitor for security threats",
+           "detect security incidents", "protect against malicious activity", w=8.0),
+        _d("abuse prevention", "prevent abuse", "prevent misuse of our services",
+           w=5.0),
+        _d("network protection", "protect our network", "secure our systems", w=4.0),
+        _d("risk management", "assess and manage risk", "risk assessment", w=3.0),
+    ),
+)
+
+LEGAL = MetaCategory(
+    name="Legal",
+    description="Purposes serving legal, compliance, and security needs.",
+    categories=(LEGAL_COMPLIANCE, SECURITY),
+)
+
+ADVERTISING_SALES = Category(
+    name="Advertising & sales",
+    description="Marketing, advertising, and sales purposes.",
+    descriptors=(
+        _d("direct marketing", "marketing communications", "send you marketing materials",
+           "send promotional emails", w=20.8),
+        _d("promotions", "promotional offers", "special offers", "contests and sweepstakes",
+           w=18.8),
+        _d("targeted advertising", "interest-based advertising",
+           "personalized advertising", "behavioral advertising", w=16.3),
+        _d("advertising", "display advertisements", "serve ads",
+           "advertising purposes", w=10.0),
+        _d("ad measurement", "measure ad effectiveness",
+           "measure advertising performance", w=5.0),
+        _d("lead generation", "identify prospective customers", "sales outreach", w=4.0),
+        _d("cross-device marketing", "cross-device advertising", w=2.0),
+    ),
+)
+
+DATA_SHARING = Category(
+    name="Data sharing",
+    description="Sharing or disclosing data to third parties.",
+    descriptors=(
+        _d("third-party sharing", "share with third parties",
+           "disclose to third parties", "share your information with third parties",
+           w=18.8),
+        _d("sharing with partners", "share with our partners",
+           "provide personal information to our affiliated businesses",
+           "share with business partners", w=15.0),
+        _d("anonymization", "share aggregated data", "share anonymized data",
+           "de-identified data sharing", w=4.3),
+        _d("data sharing with affiliates", "share with our affiliates",
+           "share within our corporate group", w=8.0),
+        _d("data for sale", "sell your personal information", "sale of personal data",
+           "may sell your information", w=0.6),
+        _d("sharing with service providers", "share with our service providers",
+           "disclose to vendors", "share with processors", w=10.0),
+        _d("corporate transactions", "merger or acquisition",
+           "business transfers", w=4.0),
+    ),
+)
+
+THIRD_PARTY = MetaCategory(
+    name="Third-party",
+    description="Purposes involving third parties.",
+    categories=(ADVERTISING_SALES, DATA_SHARING),
+)
+
+PURPOSE_TAXONOMY = Taxonomy(
+    name="purposes",
+    meta_categories=(OPERATIONS, LEGAL, THIRD_PARTY),
+)

@@ -1,0 +1,55 @@
+"""Validation studies: §4 failure audit & precision, §6 model comparison."""
+
+from repro.validation.failures import (
+    BLOCKED,
+    CRAWLER_EXCEPTION,
+    DYNAMIC_CONTENT,
+    LINK_NOT_DETECTED,
+    NO_POLICY,
+    NON_ENGLISH,
+    OTHER,
+    PDF_POLICY,
+    FailureAudit,
+    FailureDiagnosis,
+    audit_failures,
+    diagnose_domain,
+    failed_domains,
+    ground_truth_confusion,
+)
+from repro.validation.model_compare import (
+    ExtractionJudgement,
+    ModelStudyResult,
+    compare_models,
+)
+from repro.validation.precision import (
+    SAMPLE_PLAN,
+    AspectPrecision,
+    PrecisionReport,
+    full_precision,
+    sampled_precision,
+)
+
+__all__ = [
+    "BLOCKED",
+    "CRAWLER_EXCEPTION",
+    "DYNAMIC_CONTENT",
+    "LINK_NOT_DETECTED",
+    "NO_POLICY",
+    "NON_ENGLISH",
+    "OTHER",
+    "PDF_POLICY",
+    "FailureAudit",
+    "FailureDiagnosis",
+    "audit_failures",
+    "diagnose_domain",
+    "failed_domains",
+    "ground_truth_confusion",
+    "ExtractionJudgement",
+    "ModelStudyResult",
+    "compare_models",
+    "SAMPLE_PLAN",
+    "AspectPrecision",
+    "PrecisionReport",
+    "full_precision",
+    "sampled_precision",
+]

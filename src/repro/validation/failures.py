@@ -1,0 +1,178 @@
+"""Crawl/extraction failure audit (paper §4).
+
+The paper manually examined 50 randomly selected failed domains and
+attributed each failure to a cause (27 with no policy at all, 11
+crawler-related, 5 undetectable links, 5 PDF policies, 2 non-English).
+We reproduce the protocol: sample failures, diagnose each from the
+*observable* crawl evidence (error reasons, statuses, content types,
+homepage links, page text), and fall back to the corpus ground truth only
+where the paper needed human judgment (deciding that a site genuinely has
+no policy).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.corpus.build import SyntheticCorpus
+from repro.crawler.crawler import PrivacyCrawler
+from repro.crawler.links import extract_links
+from repro.htmlkit import html_to_text
+from repro.lang import detect_language, is_mixed_language
+from repro.pipeline.runner import PipelineResult
+from repro.web.browser import Browser
+
+#: Audit categories, aligned with the paper's §4 taxonomy.
+NO_POLICY = "no-privacy-policy"
+CRAWLER_EXCEPTION = "crawler-exception"
+BLOCKED = "blocked-crawl"
+DYNAMIC_CONTENT = "dynamic-js-content"
+LINK_NOT_DETECTED = "link-not-detected"
+PDF_POLICY = "pdf-policy"
+NON_ENGLISH = "non-english"
+OTHER = "other"
+
+
+@dataclass
+class FailureDiagnosis:
+    """Audit result for one failed domain."""
+
+    domain: str
+    stage: str  # "crawl" | "extract"
+    category: str
+    evidence: str
+
+
+@dataclass
+class FailureAudit:
+    """Outcome of a §4-style failure audit."""
+
+    sample_size: int
+    diagnoses: list[FailureDiagnosis] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        return dict(Counter(d.category for d in self.diagnoses))
+
+
+def failed_domains(result: PipelineResult) -> list[tuple[str, str]]:
+    """(domain, stage) pairs for crawl and extraction failures."""
+    failures: list[tuple[str, str]] = []
+    for record in result.records:
+        if record.status == "crawl-failed":
+            failures.append((record.domain, "crawl"))
+        elif record.status == "extract-failed":
+            failures.append((record.domain, "extract"))
+    return failures
+
+
+def diagnose_domain(corpus: SyntheticCorpus, domain: str,
+                    stage: str) -> FailureDiagnosis:
+    """Diagnose one failure from observable evidence.
+
+    Re-crawls the domain with an instrumented browser and inspects what
+    comes back, the way a human auditor with a real browser would.
+    """
+    browser = Browser(internet=corpus.internet)
+    crawler = PrivacyCrawler(browser)
+    crawl = crawler.crawl_domain(domain)
+
+    homepage = crawl.homepage
+    if homepage is None or (not homepage.ok and homepage.error):
+        reason = homepage.error if homepage else "no-response"
+        if reason in ("timeout", "connection-reset", "dns"):
+            return FailureDiagnosis(domain, stage, CRAWLER_EXCEPTION,
+                                    f"homepage fetch failed: {reason}")
+        if reason == "robots-disallowed":
+            return FailureDiagnosis(domain, stage, BLOCKED,
+                                    "robots.txt disallows crawling")
+    if homepage is not None and homepage.status == 403:
+        return FailureDiagnosis(domain, stage, BLOCKED,
+                                "homepage returns 403 to crawler agents")
+
+    # PDF policies: a privacy link leads to a PDF document.
+    for page in crawl.potential_privacy_pages():
+        if page.is_pdf:
+            return FailureDiagnosis(domain, stage, PDF_POLICY,
+                                    f"policy served as PDF at {page.requested_url}")
+
+    # Language issues on retained pages.
+    for page in crawl.potential_privacy_pages():
+        text = html_to_text(page.html)
+        guess = detect_language(text)
+        if guess.language not in ("en", "und"):
+            return FailureDiagnosis(domain, stage, NON_ENGLISH,
+                                    f"policy page language: {guess.language}")
+        if is_mixed_language(text):
+            return FailureDiagnosis(domain, stage, NON_ENGLISH,
+                                    "policy combines multiple languages")
+
+    if homepage is not None and homepage.ok:
+        links = extract_links(homepage.html, homepage.final_url)
+        privacy_links = [l for l in links if l.mentions_privacy()]
+        if not privacy_links:
+            # Distinguish "no policy exists" from "policy exists but the
+            # link does not say privacy" — the judgment call the paper's
+            # authors made by browsing the site; we consult the blueprint.
+            mode = corpus.failure_mode_of.get(domain)
+            if mode == "legal-notice-link":
+                legalish = [l.text for l in links
+                            if "legal" in l.text.lower()]
+                return FailureDiagnosis(
+                    domain, stage, LINK_NOT_DETECTED,
+                    f"policy behind non-privacy link text {legalish[:1]}")
+            if mode == "js-action-link":
+                return FailureDiagnosis(
+                    domain, stage, LINK_NOT_DETECTED,
+                    "privacy link triggers a JavaScript action instead of "
+                    "navigation")
+            if mode in ("js-dynamic-nav", "consent-box-link"):
+                return FailureDiagnosis(
+                    domain, stage, LINK_NOT_DETECTED
+                    if mode == "consent-box-link" else DYNAMIC_CONTENT,
+                    "privacy link only appears in dynamic UI (consent box / "
+                    "client-side navigation)")
+            return FailureDiagnosis(domain, stage, NO_POLICY,
+                                    "no privacy link or policy path found")
+
+    # Crawl found pages but extraction failed: inspect page content.
+    for page in crawl.potential_privacy_pages():
+        text = html_to_text(page.html)
+        if "<img" in page.html and len(text.split()) < 80 and \
+                "privacy" in text.lower():
+            return FailureDiagnosis(domain, stage, DYNAMIC_CONTENT,
+                                    "policy appears to be an image scan")
+        if len(text.split()) < 80:
+            lowered = page.html.lower()
+            if "policy-root" in lowered or "<details" in lowered:
+                return FailureDiagnosis(domain, stage, DYNAMIC_CONTENT,
+                                        "policy content not present in "
+                                        "rendered HTML (dynamic/collapsed)")
+    if stage == "extract":
+        return FailureDiagnosis(domain, stage, NO_POLICY,
+                                "pages contain no substantive policy text")
+    return FailureDiagnosis(domain, stage, OTHER, "undetermined")
+
+
+def audit_failures(corpus: SyntheticCorpus, result: PipelineResult,
+                   sample_size: int = 50, seed: int = 0) -> FailureAudit:
+    """Run the §4 audit protocol on a random sample of failures."""
+    failures = failed_domains(result)
+    rng = random.Random(seed)
+    sample = failures if len(failures) <= sample_size else \
+        rng.sample(failures, sample_size)
+    audit = FailureAudit(sample_size=len(sample))
+    for domain, stage in sample:
+        audit.diagnoses.append(diagnose_domain(corpus, domain, stage))
+    return audit
+
+
+def ground_truth_confusion(corpus: SyntheticCorpus,
+                           audit: FailureAudit) -> dict[tuple[str, str], int]:
+    """(designed mode, diagnosed category) confusion counts."""
+    confusion: Counter = Counter()
+    for diagnosis in audit.diagnoses:
+        mode = corpus.failure_mode_of.get(diagnosis.domain) or "healthy"
+        confusion[(mode, diagnosis.category)] += 1
+    return dict(confusion)

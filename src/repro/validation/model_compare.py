@@ -1,0 +1,130 @@
+"""Model comparison study (paper §6).
+
+The paper compared GPT-4 Turbo, GPT-3.5 Turbo, and Llama-3.1 on 20
+randomly selected privacy policies, manually validating the collected-
+data-type *extractions*: GPT-4 reached 96.2% precision vs 83.2% for
+Llama-3.1 (which ignores negation instructions), while GPT-3.5 showed
+entity confusion (e.g. mistaking the ActiveCampaign marketing platform
+for a data type).
+
+We reproduce the protocol: run the extraction stage with each simulated
+model tier on the same policy sample and judge each extracted phrase
+against the generator oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chatbot.models import make_model
+from repro.chatbot.tasks import run_extract_types
+from repro.corpus.build import SyntheticCorpus
+from repro.crawler.crawler import PrivacyCrawler
+from repro.pipeline.preprocess import preprocess_crawl
+from repro.pipeline.segmentation import segment_policy
+from repro.taxonomy import DATA_TYPE_TAXONOMY, Aspect
+from repro.web.browser import Browser
+
+
+@dataclass
+class ExtractionJudgement:
+    """One judged extraction."""
+
+    domain: str
+    phrase: str
+    correct: bool
+    reason: str  # "match" | "negated" | "unsupported" | "novel-match"
+
+
+@dataclass
+class ModelStudyResult:
+    """Extraction-precision results for one model tier."""
+
+    model: str
+    judgements: list[ExtractionJudgement] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        if not self.judgements:
+            return 0.0
+        return sum(j.correct for j in self.judgements) / len(self.judgements)
+
+    def error_examples(self, n: int = 5) -> list[ExtractionJudgement]:
+        return [j for j in self.judgements if not j.correct][:n]
+
+    def negation_errors(self) -> int:
+        return sum(1 for j in self.judgements
+                   if not j.correct and j.reason == "negated")
+
+
+def _judge_phrase(corpus: SyntheticCorpus, domain: str,
+                  phrase: str) -> ExtractionJudgement:
+    practices = corpus.practices.get(domain)
+    ref = DATA_TYPE_TAXONOMY.lookup_surface(phrase)
+    if ref is None:
+        # Inflections: try the engine's stemming-based resolution.
+        from repro.chatbot.engine import AnnotationEngine
+
+        items = AnnotationEngine().normalize("data-types", [phrase])
+        if items and not items[0].novel:
+            ref = DATA_TYPE_TAXONOMY.ref(items[0].category,
+                                         items[0].descriptor)
+    if practices is None:
+        return ExtractionJudgement(domain, phrase, False, "unsupported")
+    if ref is not None:
+        collected = practices.data_types.get(ref.category, [])
+        if ref.descriptor in collected:
+            return ExtractionJudgement(domain, phrase, True, "match")
+        if (ref.category, ref.descriptor) in practices.negated_types:
+            return ExtractionJudgement(domain, phrase, False, "negated")
+        return ExtractionJudgement(domain, phrase, False, "unsupported")
+    lowered = phrase.lower()
+    for phrases in practices.novel_data_types.values():
+        if lowered in (p.lower() for p in phrases):
+            return ExtractionJudgement(domain, phrase, True, "novel-match")
+    return ExtractionJudgement(domain, phrase, False, "unsupported")
+
+
+def compare_models(corpus: SyntheticCorpus,
+                   model_names: tuple[str, ...] = (
+                       "sim-gpt-4-turbo", "sim-gpt-3.5-turbo", "sim-llama-3.1",
+                   ),
+                   n_policies: int = 20,
+                   seed: int = 0) -> dict[str, ModelStudyResult]:
+    """Run the §6 study: same policies, different model tiers."""
+    rng = random.Random(seed)
+    healthy = [d for d in corpus.healthy_domains()
+               if d not in corpus.vacuous_domains]
+    sample = healthy if len(healthy) <= n_policies else \
+        rng.sample(healthy, n_policies)
+
+    # Segment once with a reference model so all tiers see identical input.
+    browser = Browser(internet=corpus.internet)
+    crawler = PrivacyCrawler(browser)
+    reference = make_model("sim-gpt-4-turbo", seed=seed)
+    segmented_by_domain = {}
+    for domain in sample:
+        crawl = crawler.crawl_domain(domain)
+        pre = preprocess_crawl(crawl)
+        if not pre.ok:
+            continue
+        segmented_by_domain[domain] = segment_policy(domain, pre.combined,
+                                                     reference)
+
+    results: dict[str, ModelStudyResult] = {}
+    for name in model_names:
+        model = make_model(name, seed=seed)
+        study = ModelStudyResult(model=name)
+        for domain, segmented in segmented_by_domain.items():
+            lines = segmented.lines_for(Aspect.TYPES) or segmented.all_lines()
+            try:
+                phrases = run_extract_types(model, lines)
+            except Exception:  # noqa: BLE001 - a tier may fail hard; skip
+                continue
+            for phrase in phrases:
+                study.judgements.append(
+                    _judge_phrase(corpus, domain, phrase.text)
+                )
+        results[name] = study
+    return results

@@ -1,0 +1,150 @@
+"""Annotation precision estimation against the generator oracle (paper §4).
+
+The paper manually inspected stratified samples of annotations (10 data
+types per category, 25 purposes per category, 10 handling and 20 rights
+per label) and estimated precision per aspect: types 89.7%, purposes
+94.3%, handling 97.5%, rights 90.5%. With a synthetic corpus the ground
+truth is available programmatically, so the same protocol becomes an
+oracle comparison — we reproduce both the stratified-sample estimate and
+the exact full-population precision/recall.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.build import SyntheticCorpus
+from repro.pipeline.records import DomainAnnotations
+
+
+@dataclass
+class AspectPrecision:
+    """Precision (and, where defined, recall) for one aspect."""
+
+    aspect: str
+    correct: int = 0
+    judged: int = 0
+    missed: int = 0  # for full-population recall
+
+    @property
+    def precision(self) -> float:
+        return self.correct / self.judged if self.judged else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.correct + self.missed
+        return self.correct / denominator if denominator else 0.0
+
+
+@dataclass
+class PrecisionReport:
+    """Per-aspect precision estimates."""
+
+    types: AspectPrecision = field(default_factory=lambda: AspectPrecision("types"))
+    purposes: AspectPrecision = field(default_factory=lambda: AspectPrecision("purposes"))
+    handling: AspectPrecision = field(default_factory=lambda: AspectPrecision("handling"))
+    rights: AspectPrecision = field(default_factory=lambda: AspectPrecision("rights"))
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "types": self.types.precision,
+            "purposes": self.purposes.precision,
+            "handling": self.handling.precision,
+            "rights": self.rights.precision,
+        }
+
+
+def _truth_sets(corpus: SyntheticCorpus, domain: str):
+    practices = corpus.practices.get(domain)
+    if practices is None:
+        return None
+    types = {(c, d) for c, ds in practices.data_types.items() for d in ds}
+    types |= {(c, p.lower()) for c, ps in practices.novel_data_types.items()
+              for p in ps}
+    purposes = {(c, d) for c, ds in practices.purposes.items() for d in ds}
+    purposes |= {(c, p.lower()) for c, ps in practices.novel_purposes.items()
+                 for p in ps}
+    handling = {("Data retention", f.label) for f in practices.retention}
+    handling |= {("Data protection", label) for label in practices.protection}
+    rights = {("User choices", label) for label in practices.choices}
+    rights |= {("User access", label) for label in practices.access}
+    return types, purposes, handling, rights
+
+
+def _judgements(corpus: SyntheticCorpus, records: list[DomainAnnotations]):
+    """Yield (aspect, key, is_correct) for every annotation."""
+    for record in records:
+        truth = _truth_sets(corpus, record.domain)
+        if truth is None:
+            continue
+        truth_types, truth_purposes, truth_handling, truth_rights = truth
+        for t in record.types:
+            yield ("types", t.category, (t.category, t.descriptor) in truth_types)
+        for p in record.purposes:
+            yield ("purposes", p.category,
+                   (p.category, p.descriptor) in truth_purposes)
+        for h in record.handling:
+            yield ("handling", h.label, (h.group, h.label) in truth_handling)
+        for r in record.rights:
+            yield ("rights", r.label, (r.group, r.label) in truth_rights)
+
+
+def full_precision(corpus: SyntheticCorpus,
+                   records: list[DomainAnnotations]) -> PrecisionReport:
+    """Exact precision over every produced annotation, plus recall."""
+    report = PrecisionReport()
+    slots = {"types": report.types, "purposes": report.purposes,
+             "handling": report.handling, "rights": report.rights}
+    for aspect, _key, correct in _judgements(corpus, records):
+        slot = slots[aspect]
+        slot.judged += 1
+        if correct:
+            slot.correct += 1
+    # Recall: ground-truth items never produced.
+    for record in records:
+        truth = _truth_sets(corpus, record.domain)
+        if truth is None:
+            continue
+        truth_types, truth_purposes, truth_handling, truth_rights = truth
+        produced_types = {(t.category, t.descriptor) for t in record.types}
+        produced_purposes = {(p.category, p.descriptor) for p in record.purposes}
+        produced_handling = {(h.group, h.label) for h in record.handling}
+        produced_rights = {(r.group, r.label) for r in record.rights}
+        report.types.missed += len(truth_types - produced_types)
+        report.purposes.missed += len(truth_purposes - produced_purposes)
+        report.handling.missed += len(truth_handling - produced_handling)
+        report.rights.missed += len(truth_rights - produced_rights)
+    return report
+
+
+#: The paper's per-aspect sample sizes (per category/label).
+SAMPLE_PLAN = {
+    "types": 10,  # per category (34 categories → 340)
+    "purposes": 25,  # per category (7 categories → 175)
+    "handling": 20,  # per label (10 labels → 200)
+    "rights": 20,  # per label (11 labels → 220)
+}
+
+
+def sampled_precision(corpus: SyntheticCorpus,
+                      records: list[DomainAnnotations],
+                      seed: int = 0,
+                      plan: dict[str, int] | None = None) -> PrecisionReport:
+    """The paper's stratified-sampling protocol against the oracle."""
+    plan = plan or SAMPLE_PLAN
+    rng = random.Random(seed)
+    by_stratum: dict[tuple[str, str], list[bool]] = {}
+    for aspect, key, correct in _judgements(corpus, records):
+        by_stratum.setdefault((aspect, key), []).append(correct)
+    report = PrecisionReport()
+    slots = {"types": report.types, "purposes": report.purposes,
+             "handling": report.handling, "rights": report.rights}
+    for (aspect, _key), outcomes in sorted(by_stratum.items()):
+        quota = plan[aspect]
+        sample = outcomes if len(outcomes) <= quota else \
+            rng.sample(outcomes, quota)
+        slot = slots[aspect]
+        slot.judged += len(sample)
+        slot.correct += sum(sample)
+    return report

@@ -1,0 +1,39 @@
+"""Simulated web substrate: URLs, HTTP, robots, sites, and a browser facade.
+
+Replaces the live WWW + Crawlee/Playwright stack. See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from repro.web.browser import Browser, PageResult, make_plain_client
+from repro.web.http import Request, Response, Status
+from repro.web.net import FetchStats, SimulatedInternet
+from repro.web.robots import ALLOW_ALL, DENY_ALL, RobotsPolicy
+from repro.web.site import SimPage, Website
+from repro.web.url import (
+    Url,
+    join_url,
+    normalize_url,
+    parse_url,
+    registrable_domain,
+)
+
+__all__ = [
+    "Browser",
+    "PageResult",
+    "make_plain_client",
+    "Request",
+    "Response",
+    "Status",
+    "FetchStats",
+    "SimulatedInternet",
+    "ALLOW_ALL",
+    "DENY_ALL",
+    "RobotsPolicy",
+    "SimPage",
+    "Website",
+    "Url",
+    "join_url",
+    "normalize_url",
+    "parse_url",
+    "registrable_domain",
+]

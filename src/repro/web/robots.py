@@ -1,0 +1,98 @@
+"""Minimal robots.txt parsing and permission checks.
+
+Supports ``User-agent``, ``Allow``, ``Disallow``, and ``Crawl-delay`` with
+longest-match precedence (the Google interpretation). The simulated sites
+mostly permit crawling, but a fraction of "bot-hostile" sites disallow
+everything, which surfaces as blocked crawls in the §4 failure audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _RuleGroup:
+    agents: list[str] = field(default_factory=list)
+    allows: list[str] = field(default_factory=list)
+    disallows: list[str] = field(default_factory=list)
+    crawl_delay: float | None = None
+
+    def matches_agent(self, agent: str) -> bool:
+        agent = agent.lower()
+        return any(a == "*" or a in agent for a in self.agents)
+
+
+@dataclass
+class RobotsPolicy:
+    """Parsed robots.txt rules."""
+
+    groups: list[_RuleGroup] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str) -> "RobotsPolicy":
+        groups: list[_RuleGroup] = []
+        current: _RuleGroup | None = None
+        seen_rule = False
+        for raw_line in text.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line or ":" not in line:
+                continue
+            key, _, value = line.partition(":")
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "user-agent":
+                if current is None or seen_rule:
+                    current = _RuleGroup()
+                    groups.append(current)
+                    seen_rule = False
+                current.agents.append(value.lower())
+            elif current is not None and key == "disallow":
+                seen_rule = True
+                if value:
+                    current.disallows.append(value)
+            elif current is not None and key == "allow":
+                seen_rule = True
+                if value:
+                    current.allows.append(value)
+            elif current is not None and key == "crawl-delay":
+                seen_rule = True
+                try:
+                    current.crawl_delay = float(value)
+                except ValueError:
+                    pass
+        return cls(groups=groups)
+
+    def _group_for(self, agent: str) -> _RuleGroup | None:
+        specific = [g for g in self.groups if g.matches_agent(agent) and "*" not in g.agents]
+        if specific:
+            return specific[0]
+        for group in self.groups:
+            if "*" in group.agents:
+                return group
+        return None
+
+    def allowed(self, path: str, agent: str = "repro-crawler") -> bool:
+        """Whether ``agent`` may fetch ``path`` (longest-match wins)."""
+        group = self._group_for(agent)
+        if group is None:
+            return True
+        best_len = -1
+        best_allow = True
+        for rule, is_allow in (
+            [(r, True) for r in group.allows] + [(r, False) for r in group.disallows]
+        ):
+            if path.startswith(rule) and len(rule) > best_len:
+                best_len = len(rule)
+                best_allow = is_allow
+            elif path.startswith(rule) and len(rule) == best_len and is_allow:
+                best_allow = True
+        return best_allow if best_len >= 0 else True
+
+    def crawl_delay(self, agent: str = "repro-crawler") -> float | None:
+        group = self._group_for(agent)
+        return group.crawl_delay if group else None
+
+
+ALLOW_ALL = RobotsPolicy.parse("User-agent: *\nDisallow:\n")
+DENY_ALL = RobotsPolicy.parse("User-agent: *\nDisallow: /\n")

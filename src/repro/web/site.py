@@ -1,0 +1,69 @@
+"""Website and page model for the simulated internet."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.http import Status
+from repro.web.robots import ALLOW_ALL, RobotsPolicy
+
+
+@dataclass
+class SimPage:
+    """One servable page of a simulated website.
+
+    Attributes:
+        path: Absolute path (``/privacy-policy``). Query strings ignored.
+        html: Markup served to every client.
+        js_html: Extra markup appended only when the client executes
+            JavaScript *and* waits at least ``js_delay_ms`` — models
+            dynamically loaded content (one of the §4 failure classes).
+        status: Served status code (200 unless simulating an error page).
+        redirect_to: If set, the page answers with ``status`` (which must be
+            a 3xx) and this Location.
+        content_type: ``text/html`` or e.g. ``application/pdf``.
+        language: BCP-47-ish primary language tag of the content.
+        latency_ms: Simulated time to first byte.
+    """
+
+    path: str
+    html: str = ""
+    js_html: str = ""
+    js_delay_ms: int = 0
+    status: Status = Status.OK
+    redirect_to: str | None = None
+    content_type: str = "text/html"
+    language: str = "en"
+    latency_ms: int = 120
+
+    def rendered_html(self, render_js: bool, budget_ms: int) -> str:
+        """The markup a client sees given its JS capability and patience."""
+        if render_js and self.js_html and self.js_delay_ms <= budget_ms:
+            return self.html + self.js_html
+        return self.html
+
+
+@dataclass
+class Website:
+    """A simulated website: a domain serving a set of pages."""
+
+    domain: str
+    pages: dict[str, SimPage] = field(default_factory=dict)
+    robots: RobotsPolicy = field(default_factory=lambda: ALLOW_ALL)
+    #: Respond 403 to crawler user agents (bot blocking).
+    blocks_bots: bool = False
+    #: Probability that any single fetch times out (crawler exceptions).
+    timeout_probability: float = 0.0
+    #: Probability that any single fetch drops the connection.
+    reset_probability: float = 0.0
+    #: Designed failure mode for ground-truth audits (None = healthy).
+    failure_mode: str | None = None
+
+    def add_page(self, page: SimPage) -> None:
+        self.pages[page.path] = page
+
+    def page(self, path: str) -> SimPage | None:
+        return self.pages.get(path or "/")
+
+    def paths(self) -> list[str]:
+        return sorted(self.pages)

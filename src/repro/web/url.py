@@ -1,0 +1,199 @@
+"""URL parsing, resolution, and normalization (RFC 3986 subset).
+
+Implemented from scratch so the crawler's link handling — relative
+resolution, dot-segment removal, fragment stripping, scheme/host
+normalization — is exercised by the same code paths a production crawler
+would use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from repro.errors import UrlError
+
+_URL_RE = re.compile(
+    r"""
+    ^
+    (?:(?P<scheme>[a-zA-Z][a-zA-Z0-9+.-]*):)?   # scheme:
+    (?://(?P<authority>[^/?#]*))?                # //authority
+    (?P<path>[^?#]*)                             # path
+    (?:\?(?P<query>[^#]*))?                      # ?query
+    (?:\#(?P<fragment>.*))?                      # #fragment
+    $
+    """,
+    re.VERBOSE,
+)
+
+DEFAULT_PORTS = {"http": 80, "https": 443}
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed URL. Immutable; use :func:`parse_url` to construct."""
+
+    scheme: str = ""
+    host: str = ""
+    port: int | None = None
+    path: str = ""
+    query: str = ""
+    fragment: str = ""
+
+    def __str__(self) -> str:
+        out = []
+        if self.scheme:
+            out.append(f"{self.scheme}:")
+        if self.host or self.scheme in ("http", "https"):
+            out.append("//")
+            out.append(self.host)
+            if self.port is not None and self.port != DEFAULT_PORTS.get(self.scheme):
+                out.append(f":{self.port}")
+        out.append(self.path)
+        if self.query:
+            out.append(f"?{self.query}")
+        if self.fragment:
+            out.append(f"#{self.fragment}")
+        return "".join(out)
+
+    @property
+    def is_absolute(self) -> bool:
+        return bool(self.scheme and self.host)
+
+    @property
+    def origin(self) -> str:
+        return f"{self.scheme}://{self.host}"
+
+    def without_fragment(self) -> "Url":
+        return replace(self, fragment="")
+
+    def with_path(self, path: str) -> "Url":
+        return replace(self, path=path)
+
+
+def parse_url(raw: str) -> Url:
+    """Parse a URL string. Raises :class:`UrlError` on nonsense input."""
+    if raw is None:
+        raise UrlError("URL is None")
+    raw = raw.strip()
+    match = _URL_RE.match(raw)
+    if match is None:  # pragma: no cover - regex matches any string
+        raise UrlError(f"cannot parse URL {raw!r}")
+    scheme = (match.group("scheme") or "").lower()
+    authority = match.group("authority")
+    host = ""
+    port: int | None = None
+    if authority:
+        # Strip userinfo, split port.
+        hostport = authority.rsplit("@", 1)[-1]
+        if ":" in hostport:
+            host, _, port_str = hostport.rpartition(":")
+            if port_str:
+                if not port_str.isdigit():
+                    raise UrlError(f"invalid port in URL {raw!r}")
+                port = int(port_str)
+        else:
+            host = hostport
+        host = host.lower().rstrip(".")
+    return Url(
+        scheme=scheme,
+        host=host,
+        port=port,
+        path=match.group("path") or "",
+        query=match.group("query") or "",
+        fragment=match.group("fragment") or "",
+    )
+
+
+def _remove_dot_segments(path: str) -> str:
+    """RFC 3986 §5.2.4 dot-segment removal."""
+    output: list[str] = []
+    for segment in path.split("/"):
+        if segment == ".":
+            continue
+        if segment == "..":
+            if output and output[-1] != "":
+                output.pop()
+                if not output:
+                    output = [""]
+        else:
+            output.append(segment)
+    # Preserve a trailing slash implied by "." or "..".
+    if path.endswith(("/.", "/..")) and (not output or output[-1] != ""):
+        output.append("")
+    result = "/".join(output)
+    if path.startswith("/") and not result.startswith("/"):
+        result = "/" + result
+    return result
+
+
+def join_url(base: Url | str, reference: str) -> Url:
+    """Resolve ``reference`` against ``base`` (RFC 3986 §5.2).
+
+    Handles absolute references, protocol-relative (``//host/x``),
+    root-relative (``/x``), and relative (``x``, ``../x``) forms.
+    """
+    if isinstance(base, str):
+        base = parse_url(base)
+    ref = parse_url(reference)
+    if ref.scheme:
+        return replace(ref, path=_remove_dot_segments(ref.path))
+    if ref.host:
+        return Url(
+            scheme=base.scheme,
+            host=ref.host,
+            port=ref.port,
+            path=_remove_dot_segments(ref.path),
+            query=ref.query,
+            fragment=ref.fragment,
+        )
+    if not ref.path:
+        query = ref.query if ref.query else base.query
+        return Url(base.scheme, base.host, base.port, base.path, query, ref.fragment)
+    if ref.path.startswith("/"):
+        path = _remove_dot_segments(ref.path)
+    else:
+        if base.path:
+            merged = base.path.rsplit("/", 1)[0] + "/" + ref.path
+        else:
+            merged = "/" + ref.path
+        path = _remove_dot_segments(merged)
+    return Url(base.scheme, base.host, base.port, path, ref.query, ref.fragment)
+
+
+def normalize_url(url: Url | str) -> str:
+    """Canonical string form used for crawl deduplication.
+
+    Lower-cases scheme/host, drops fragments and default ports, and ensures
+    a non-empty path.
+    """
+    if isinstance(url, str):
+        url = parse_url(url)
+    path = _remove_dot_segments(url.path) or "/"
+    if path != "/" and path.endswith("/"):
+        path = path.rstrip("/") or "/"
+    normalized = Url(
+        scheme=url.scheme.lower(),
+        host=url.host.lower(),
+        port=None if url.port == DEFAULT_PORTS.get(url.scheme.lower()) else url.port,
+        path=path,
+        query=url.query,
+        fragment="",
+    )
+    return str(normalized)
+
+
+def registrable_domain(host: str) -> str:
+    """Best-effort eTLD+1 (``www.foo.example.com`` → ``example.com``).
+
+    The simulated internet only uses two-label domains, so a simple
+    last-two-labels rule (with a small multi-part TLD list) suffices.
+    """
+    labels = host.lower().strip(".").split(".")
+    if len(labels) <= 2:
+        return host.lower()
+    multi_part_tlds = {"co.uk", "com.au", "co.jp", "com.br"}
+    last_two = ".".join(labels[-2:])
+    if last_two in multi_part_tlds and len(labels) >= 3:
+        return ".".join(labels[-3:])
+    return last_two

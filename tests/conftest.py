@@ -1,0 +1,32 @@
+"""Shared fixtures: a small synthetic corpus and a full pipeline run.
+
+Session-scoped because corpus construction and the pipeline run are the
+expensive parts; tests treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.pipeline import run_pipeline
+
+SMALL_FRACTION = 0.06
+SMALL_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A ~170-domain corpus with every failure mode represented."""
+    return build_corpus(CorpusConfig(seed=SMALL_SEED, fraction=SMALL_FRACTION))
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_corpus):
+    """A full pipeline run over the small corpus."""
+    return run_pipeline(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def annotated(pipeline_result):
+    return pipeline_result.annotated_domains()

@@ -1,0 +1,202 @@
+"""Tests for the analysis layer (stats, tables, findings, rendering)."""
+
+from repro.analysis import (
+    CoverageStat,
+    access_profile,
+    annotated_records,
+    breakdown,
+    category_count_distribution,
+    data_for_sale_count,
+    format_pct,
+    most_active_sector,
+    opt_out_vs_opt_in,
+    paper_vs_measured,
+    protection_specifics_share,
+    render_access_profile,
+    render_breakdown,
+    render_distribution,
+    render_retention,
+    render_table1,
+    retention_findings,
+    table1_practice_counts,
+    table1_summary,
+    table2a_types,
+    table2b_purposes,
+    table3_practices,
+    table5_types_full,
+)
+from repro.pipeline import (
+    DomainAnnotations,
+    HandlingAnnotation,
+    PurposeAnnotation,
+    RightsAnnotation,
+    TypeAnnotation,
+)
+
+
+def _type(category, meta, descriptor):
+    return TypeAnnotation(category=category, meta_category=meta,
+                          descriptor=descriptor, verbatim=descriptor, line=1)
+
+
+def _fixture_records():
+    a = DomainAnnotations(
+        domain="a.com", sector="IT", status="annotated",
+        types=[
+            _type("Contact info", "Physical profile", "email address"),
+            _type("Contact info", "Physical profile", "phone number"),
+            _type("Device info", "Digital profile", "browser type"),
+        ],
+        purposes=[
+            PurposeAnnotation(category="Data sharing", meta_category="Third-party",
+                              descriptor="data for sale", verbatim="sell",
+                              line=1),
+        ],
+        handling=[
+            HandlingAnnotation(group="Data retention", label="Stated",
+                               verbatim="2 years", line=1,
+                               period_text="two (2) years", period_days=730),
+        ],
+        rights=[
+            RightsAnnotation(group="User access", label="Edit",
+                             verbatim="edit", line=1),
+            RightsAnnotation(group="User choices", label="Opt-in",
+                             verbatim="consent", line=1),
+        ],
+    )
+    b = DomainAnnotations(
+        domain="b.com", sector="EN", status="annotated",
+        types=[_type("Contact info", "Physical profile", "email address")],
+        rights=[
+            RightsAnnotation(group="User access", label="View",
+                             verbatim="view", line=1),
+            RightsAnnotation(group="User choices", label="Opt-out via link",
+                             verbatim="link", line=1),
+        ],
+        handling=[
+            HandlingAnnotation(group="Data retention", label="Stated",
+                               verbatim="1 day", line=1,
+                               period_text="one (1) day", period_days=1),
+            HandlingAnnotation(group="Data protection", label="Secure storage",
+                               verbatim="encrypted", line=1),
+        ],
+    )
+    c = DomainAnnotations(domain="c.com", sector="IT", status="annotated")
+    failed = DomainAnnotations(domain="f.com", sector="IT",
+                               status="crawl-failed")
+    return [a, b, c, failed]
+
+
+class TestCoverageStat:
+    def test_mean_sd(self):
+        stat = CoverageStat()
+        for count in (2, 4, 0):
+            stat.add(count)
+        assert stat.total == 3
+        assert stat.covered == 2
+        assert stat.mean == 3.0
+        assert round(stat.sd, 3) == 1.414
+
+    def test_empty(self):
+        stat = CoverageStat()
+        assert stat.coverage == 0.0
+        assert stat.sd == 0.0
+
+
+class TestBreakdown:
+    def test_annotated_population_excludes_failures_and_empties(self):
+        population = annotated_records(_fixture_records())
+        assert {r.domain for r in population} == {"a.com", "b.com"}
+
+    def test_type_category_coverage(self):
+        rows = breakdown(annotated_records(_fixture_records()), "types",
+                         ["Contact info", "Device info"])
+        contact = rows["Contact info"]
+        assert contact.overall.covered == 2
+        assert contact.overall.mean == 1.5  # a has 2 descriptors, b has 1
+        device = rows["Device info"]
+        assert device.overall.covered == 1
+
+    def test_sector_breakdown(self):
+        rows = breakdown(annotated_records(_fixture_records()), "types",
+                         ["Contact info"])
+        by_sector = rows["Contact info"].by_sector
+        assert by_sector["IT"].covered == 1
+        assert by_sector["EN"].covered == 1
+
+    def test_tables_build_on_real_run(self, pipeline_result):
+        records = pipeline_result.records
+        t1 = table1_summary(records)
+        assert t1.total > 0
+        assert len(t1.rows) == 34
+        assert table1_practice_counts(records)
+        assert len(table2a_types(records)) == 6
+        assert len(table2b_purposes(records)) == 10  # 3 meta + 7 categories
+        assert len(table3_practices(records)) == 21
+        assert len(table5_types_full(records)) == 34
+
+    def test_table1_shares_sum_at_most_one(self, pipeline_result):
+        table = table1_summary(pipeline_result.records)
+        for row in table.rows:
+            assert sum(d.share for d in row.top_descriptors) <= 1.0 + 1e-9
+
+
+class TestFindings:
+    def test_distribution(self):
+        dist = category_count_distribution(_fixture_records())
+        assert dist.total == 2
+        assert dist.at_least_3 == 0
+
+    def test_retention(self):
+        findings = retention_findings(_fixture_records())
+        assert findings.stated_count == 2
+        assert findings.min_days == 1
+        assert findings.max_days == 730
+        assert findings.min_domains == ["b.com"]
+
+    def test_data_for_sale(self):
+        assert data_for_sale_count(_fixture_records()) == 1
+
+    def test_access_profile(self):
+        profile = access_profile(_fixture_records())
+        assert profile.read_write == 1  # a.com has Edit
+        assert profile.read_only == 1  # b.com has only View
+        assert profile.none == 0
+
+    def test_opt_out_vs_opt_in(self):
+        out_rate, in_rate = opt_out_vs_opt_in(_fixture_records())
+        assert out_rate == 0.5
+        assert in_rate == 0.5
+
+    def test_protection_specifics(self):
+        assert protection_specifics_share(_fixture_records()) == 0.5
+
+    def test_most_active_sector(self):
+        code, mean = most_active_sector(_fixture_records())
+        assert code == "IT"
+        assert mean == 2.0
+
+
+class TestRendering:
+    def test_format_pct(self):
+        assert format_pct(0.1234) == "12.3%"
+
+    def test_render_table1(self, pipeline_result):
+        text = render_table1(table1_summary(pipeline_result.records),
+                             max_rows=5)
+        assert "Total unique annotations" in text
+
+    def test_render_breakdown(self, pipeline_result):
+        text = render_breakdown(table2a_types(pipeline_result.records))
+        assert "Physical profile" in text
+
+    def test_render_findings(self):
+        records = _fixture_records()
+        assert "companies: 2" in render_distribution(
+            category_count_distribution(records))
+        assert "min 1d" in render_retention(retention_findings(records))
+        assert "read/write" in render_access_profile(access_profile(records))
+
+    def test_paper_vs_measured_row(self):
+        row = paper_vs_measured("coverage", "92.6%", "91.8%")
+        assert "paper" in row and "measured" in row

@@ -1,0 +1,67 @@
+"""Tests for aspect classification of headings and body lines."""
+
+import pytest
+
+from repro.chatbot.aspects import classify_heading, classify_line, score_line
+from repro.corpus.policytext import SECTION_HEADINGS
+from repro.taxonomy import Aspect
+
+
+class TestClassifyHeading:
+    @pytest.mark.parametrize(
+        "aspect,title",
+        [(aspect, title) for aspect, titles in SECTION_HEADINGS.items()
+         for title in titles],
+    )
+    def test_generator_headings_classify_to_their_aspect(self, aspect, title):
+        labels = classify_heading(title)
+        assert aspect in labels, f"{title!r} -> {labels}"
+
+    def test_unknown_heading_is_other(self):
+        assert classify_heading("Miscellaneous ramblings") == [Aspect.OTHER]
+
+    @pytest.mark.parametrize(
+        "title,expected",
+        [
+            ("Information We Collect", Aspect.TYPES),
+            ("How We Use the Information We Collect", Aspect.PURPOSES),
+            ("Data Retention and Security", Aspect.HANDLING),
+            ("Sharing With Third Parties", Aspect.SHARING),
+            ("Your California Privacy Rights", Aspect.AUDIENCES),
+            ("Changes to This Policy", Aspect.CHANGES),
+            ("Cookies and Tracking Technologies", Aspect.METHODS),
+            ("Your Rights and Choices", Aspect.RIGHTS),
+        ],
+    )
+    def test_primary_label(self, title, expected):
+        assert classify_heading(title)[0] == expected
+
+    def test_multi_label_possible(self):
+        labels = classify_heading("How We Collect and Use Information")
+        assert len(labels) >= 1
+
+
+class TestClassifyLine:
+    def test_collection_line(self):
+        line = "We may collect your email address and phone number."
+        assert classify_line(line) == Aspect.TYPES
+
+    def test_purpose_line(self):
+        line = ("We use the information we collect for analytics and "
+                "your data may also be used for advertising.")
+        assert classify_line(line) == Aspect.PURPOSES
+
+    def test_handling_line(self):
+        line = "We retain your data and it is stored in encrypted databases."
+        assert classify_line(line) == Aspect.HANDLING
+
+    def test_rights_line(self):
+        line = "You may request access to or delete your data at any time."
+        assert classify_line(line) == Aspect.RIGHTS
+
+    def test_unrelated_line_is_other(self):
+        assert classify_line("Our company was founded in 1987.") == Aspect.OTHER
+
+    def test_score_line_returns_hits(self):
+        scores = score_line("We may collect your name. We may collect more.")
+        assert scores[Aspect.TYPES] >= 2

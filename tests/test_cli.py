@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("run", "tables", "validate", "models", "crawl-stats"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 42
+        assert args.fraction == 0.1
+        assert args.model == "sim-gpt-4-turbo"
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_small(self, capsys, tmp_path):
+        out = tmp_path / "ann.jsonl"
+        code = main(["--fraction", "0.02", "--seed", "3", "run",
+                     "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "crawl successes" in captured
+        assert out.exists()
+        assert out.read_text().strip()
+
+    def test_models_small(self, capsys):
+        code = main(["--fraction", "0.02", "--seed", "3", "models",
+                     "--policies", "5"])
+        assert code == 0
+        assert "sim-gpt-4-turbo" in capsys.readouterr().out

@@ -1,0 +1,281 @@
+"""Tests for the synthetic corpus: companies, calibration, profiles,
+policy text, and site generation."""
+
+import pytest
+
+from repro._util.rng import SeedSequence
+from repro.corpus import (
+    CorpusConfig,
+    PolicyWriter,
+    PracticeSampler,
+    SECTORS,
+    SiteBuilder,
+    build_corpus,
+    generate_companies,
+    unique_domains,
+)
+from repro.corpus.calibration import (
+    DATA_TYPE_TARGETS,
+    DEFAULT_FAILURE_PLAN,
+    LABEL_TARGETS,
+    PURPOSE_TARGETS,
+    category_sector_coverage,
+    validate_calibration,
+)
+from repro.corpus.sectors import TOTAL_UNIQUE_COMPANIES
+from repro.errors import CorpusError
+from repro.taxonomy import Aspect
+
+
+class TestCompanies:
+    def test_paper_counts(self):
+        companies = generate_companies(SeedSequence(42))
+        assert len(companies) == 2916
+        assert len(unique_domains(companies)) == 2892
+        assert TOTAL_UNIQUE_COMPANIES == 2892
+
+    def test_deterministic(self):
+        a = generate_companies(SeedSequence(42))
+        b = generate_companies(SeedSequence(42))
+        assert [c.domain for c in a] == [c.domain for c in b]
+
+    def test_sector_counts_respected(self):
+        companies = generate_companies(SeedSequence(42))
+        for sector in SECTORS:
+            count = sum(
+                1 for c in companies
+                if c.sector.code == sector.code and not c.is_duplicate_listing
+            )
+            assert count == sector.company_count
+
+    def test_duplicate_listings_share_domains(self):
+        companies = generate_companies(SeedSequence(42))
+        duplicates = [c for c in companies if c.is_duplicate_listing]
+        assert len(duplicates) == 24
+        originals = {c.domain for c in companies if not c.is_duplicate_listing}
+        assert all(d.domain in originals for d in duplicates)
+
+    def test_tickers_unique(self):
+        companies = generate_companies(SeedSequence(42))
+        tickers = [c.ticker for c in companies]
+        assert len(set(tickers)) == len(tickers)
+
+
+class TestCalibration:
+    def test_validate_calibration_passes(self):
+        validate_calibration()
+
+    def test_34_type_targets_7_purpose_21_labels(self):
+        assert len(DATA_TYPE_TARGETS) == 34
+        assert len(PURPOSE_TARGETS) == 7
+        assert len(LABEL_TARGETS) == 21
+
+    def test_solver_covers_all_sectors(self):
+        coverage = category_sector_coverage(DATA_TYPE_TARGETS[0])
+        assert len(coverage) == 11
+        assert all(0.0 <= v <= 1.0 for v in coverage.values())
+
+    def test_solver_weighted_average_near_target(self):
+        for target in DATA_TYPE_TARGETS[:10]:
+            coverage = category_sector_coverage(target)
+            weighted = sum(
+                coverage[s.code] * s.company_count for s in SECTORS
+            ) / sum(s.company_count for s in SECTORS)
+            assert abs(weighted * 100 - target.coverage) < 4.0
+
+    def test_solver_preserves_ordering(self):
+        for target in DATA_TYPE_TARGETS:
+            coverage = category_sector_coverage(target)
+            anchors = target.anchors()
+            low = target.low_anchor
+            for code, value in coverage.items():
+                if code in anchors:
+                    continue
+                assert value * 100 >= low.coverage - 1e-6
+
+    def test_failure_plan_totals(self):
+        assert DEFAULT_FAILURE_PLAN.total_crawl_failures() == 244
+        assert DEFAULT_FAILURE_PLAN.total_extract_failures() == 103
+
+
+class TestPracticeSampler:
+    def setup_method(self):
+        self.sampler = PracticeSampler(SeedSequence(9))
+
+    def test_deterministic_per_domain(self):
+        a = self.sampler.sample("acme.com", "IT")
+        b = self.sampler.sample("acme.com", "IT")
+        assert a.data_types == b.data_types
+        assert a.retention == b.retention
+
+    def test_different_domains_differ(self):
+        a = self.sampler.sample("acme.com", "IT")
+        b = self.sampler.sample("zenith.com", "IT")
+        assert a.data_types != b.data_types or a.purposes != b.purposes
+
+    def test_descriptors_belong_to_their_category(self):
+        from repro.taxonomy import DATA_TYPE_TAXONOMY
+
+        practices = self.sampler.sample("acme.com", "CD")
+        for category, descriptors in practices.data_types.items():
+            valid = {d.name for d in
+                     DATA_TYPE_TAXONOMY.category(category).descriptors}
+            assert set(descriptors) <= valid
+
+    def test_stated_retention_has_period(self):
+        for i in range(80):
+            practices = self.sampler.sample(f"d{i}.com", "IT")
+            for fact in practices.retention:
+                if fact.label == "Stated":
+                    assert fact.period_days and fact.period_text
+
+    def test_coverage_statistically_near_target(self):
+        hits = 0
+        n = 400
+        for i in range(n):
+            practices = self.sampler.sample(f"c{i}.com", "HC")
+            if "Contact info" in practices.data_types:
+                hits += 1
+        # HC anchor coverage for Contact info is 91.0%.
+        assert 0.84 <= hits / n <= 0.97
+
+    def test_negated_types_not_collected(self):
+        for i in range(60):
+            practices = self.sampler.sample(f"n{i}.com", "FS")
+            for category, descriptor in practices.negated_types:
+                assert descriptor not in practices.data_types.get(category, [])
+
+
+class TestPolicyWriter:
+    def setup_method(self):
+        seeds = SeedSequence(5)
+        self.sampler = PracticeSampler(seeds)
+        self.writer = PolicyWriter(seeds)
+
+    def test_every_mention_surface_is_in_text(self):
+        practices = self.sampler.sample("oracle-test.com", "TC")
+        doc = self.writer.write(practices, "Oracle Test Inc.")
+        text = doc.full_text().lower()
+        for mention in doc.mentions:
+            needle = mention.surface.lower()
+            if "{period}" in needle:
+                continue
+            assert needle in text, f"missing surface: {mention.surface!r}"
+
+    def test_word_count_in_policy_range(self):
+        counts = []
+        for i in range(40):
+            practices = self.sampler.sample(f"w{i}.com", "IT")
+            doc = self.writer.write(practices, f"W{i} Inc.")
+            counts.append(doc.word_count())
+        counts.sort()
+        median = counts[len(counts) // 2]
+        assert 1500 < median < 4500
+
+    def test_vacuous_policy_has_no_mentions(self):
+        practices = self.sampler.sample("vac.com", "IN")
+        doc = self.writer.write(practices, "Vac Inc.", vacuous=True)
+        assert doc.mentions == []
+
+    def test_negated_mentions_flagged(self):
+        for i in range(40):
+            practices = self.sampler.sample(f"neg{i}.com", "CD")
+            if practices.negated_types:
+                doc = self.writer.write(practices, "Neg Inc.")
+                negated = [m for m in doc.mentions if m.negated]
+                assert len(negated) == len(practices.negated_types)
+                return
+        pytest.skip("no negated profile drawn in sample")
+
+    def test_deterministic(self):
+        practices = self.sampler.sample("det.com", "IT")
+        a = self.writer.write(practices, "Det Inc.")
+        b = self.writer.write(practices, "Det Inc.")
+        assert a.full_text() == b.full_text()
+
+
+class TestSiteBuilder:
+    def setup_method(self):
+        seeds = SeedSequence(5)
+        self.sampler = PracticeSampler(seeds)
+        self.writer = PolicyWriter(seeds)
+        self.builder = SiteBuilder(seeds)
+
+    def _doc(self, domain="site-test.com"):
+        practices = self.sampler.sample(domain, "IT")
+        return self.writer.write(practices, "Site Test Inc.")
+
+    def test_healthy_site_has_home_and_policy(self):
+        site, blueprint = self.builder.build_healthy_site(self._doc())
+        assert site.page("/") is not None
+        assert site.page(blueprint.policy_path) is not None
+        assert blueprint.failure_mode is None
+
+    def test_homepage_links_to_privacy(self):
+        site, _ = self.builder.build_healthy_site(self._doc())
+        assert "privacy" in site.page("/").html.lower()
+
+    def test_all_failure_modes_build(self):
+        plan = DEFAULT_FAILURE_PLAN.all_modes()
+        doc = self._doc()
+        for mode in plan:
+            site, blueprint = self.builder.build_failing_site(
+                f"{mode}.example", "Example Inc.", mode, doc=doc
+            )
+            assert blueprint.failure_mode == mode
+            assert site.page("/") is not None or site.timeout_probability
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self.builder.build_failing_site("x.com", "X", "flying-saucer")
+
+    def test_pdf_mode_serves_pdf(self):
+        site, _ = self.builder.build_failing_site("p.com", "P", "pdf-policy")
+        assert site.page("/privacy.pdf").content_type == "application/pdf"
+
+
+class TestBuildCorpus:
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(CorpusError):
+            CorpusConfig(fraction=0.0)
+
+    def test_small_corpus_consistency(self, small_corpus):
+        corpus = small_corpus
+        assert len(corpus.domains) == len(set(corpus.domains))
+        for domain in corpus.domains:
+            assert domain in corpus.failure_mode_of
+            assert domain in corpus.sector_of
+            assert corpus.internet.site_for_host(domain) is not None
+
+    def test_healthy_domains_have_ground_truth(self, small_corpus):
+        for domain in small_corpus.healthy_domains():
+            assert domain in small_corpus.practices
+            assert domain in small_corpus.documents
+
+    def test_failure_plan_scaled(self, small_corpus):
+        crawl = len(small_corpus.designed_crawl_failures())
+        extract = len(small_corpus.designed_extract_failures())
+        assert crawl > 0
+        assert extract > 0
+        assert crawl + extract < len(small_corpus.domains) * 0.3
+
+    def test_deterministic_given_seed(self):
+        a = build_corpus(CorpusConfig(seed=77, fraction=0.02))
+        b = build_corpus(CorpusConfig(seed=77, fraction=0.02))
+        assert a.domains == b.domains
+        assert a.failure_mode_of == b.failure_mode_of
+        domain = a.healthy_domains()[0]
+        assert a.documents[domain].full_text() == b.documents[domain].full_text()
+
+    def test_vacuous_domains_are_healthy(self, small_corpus):
+        for domain in small_corpus.vacuous_domains:
+            assert small_corpus.failure_mode_of[domain] is None
+
+    def test_merged_aspects_recorded(self, small_corpus):
+        merged = [
+            doc for doc in small_corpus.documents.values()
+            if doc.merged_aspects
+        ]
+        assert merged, "some policies should merge sections (fallback driver)"
+        for doc in merged:
+            assert all(a in Aspect.annotated() for a in doc.merged_aspects)

@@ -1,0 +1,46 @@
+"""Full-universe corpus checks that do not require running the pipeline.
+
+Corpus construction at fraction=1.0 takes a few seconds; these tests pin
+the paper's §3.1 population numbers exactly.
+"""
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_corpus
+
+
+@pytest.fixture(scope="module")
+def full_corpus():
+    return build_corpus(CorpusConfig(seed=42, fraction=1.0))
+
+
+class TestFullUniverse:
+    def test_domain_count(self, full_corpus):
+        assert len(full_corpus.domains) == 2892
+
+    def test_company_count(self, full_corpus):
+        assert len(full_corpus.companies) == 2916
+
+    def test_designed_failure_counts(self, full_corpus):
+        assert len(full_corpus.designed_crawl_failures()) == 244
+        assert len(full_corpus.designed_extract_failures()) == 103
+
+    def test_vacuous_count(self, full_corpus):
+        assert len(full_corpus.vacuous_domains) == 16
+
+    def test_healthy_plus_failures_partition(self, full_corpus):
+        healthy = len(full_corpus.healthy_domains())
+        failing = (len(full_corpus.designed_crawl_failures())
+                   + len(full_corpus.designed_extract_failures()))
+        assert healthy + failing == 2892
+        # 2892 - 347 designed failures = 2545 (the paper's successful
+        # extraction population).
+        assert healthy == 2545
+
+    def test_every_site_registered(self, full_corpus):
+        missing = [d for d in full_corpus.domains
+                   if full_corpus.internet.site_for_host(d) is None]
+        assert missing == []
+
+    def test_all_eleven_sectors_present(self, full_corpus):
+        assert len(set(full_corpus.sector_of.values())) == 11

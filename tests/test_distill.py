@@ -1,0 +1,98 @@
+"""Tests for the distillation extension (§6 future work)."""
+
+import pytest
+
+from repro.distill import DistilledAnnotator, evaluate_distillation
+from repro.pipeline import (
+    DomainAnnotations,
+    HandlingAnnotation,
+    TypeAnnotation,
+)
+
+
+def _record(domain, phrases):
+    return DomainAnnotations(
+        domain=domain, sector="IT", status="annotated",
+        types=[
+            TypeAnnotation(category=c, meta_category="X", descriptor=d,
+                           verbatim=v, line=1)
+            for c, d, v in phrases
+        ],
+        handling=[
+            HandlingAnnotation(group="Data retention", label="Limited",
+                               verbatim="we retain your personal information "
+                                        "for as long as necessary", line=2),
+        ],
+    )
+
+
+_TRAINING = [
+    _record(f"t{i}.com", [
+        ("Contact info", "postal address", "mailing address"),
+        ("Contact info", "email address", "e-mail address"),
+        ("Device info", "browser type", "browser type"),
+    ])
+    for i in range(4)
+]
+
+
+class TestDistilledAnnotator:
+    def test_training_builds_lexicon(self):
+        annotator = DistilledAnnotator.train(_TRAINING)
+        assert annotator.lexicon_size >= 3
+        assert annotator.profile_count() >= 1
+
+    def test_learned_normalization_applied(self):
+        annotator = DistilledAnnotator.train(_TRAINING)
+        output = annotator.annotate_lines(
+            [(1, "We collect your mailing address when you register.")]
+        )
+        assert [(m.category, m.descriptor) for m in output.types] == \
+            [("Contact info", "postal address")]
+
+    def test_requires_collection_context(self):
+        annotator = DistilledAnnotator.train(_TRAINING)
+        output = annotator.annotate_lines(
+            [(1, "Our office mailing address is listed below.")]
+        )
+        assert output.types == []
+
+    def test_practice_profile_matching(self):
+        annotator = DistilledAnnotator.train(_TRAINING)
+        output = annotator.annotate_lines(
+            [(1, "We retain your personal information for as long as "
+                 "necessary to provide services.")]
+        )
+        assert any(p.label == "Limited" for p in output.practices)
+
+    def test_low_support_phrases_excluded(self):
+        records = [_record("one.com", [("Contact info", "fax number",
+                                        "facsimile number")])]
+        annotator = DistilledAnnotator.train(records)
+        output = annotator.annotate_lines(
+            [(1, "We collect your facsimile number.")]
+        )
+        assert output.types == []
+
+    def test_untrained_annotator_rejected(self):
+        with pytest.raises(RuntimeError):
+            DistilledAnnotator().annotate_lines([(1, "x")])
+
+
+class TestEvaluation:
+    def test_distillation_on_small_corpus(self, small_corpus,
+                                          pipeline_result):
+        report = evaluate_distillation(small_corpus, pipeline_result.records,
+                                       seed=1)
+        assert report.train_domains > report.test_domains > 0
+        assert report.lexicon_size > 100
+        assert report.type_agreement_recall > 0.75
+        assert report.oracle_type_precision > 0.8
+        assert report.practice_agreement_recall > 0.5
+
+    def test_deterministic(self, small_corpus, pipeline_result):
+        a = evaluate_distillation(small_corpus, pipeline_result.records,
+                                  seed=2)
+        b = evaluate_distillation(small_corpus, pipeline_result.records,
+                                  seed=2)
+        assert a == b

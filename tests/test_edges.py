@@ -1,0 +1,101 @@
+"""Edge-case tests across modules that the main suites touch lightly."""
+
+import zipfile
+
+import pytest
+
+from repro.chatbot.models import (
+    GPT4_PROFILE,
+    SimulatedChatModel,
+    _local_mislabel,
+)
+from repro._util.rng import derive_rng
+from repro.pipeline.preprocess import _combine_documents
+from repro.htmlkit import html_to_document
+from repro.taxonomy import DATA_TYPE_TAXONOMY
+
+
+class TestLocalMislabel:
+    def test_stays_within_meta_category(self):
+        rng = derive_rng(1, "mislabel")
+        for _ in range(200):
+            category, descriptor = _local_mislabel(
+                rng, DATA_TYPE_TAXONOMY, "Contact info", "email address"
+            )
+            meta = DATA_TYPE_TAXONOMY.meta_of_category(category)
+            assert meta == "Physical profile"
+            valid = {d.name for d in
+                     DATA_TYPE_TAXONOMY.category(category).descriptors}
+            assert descriptor in valid
+
+    def test_never_returns_identical_pair_within_category(self):
+        rng = derive_rng(2, "mislabel")
+        same = 0
+        for _ in range(100):
+            category, descriptor = _local_mislabel(
+                rng, DATA_TYPE_TAXONOMY, "Contact info", "email address"
+            )
+            if (category, descriptor) == ("Contact info", "email address"):
+                same += 1
+        assert same == 0
+
+    def test_unknown_category_left_unchanged(self):
+        rng = derive_rng(3, "mislabel")
+        assert _local_mislabel(rng, DATA_TYPE_TAXONOMY, "Nope", "x") == \
+            ("Nope", "x")
+
+
+class TestCombineDocuments:
+    def test_heading_levels_preserved(self):
+        a = html_to_document("<h2>One</h2><p>alpha</p>")
+        b = html_to_document("<div><b>Two</b></div><p>beta</p>")
+        combined = _combine_documents([a, b])
+        assert [l.number for l in combined.lines] == [1, 2, 3, 4]
+        assert combined.lines[0].heading_level == 2
+        assert combined.lines[2].is_heading
+
+    def test_empty_list(self):
+        assert _combine_documents([]).lines == []
+
+
+class TestModelStateIsolation:
+    def test_model_instances_do_not_share_usage(self):
+        from repro.chatbot import ChatMessage
+        from repro.chatbot.prompts import extract_types_prompt
+
+        a = SimulatedChatModel(name="a", profile=GPT4_PROFILE, seed=0)
+        b = SimulatedChatModel(name="b", profile=GPT4_PROFILE, seed=0)
+        a.complete([ChatMessage("user", extract_types_prompt()),
+                    ChatMessage("user", "[1] We collect your name.")])
+        assert a.usage.calls == 1
+        assert b.usage.calls == 0
+
+
+class TestBuildBackend:
+    def test_wheel_builds_and_contains_package(self, tmp_path):
+        import _repro_build
+
+        name = _repro_build.build_wheel(str(tmp_path))
+        wheel = tmp_path / name
+        assert wheel.exists()
+        with zipfile.ZipFile(wheel) as zf:
+            names = zf.namelist()
+            assert "repro/__init__.py" in names
+            assert any(n.endswith("METADATA") for n in names)
+            assert any(n.endswith("RECORD") for n in names)
+
+    def test_editable_wheel_contains_pth(self, tmp_path):
+        import _repro_build
+
+        name = _repro_build.build_editable(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            pth = [n for n in zf.namelist() if n.endswith(".pth")]
+            assert pth
+            content = zf.read(pth[0]).decode()
+            assert content.strip().endswith("src")
+
+    def test_sdist_unsupported(self, tmp_path):
+        import _repro_build
+
+        with pytest.raises(NotImplementedError):
+            _repro_build.build_sdist(str(tmp_path))

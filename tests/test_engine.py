@@ -1,0 +1,202 @@
+"""Tests for the annotation engine."""
+
+from repro.chatbot.engine import AnnotationEngine
+
+
+def _extract_texts(mentions):
+    return {m.verbatim for m in mentions}
+
+
+class TestTypeExtraction:
+    def setup_method(self):
+        self.engine = AnnotationEngine()
+
+    def test_synonyms_extracted_verbatim(self):
+        mentions = self.engine.extract_types(
+            [(1, "We collect your mailing address and e-mail address.")]
+        )
+        assert _extract_texts(mentions) == {"mailing address", "e-mail address"}
+
+    def test_refs_resolved(self):
+        mentions = self.engine.extract_types(
+            [(1, "We collect your mailing address.")]
+        )
+        assert mentions[0].ref.descriptor == "postal address"
+
+    def test_negated_mentions_tagged(self):
+        mentions = self.engine.extract_types(
+            [(1, "We do not collect social security numbers.")]
+        )
+        assert mentions[0].negated
+
+    def test_inflected_forms(self):
+        mentions = self.engine.extract_types(
+            [(1, "We collect cookies and web beacons.")]
+        )
+        descriptors = {m.ref.descriptor for m in mentions if m.ref}
+        assert "cookies" in descriptors
+        assert "web beacons" in descriptors
+
+    def test_no_collection_context_no_extraction(self):
+        # "interactions" is a taxonomy surface, but this sentence is not a
+        # collection statement.
+        mentions = self.engine.extract_types(
+            [(1, "Depending on the specific interactions involved, terms "
+                 "may vary.")]
+        )
+        assert mentions == []
+
+    def test_broad_collection_verbs(self):
+        mentions = self.engine.extract_types(
+            [(1, "Our servers automatically receive your IP address.")]
+        )
+        assert _extract_texts(mentions) == {"IP address"}
+
+    def test_novel_term_extracted_alongside_known(self):
+        mentions = self.engine.extract_types(
+            [(1, "We collect your email address, pager number, and name.")]
+        )
+        novel = [m for m in mentions if m.ref is None]
+        assert [m.verbatim for m in novel] == ["pager number"]
+
+    def test_novel_requires_known_sibling(self):
+        mentions = self.engine.extract_types(
+            [(1, "We collect your pager number.")]
+        )
+        assert mentions == []
+
+    def test_purpose_items_not_novel_types(self):
+        # A purposes enumeration must not leak into data-type extraction.
+        mentions = self.engine.extract_types(
+            [(1, "We use the information we collect for fraud prevention, "
+                 "analytics, and direct marketing.")]
+        )
+        assert all(m.ref is not None for m in mentions)
+
+    def test_line_numbers_preserved(self):
+        mentions = self.engine.extract_types(
+            [(7, "We collect your name."), (9, "We collect your age.")]
+        )
+        assert {m.line for m in mentions} == {7, 9}
+
+
+class TestPurposeExtraction:
+    def setup_method(self):
+        self.engine = AnnotationEngine()
+
+    def test_purposes_extracted(self):
+        mentions = self.engine.extract_purposes(
+            [(1, "We use the information we collect for fraud prevention "
+                 "and targeted advertising.")]
+        )
+        descriptors = {m.ref.descriptor for m in mentions if m.ref}
+        assert "fraud prevention" in descriptors
+        assert "targeted advertising" in descriptors
+
+    def test_verb_phrase_purposes(self):
+        mentions = self.engine.extract_purposes(
+            [(1, "We use your information to personalize your experience.")]
+        )
+        assert any(m.ref and m.ref.descriptor == "personalization"
+                   for m in mentions)
+
+
+class TestNormalization:
+    def setup_method(self):
+        self.engine = AnnotationEngine()
+
+    def test_known_phrase_normalizes(self):
+        items = self.engine.normalize("data-types", ["home address"])
+        assert items[0].category == "Contact info"
+        assert items[0].descriptor == "postal address"
+        assert not items[0].novel
+
+    def test_inflected_phrase_normalizes(self):
+        items = self.engine.normalize("data-types", ["Email Addresses"])
+        assert items[0].descriptor == "email address"
+
+    def test_novel_phrase_categorized_by_vocabulary(self):
+        items = self.engine.normalize("data-types", ["pager number"])
+        assert items[0].novel
+        assert items[0].category == "Contact info"
+
+    def test_garbage_phrase_dropped(self):
+        items = self.engine.normalize("data-types", ["zzz qqq xyzzy"])
+        assert items == []
+
+    def test_indexes_align_with_input(self):
+        items = self.engine.normalize(
+            "data-types", ["name", "zzz qqq", "gender"]
+        )
+        assert [(i.index, i.descriptor) for i in items] == \
+            [(0, "name"), (2, "gender")]
+
+
+class TestGlossaryAblation:
+    def test_without_glossary_synonyms_fail(self):
+        engine = AnnotationEngine(use_glossary=False)
+        items = engine.normalize("data-types", ["mailing address"])
+        # Without the glossary, the synonym is not confidently normalized:
+        # it either disappears or is treated as a novel descriptor.
+        assert not any(
+            item.descriptor == "postal address" and not item.novel
+            for item in items
+        )
+
+    def test_without_glossary_canonical_still_works(self):
+        engine = AnnotationEngine(use_glossary=False)
+        items = engine.normalize("data-types", ["postal address"])
+        assert items[0].descriptor == "postal address"
+        assert not items[0].novel
+
+
+class TestHeadingAndSegmentTasks:
+    def setup_method(self):
+        self.engine = AnnotationEngine()
+
+    def test_label_headings(self):
+        labeled = self.engine.label_headings(
+            [(1, "Information We Collect"), (5, "Your Rights and Choices")]
+        )
+        assert labeled[0] == (1, ["types"])
+        assert labeled[1][1][0] == "rights"
+
+    def test_segment_lines_groups_contiguous(self):
+        spans = self.engine.segment_lines(
+            [
+                (1, "We may collect your email address and your name."),
+                (2, "We may collect your phone number when you register."),
+                (3, "We use the information for analytics purposes."),
+            ]
+        )
+        assert (1, 2, "types") in spans
+        assert (3, 3, "purposes") in spans
+
+
+class TestPracticeAnnotation:
+    def setup_method(self):
+        self.engine = AnnotationEngine()
+
+    def test_handling_with_period(self):
+        annotations = self.engine.annotate_handling(
+            [(4, "We retain your data for two (2) years. Access to your "
+                 "personal information is restricted to employees who need "
+                 "it.")]
+        )
+        labels = {(a.label, a.period_days) for a in annotations}
+        assert ("Stated", 730) in labels
+        assert ("Access limit", None) in labels
+
+    def test_rights_labels(self):
+        annotations = self.engine.annotate_rights(
+            [(2, "You may update or correct your personal information. "
+                 "You may deactivate your account at any time.")]
+        )
+        labels = {a.label for a in annotations}
+        assert labels == {"Edit", "Deactivate"}
+
+    def test_rights_not_detected_by_handling_task(self):
+        annotations = self.engine.annotate_handling(
+            [(2, "You may deactivate your account at any time.")]
+        )
+        assert annotations == []

@@ -1,0 +1,66 @@
+"""Tests for dataset export."""
+
+import csv
+
+from repro.analysis.export import (
+    ANNOTATION_FIELDS,
+    annotations_rows,
+    dataset_summary,
+    write_annotations_csv,
+    write_domains_csv,
+)
+
+
+class TestAnnotationsRows:
+    def test_rows_cover_all_facets(self, pipeline_result):
+        rows = annotations_rows(pipeline_result.records)
+        facets = {r.facet for r in rows}
+        assert facets == {"type", "purpose", "handling", "rights"}
+
+    def test_row_counts_match_records(self, pipeline_result):
+        rows = annotations_rows(pipeline_result.records)
+        expected = sum(r.annotation_count()
+                       for r in pipeline_result.annotated_domains())
+        assert len(rows) == expected
+
+    def test_stated_retention_rows_carry_periods(self, pipeline_result):
+        rows = [r for r in annotations_rows(pipeline_result.records)
+                if r.facet == "handling" and r.descriptor == "Stated"]
+        if len(rows) >= 4:
+            # Most Stated rows carry a parsed period; the remainder are
+            # injected mislabels (a non-Stated sentence labeled Stated).
+            with_period = sum(1 for r in rows if r.period_days)
+            assert with_period / len(rows) > 0.6
+
+
+class TestCsvExport:
+    def test_annotations_csv_roundtrip(self, pipeline_result, tmp_path):
+        path = tmp_path / "annotations.csv"
+        count = write_annotations_csv(pipeline_result.records, path)
+        with path.open() as fh:
+            reader = csv.DictReader(fh)
+            assert tuple(reader.fieldnames) == ANNOTATION_FIELDS
+            loaded = list(reader)
+        assert len(loaded) == count
+        assert all(row["domain"] for row in loaded)
+
+    def test_domains_csv(self, pipeline_result, tmp_path):
+        path = tmp_path / "domains.csv"
+        count = write_domains_csv(pipeline_result.records, path)
+        assert count == len(pipeline_result.records)
+        with path.open() as fh:
+            loaded = list(csv.DictReader(fh))
+        statuses = {row["status"] for row in loaded}
+        assert "annotated" in statuses
+        assert "crawl-failed" in statuses
+
+
+class TestSummary:
+    def test_dataset_summary_consistent(self, pipeline_result):
+        summary = dataset_summary(pipeline_result.records)
+        assert summary["domains_annotated"] <= summary["domains_processed"]
+        assert summary["annotations_total"] == (
+            summary["annotations_types"] + summary["annotations_purposes"]
+            + summary["annotations_handling"] + summary["annotations_rights"]
+        )
+        assert summary["sectors"] >= 8

@@ -1,0 +1,75 @@
+"""Integration checks: the small-corpus pipeline run reproduces the
+paper's headline statistics in shape (loose tolerances — the shared
+fixture corpus is ~170 domains; the benchmarks run the full corpus)."""
+
+from repro.analysis import (
+    annotated_records,
+    category_count_distribution,
+    retention_findings,
+    table2a_types,
+    table2b_purposes,
+    table3_practices,
+)
+
+
+class TestPipelineShape:
+    def test_crawl_success_rate(self, pipeline_result):
+        rate = pipeline_result.crawl_successes() / pipeline_result.domains_total()
+        assert 0.85 <= rate <= 0.97  # paper: 91.6%
+
+    def test_extraction_success_rate(self, pipeline_result):
+        rate = (pipeline_result.extraction_successes()
+                / pipeline_result.domains_total())
+        assert 0.80 <= rate <= 0.95  # paper: 88%
+
+    def test_mean_pages_crawled(self, pipeline_result):
+        assert 3.5 <= pipeline_result.mean_pages_crawled() <= 7.0  # paper 5.1
+
+    def test_median_policy_words(self, pipeline_result):
+        assert 1700 <= pipeline_result.median_policy_words() <= 4200  # 2671
+
+    def test_fallback_share(self, pipeline_result):
+        share = (pipeline_result.fallback_domains()
+                 / max(1, pipeline_result.extraction_successes()))
+        assert 0.10 <= share <= 0.55  # paper: 708/2545 = 27.8%
+
+
+class TestStatisticsShape:
+    def test_physical_profile_dominates(self, pipeline_result):
+        rows = table2a_types(pipeline_result.records)
+        coverage = {name: row.overall.coverage for name, row in rows.items()}
+        assert coverage["Physical profile"] > 0.8
+        assert coverage["Bio/health profile"] < coverage["Physical profile"]
+        assert coverage["Bio/health profile"] < 0.6
+
+    def test_operations_purposes_nearly_universal(self, pipeline_result):
+        rows = table2b_purposes(pipeline_result.records)
+        assert rows["Operations"].overall.coverage > 0.9  # paper 97.5%
+        assert rows["Data sharing"].overall.coverage < 0.45  # paper 26.1%
+
+    def test_opt_out_more_common_than_opt_in(self, pipeline_result):
+        rows = table3_practices(pipeline_result.records)
+        opt_out = max(rows["Opt-out via contact"].overall.coverage,
+                      rows["Opt-out via link"].overall.coverage)
+        assert opt_out > rows["Opt-in"].overall.coverage
+
+    def test_limited_retention_beats_stated(self, pipeline_result):
+        rows = table3_practices(pipeline_result.records)
+        assert rows["Limited"].overall.coverage > \
+            rows["Stated"].overall.coverage * 3
+
+    def test_category_count_tail(self, pipeline_result):
+        dist = category_count_distribution(pipeline_result.records)
+        shares = dist.shares()
+        assert shares[">=3"] > 0.8  # paper 93.5%
+        assert 0.2 < shares[">13"] < 0.7  # paper 52.8%
+        assert shares[">22"] < 0.25  # paper 13.0%
+
+    def test_retention_median_about_two_years(self, pipeline_result):
+        findings = retention_findings(pipeline_result.records)
+        if findings.stated_count >= 5:
+            assert 180 <= findings.median_days <= 2555  # paper: 2 years
+
+    def test_annotated_majority(self, pipeline_result):
+        population = annotated_records(pipeline_result.records)
+        assert len(population) > 0.8 * pipeline_result.domains_total() * 0.85

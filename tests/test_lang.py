@@ -1,0 +1,69 @@
+"""Tests for language identification."""
+
+from repro.lang import detect_language, is_english, is_mixed_language
+
+ENGLISH = (
+    "We collect information about you when you use our services and "
+    "we use that data to improve the experience for our customers. "
+    "This policy describes what we do with the information."
+)
+GERMAN = (
+    "Wir sammeln Informationen über Sie, wenn Sie unsere Dienste nutzen, "
+    "und wir verwenden diese Daten, um das Erlebnis für unsere Kunden zu "
+    "verbessern. Diese Erklärung beschreibt die Nutzung der Daten durch uns."
+)
+FRENCH = (
+    "Nous collectons des informations sur vous lorsque vous utilisez nos "
+    "services et nous utilisons ces données pour améliorer votre expérience. "
+    "Cette politique décrit notre utilisation des informations."
+)
+SPANISH = (
+    "Nosotros recopilamos información sobre usted cuando usa nuestros "
+    "servicios y usamos estos datos para mejorar la experiencia de nuestros "
+    "clientes. Esta política describe el uso de la información."
+)
+
+
+class TestDetectLanguage:
+    def test_english(self):
+        assert detect_language(ENGLISH).language == "en"
+
+    def test_german(self):
+        assert detect_language(GERMAN).language == "de"
+
+    def test_french(self):
+        assert detect_language(FRENCH).language == "fr"
+
+    def test_spanish(self):
+        assert detect_language(SPANISH).language == "es"
+
+    def test_cjk_by_script(self):
+        assert detect_language("プライバシーポリシーはこちらです。" * 5).language == "cjk"
+
+    def test_short_text_undetermined(self):
+        assert detect_language("hello").language == "und"
+
+    def test_confidence_positive_for_clear_text(self):
+        assert detect_language(ENGLISH).confidence > 0.3
+
+
+class TestIsEnglish:
+    def test_english_true(self):
+        assert is_english(ENGLISH)
+
+    def test_german_false(self):
+        assert not is_english(GERMAN)
+
+
+class TestMixedLanguage:
+    def test_pure_english_not_mixed(self):
+        assert not is_mixed_language(ENGLISH * 5)
+
+    def test_english_plus_german_mixed(self):
+        # Two substantial runs in different languages, window-aligned.
+        english_block = "\n".join([ENGLISH] * 45)
+        german_block = "\n".join([GERMAN] * 45)
+        assert is_mixed_language(english_block + "\n" + german_block)
+
+    def test_empty_not_mixed(self):
+        assert not is_mixed_language("")

@@ -1,0 +1,103 @@
+"""Tests for the phrase matcher and stemming."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chatbot.lexicon import (
+    PhraseMatcher,
+    stem_token,
+    tokenize_with_spans,
+)
+
+
+class TestStemToken:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("addresses", "address"),
+            ("histories", "history"),
+            ("analyses", "analysis"),
+            ("children", "child"),
+            ("address", "address"),
+            ("gps", "gps"),  # too short to be treated as a plural
+            ("class", "class"),  # -ss preserved
+        ],
+    )
+    def test_examples(self, token, expected):
+        assert stem_token(token) == expected
+
+    @pytest.mark.parametrize(
+        "singular,plural",
+        [
+            ("cookie", "cookies"),
+            ("history", "histories"),
+            ("address", "addresses"),
+            ("beacon", "beacons"),
+            ("analysis", "analyses"),
+            ("movie", "movies"),
+        ],
+    )
+    def test_singular_plural_consistency(self, singular, plural):
+        assert stem_token(singular) == stem_token(plural)
+
+    @given(st.from_regex(r"[A-Za-z]{1,15}", fullmatch=True))
+    def test_idempotent_enough(self, token):
+        # Stemming a stem must not raise and must be stable for matching.
+        once = stem_token(token)
+        assert isinstance(once, str)
+
+
+class TestTokenizeWithSpans:
+    def test_spans_point_into_source(self):
+        text = "We collect email addresses."
+        tokens = tokenize_with_spans(text)
+        assert [text[t.start:t.end] for t in tokens] == \
+            ["We", "collect", "email", "addresses"]
+
+    def test_apostrophes(self):
+        tokens = tokenize_with_spans("driver's license")
+        assert tokens[0].text == "driver's"
+
+
+class TestPhraseMatcher:
+    def _matcher(self):
+        matcher = PhraseMatcher()
+        matcher.add("email address", "EMAIL")
+        matcher.add("address", "ADDR")
+        matcher.add("ip address", "IP")
+        return matcher
+
+    def test_longest_match_wins(self):
+        matches = self._matcher().find_all("your email address here")
+        assert [m.payload for m in matches] == ["EMAIL"]
+
+    def test_shorter_match_when_alone(self):
+        matches = self._matcher().find_all("an address only")
+        assert [m.payload for m in matches] == ["ADDR"]
+
+    def test_inflection_matched(self):
+        matches = self._matcher().find_all("Email Addresses are collected")
+        assert [m.payload for m in matches] == ["EMAIL"]
+
+    def test_non_overlapping_left_to_right(self):
+        matches = self._matcher().find_all("email address and ip address")
+        assert [m.payload for m in matches] == ["EMAIL", "IP"]
+
+    def test_verbatim_recovers_source_text(self):
+        text = "We store E-Mail   addresses."
+        matcher = PhraseMatcher()
+        matcher.add("e-mail address", "X")
+        matches = matcher.find_all(text)
+        assert len(matches) == 1
+        assert matches[0].verbatim(text) == "E-Mail   addresses"
+
+    def test_empty_phrase_rejected(self):
+        with pytest.raises(ValueError):
+            PhraseMatcher().add("...", "X")
+
+    def test_len_counts_entries(self):
+        assert len(self._matcher()) == 3
+
+    @given(st.text(max_size=200))
+    def test_never_raises(self, text):
+        self._matcher().find_all(text)

@@ -1,0 +1,43 @@
+"""Tests for negation-scope detection."""
+
+from repro.chatbot.negation import find_negation_scopes, is_negated
+
+
+class TestNegationScopes:
+    def test_do_not_collect(self):
+        text = "We do not collect biometric data. We do collect names."
+        scopes = find_negation_scopes(text)
+        assert len(scopes) == 1
+        start = text.index("biometric")
+        assert is_negated(scopes, start, start + len("biometric data"))
+
+    def test_scope_ends_at_sentence(self):
+        text = "We do not collect health data. We collect your email address."
+        scopes = find_negation_scopes(text)
+        start = text.index("email")
+        assert not is_negated(scopes, start, start + 5)
+
+    def test_does_not_apply_to(self):
+        text = "This privacy notice does not apply to employment records."
+        scopes = find_negation_scopes(text)
+        start = text.index("employment")
+        assert is_negated(scopes, start, start + 10)
+
+    def test_never_collect(self):
+        text = "We never collect passwords from minors."
+        assert find_negation_scopes(text)
+
+    def test_will_not_share(self):
+        text = "We will not sell your contact information."
+        assert find_negation_scopes(text)
+
+    def test_positive_text_has_no_scope(self):
+        assert find_negation_scopes("We collect your name and email.") == []
+
+    def test_case_insensitive(self):
+        assert find_negation_scopes("WE DO NOT COLLECT anything.")
+
+    def test_multiple_scopes(self):
+        text = ("We do not collect health data. We gather your name. "
+                "We never collect fingerprints.")
+        assert len(find_negation_scopes(text)) == 2

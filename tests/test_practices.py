@@ -1,0 +1,126 @@
+"""Tests for practice-label signatures and retention period parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chatbot.practices import (
+    PracticeHit,
+    detect_practices,
+    parse_retention_period,
+)
+from repro.taxonomy.labels import (
+    ACCESS_LABELS,
+    CHOICE_LABELS,
+    PROTECTION_LABELS,
+    RETENTION_LABELS,
+)
+
+_GROUPS = {
+    "Data retention": RETENTION_LABELS,
+    "Data protection": PROTECTION_LABELS,
+    "User choices": CHOICE_LABELS,
+    "User access": ACCESS_LABELS,
+}
+
+
+def _all_cues():
+    for group_name, label_set in _GROUPS.items():
+        for label in label_set.labels:
+            for cue in label.cues:
+                text = cue.format(period="two (2) years") \
+                    if "{period}" in cue else cue
+                yield group_name, label.name, text
+
+
+class TestCueDetection:
+    @pytest.mark.parametrize("group,label,cue", list(_all_cues()))
+    def test_every_cue_detects_its_label(self, group, label, cue):
+        hits = detect_practices(cue, groups=(group,))
+        assert label in [h.label for h in hits], \
+            f"cue {cue!r} should detect {label}"
+
+    def test_group_restriction(self):
+        cue = RETENTION_LABELS.label("Indefinitely").cues[0]
+        assert detect_practices(cue, groups=("User access",)) == []
+
+    def test_plain_sentence_detects_nothing(self):
+        assert detect_practices("We love our customers very much.") == []
+
+    def test_multiple_labels_in_one_sentence(self):
+        sentence = ("Data is encrypted in transit using TLS, and access to "
+                    "your personal information is restricted to employees "
+                    "who need it.")
+        labels = {h.label for h in detect_practices(sentence)}
+        assert "Secure transfer" in labels
+        assert "Access limit" in labels
+
+    def test_generic_suppressed_by_specific(self):
+        sentence = ("We use appropriate technical and organizational "
+                    "measures, and data is encrypted in transit.")
+        labels = {h.label for h in detect_practices(sentence)}
+        assert "Secure transfer" in labels
+        assert "Generic" not in labels
+
+    def test_retention_exclusive(self):
+        sentence = ("We retain your data for two (2) years and only as long "
+                    "as necessary.")
+        retention = [h for h in detect_practices(sentence)
+                     if h.group == "Data retention"]
+        assert len(retention) == 1
+        assert retention[0].label == "Stated"
+
+    def test_stated_includes_period(self):
+        sentence = "We retain your personal information for ninety (90) days."
+        hits = detect_practices(sentence, groups=("Data retention",))
+        assert hits[0].period.days == 90
+
+    def test_indefinite_beats_stated(self):
+        sentence = ("Your data may be retained indefinitely, or at minimum "
+                    "for two (2) years.")
+        hits = detect_practices(sentence, groups=("Data retention",))
+        assert [h.label for h in hits] == ["Indefinitely"]
+
+
+class TestRetentionPeriodParser:
+    @pytest.mark.parametrize(
+        "text,days",
+        [
+            ("two (2) years", 730),
+            ("ninety (90) days", 90),
+            ("six months", 180),
+            ("18 months", 540),
+            ("one (1) day", 1),
+            ("fifty (50) years", 18250),
+            ("7 years", 2555),
+            ("three weeks", 21),
+        ],
+    )
+    def test_examples(self, text, days):
+        parsed = parse_retention_period(f"We keep data for {text}.")
+        assert parsed is not None
+        assert parsed.days == days
+
+    def test_longest_period_wins(self):
+        parsed = parse_retention_period(
+            "active use plus thirty (30) days, archived for six (6) years"
+        )
+        assert parsed.days == 2190
+
+    def test_no_period(self):
+        assert parse_retention_period("We keep data as long as needed.") is None
+
+    def test_zero_count_ignored(self):
+        assert parse_retention_period("zero (0) days retention") is None
+
+    @given(st.integers(min_value=1, max_value=99),
+           st.sampled_from(["day", "week", "month", "year"]))
+    def test_numeric_forms(self, count, unit):
+        parsed = parse_retention_period(f"stored for {count} {unit}s")
+        assert parsed is not None
+        assert parsed.days > 0
+
+
+class TestPracticeHit:
+    def test_dataclass_fields(self):
+        hit = PracticeHit(group="User access", label="Edit", sentence="s")
+        assert hit.period is None

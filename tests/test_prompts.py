@@ -1,0 +1,60 @@
+"""Tests for prompt rendering (Figure 2)."""
+
+from repro.chatbot import prompts
+
+
+class TestPromptContents:
+    def test_types_prompt_has_role_and_instructions(self):
+        prompt = prompts.extract_types_prompt()
+        assert "data privacy expert" in prompt
+        assert "### Instructions:" in prompt
+        assert "### Example:" in prompt
+        assert "JSON" in prompt
+
+    def test_types_prompt_glossary_toggle(self):
+        with_glossary = prompts.extract_types_prompt(include_glossary=True)
+        without = prompts.extract_types_prompt(include_glossary=False)
+        assert "### Glossary:" in with_glossary
+        assert "### Glossary:" not in without
+
+    def test_types_prompt_negation_toggle(self):
+        with_negation = prompts.extract_types_prompt(include_negation=True)
+        without = prompts.extract_types_prompt(include_negation=False)
+        assert "negated contexts" in with_negation
+        assert "negated contexts" not in without
+
+    def test_glossary_marks_itself_non_comprehensive(self):
+        prompt = prompts.extract_types_prompt()
+        assert "**not** comprehensive" in prompt
+
+    def test_heading_prompt_lists_all_nine_aspects(self):
+        prompt = prompts.label_headings_prompt()
+        for aspect in ("types", "methods", "purposes", "handling", "sharing",
+                       "rights", "audiences", "changes", "other"):
+            assert f"**{aspect}:**" in prompt
+
+    def test_normalize_prompt_explains_mapping(self):
+        prompt = prompts.normalize_types_prompt()
+        assert "postal address" in prompt
+        assert "mailing address" in prompt
+
+    def test_handling_prompt_lists_labels(self):
+        prompt = prompts.annotate_handling_prompt()
+        for label in ("Limited", "Stated", "Indefinitely", "Secure transfer"):
+            assert label in prompt
+
+    def test_rights_prompt_lists_labels(self):
+        prompt = prompts.annotate_rights_prompt()
+        for label in ("Opt-out via contact", "Privacy settings", "Edit",
+                      "Full delete", "Deactivate"):
+            assert label in prompt
+
+    def test_separate_lists_instruction_present(self):
+        prompt = prompts.extract_types_prompt()
+        assert "broken down into" in prompt
+
+    def test_purposes_prompt_distinct_from_types(self):
+        types_prompt = prompts.extract_types_prompt()
+        purposes_prompt = prompts.extract_purposes_prompt()
+        assert types_prompt != purposes_prompt
+        assert "purposes" in purposes_prompt.lower()

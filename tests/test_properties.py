@@ -1,0 +1,129 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro._util.rng import SeedSequence
+from repro.chatbot.engine import AnnotationEngine
+from repro.chatbot.lexicon import PhraseMatcher, tokenize_with_spans
+from repro.corpus import PolicyWriter, PracticeSampler
+from repro.corpus.sectors import SECTOR_CODES
+from repro.pipeline import DomainAnnotations, HallucinationVerifier, TypeAnnotation
+from repro.web.url import join_url, normalize_url, parse_url
+
+_PHRASES = ["email address", "ip address", "browser type", "postal address",
+            "purchase history"]
+
+
+@st.composite
+def _sentences(draw):
+    chosen = draw(st.lists(st.sampled_from(_PHRASES), min_size=1, max_size=4))
+    prefix = draw(st.sampled_from([
+        "We collect your ", "We may collect ", "Our servers receive your ",
+        "You may provide us with ",
+    ]))
+    return prefix + ", ".join(chosen) + "."
+
+
+class TestMatcherProperties:
+    @given(_sentences())
+    @settings(max_examples=60)
+    def test_verbatim_is_substring_of_source(self, sentence):
+        matcher = PhraseMatcher()
+        for phrase in _PHRASES:
+            matcher.add(phrase, phrase)
+        for match in matcher.find_all(sentence):
+            assert match.verbatim(sentence) == \
+                sentence[match.char_start:match.char_end]
+            assert match.verbatim(sentence) in sentence
+
+    @given(_sentences())
+    @settings(max_examples=60)
+    def test_matches_never_overlap(self, sentence):
+        matcher = PhraseMatcher()
+        for phrase in _PHRASES:
+            matcher.add(phrase, phrase)
+        matches = matcher.find_all(sentence)
+        for first, second in zip(matches, matches[1:]):
+            assert first.char_end <= second.char_start
+
+
+class TestEngineProperties:
+    @given(_sentences())
+    @settings(max_examples=40)
+    def test_extractions_survive_hallucination_check(self, sentence):
+        engine = AnnotationEngine()
+        verifier = HallucinationVerifier(sentence)
+        for mention in engine.extract_types([(1, sentence)]):
+            assert verifier.contains(mention.verbatim)
+
+
+class TestGeneratorEngineAgreement:
+    """The round-trip invariant: whatever the generator embeds, the engine
+    can find most of it, and everything the engine finds is verifiable."""
+
+    @given(st.integers(min_value=0, max_value=30),
+           st.sampled_from(SECTOR_CODES))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip(self, index, sector):
+        seeds = SeedSequence(777)
+        sampler = PracticeSampler(seeds)
+        writer = PolicyWriter(seeds)
+        practices = sampler.sample(f"prop{index}.com", sector)
+        doc = writer.write(practices, f"Prop {index} Inc.")
+        text = doc.full_text()
+        verifier = HallucinationVerifier(text)
+        engine = AnnotationEngine()
+        lines = list(enumerate(text.split("\n"), start=1))
+        mentions = engine.extract_types(lines)
+        for mention in mentions:
+            assert verifier.contains(mention.verbatim)
+        # Recall floor: at least 60% of embedded canonical type mentions
+        # resolve (hard phrasings and odd contexts account for the rest).
+        embedded = [m for m in doc.mentions
+                    if m.kind == "type" and not m.negated and not m.novel]
+        if len(embedded) >= 10:
+            resolved = {m.ref.descriptor for m in mentions if m.ref}
+            truth = {m.descriptor for m in embedded}
+            assert len(truth & resolved) / len(truth) > 0.6
+
+
+class TestRecordProperties:
+    @given(
+        st.text(min_size=1, max_size=30),
+        st.lists(
+            st.tuples(st.text(min_size=1, max_size=20),
+                      st.text(min_size=1, max_size=20),
+                      st.text(min_size=1, max_size=40)),
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_jsonl_roundtrip_arbitrary_strings(self, domain, rows):
+        record = DomainAnnotations(
+            domain=domain, sector="IT", status="annotated",
+            types=[
+                TypeAnnotation(category=c, meta_category="M", descriptor=d,
+                               verbatim=v, line=1)
+                for c, d, v in rows
+            ],
+        )
+        restored = DomainAnnotations.from_json(record.to_json())
+        assert restored == record
+        # And the JSON itself is valid.
+        json.loads(record.to_json())
+
+
+class TestUrlProperties:
+    @given(st.from_regex(r"https?://[a-z]{1,8}\.(com|org)(/[a-z0-9.]{0,6}){0,3}",
+                         fullmatch=True),
+           st.from_regex(r"(\.\./){0,2}[a-z0-9]{0,8}(/[a-z0-9]{0,5}){0,2}",
+                         fullmatch=True))
+    @settings(max_examples=80)
+    def test_join_produces_absolute_normalizable_urls(self, base, reference):
+        joined = join_url(base, reference)
+        assert joined.is_absolute
+        normalized = normalize_url(str(joined))
+        assert parse_url(normalized).is_absolute
+        assert normalize_url(normalized) == normalized

@@ -1,0 +1,48 @@
+"""Tests for the §6 anonymized-retention prompt refinement."""
+
+from repro.chatbot import make_model, prompts
+from repro.chatbot.engine import AnnotationEngine
+from repro.chatbot.tasks import run_annotate_handling
+
+_ANONYMIZED_LINE = [(1, "Your data may be retained indefinitely in "
+                        "anonymized and aggregated form.")]
+_PLAIN_LINE = [(1, "Your data may be retained indefinitely.")]
+
+
+class TestPromptRefinement:
+    def test_refined_prompt_contains_instruction(self):
+        refined = prompts.annotate_handling_prompt(ignore_anonymized=True)
+        plain = prompts.annotate_handling_prompt()
+        assert "anonymized or aggregated" in refined
+        assert "anonymized or aggregated" not in plain
+
+
+class TestEngineRefinement:
+    def test_anonymized_indefinite_skipped_when_refined(self):
+        engine = AnnotationEngine()
+        refined = engine.annotate_handling(
+            _ANONYMIZED_LINE, ignore_anonymized_retention=True)
+        assert all(a.label != "Indefinitely" for a in refined)
+
+    def test_anonymized_indefinite_kept_by_default(self):
+        engine = AnnotationEngine()
+        default = engine.annotate_handling(_ANONYMIZED_LINE)
+        assert any(a.label == "Indefinitely" for a in default)
+
+    def test_plain_indefinite_kept_even_when_refined(self):
+        engine = AnnotationEngine()
+        refined = engine.annotate_handling(
+            _PLAIN_LINE, ignore_anonymized_retention=True)
+        assert any(a.label == "Indefinitely" for a in refined)
+
+
+class TestEndToEndRefinement:
+    def test_model_reads_refinement_off_the_prompt(self):
+        model = make_model("sim-gpt-4-turbo", seed=0)
+        refined = run_annotate_handling(model, _ANONYMIZED_LINE,
+                                        ignore_anonymized=True)
+        assert all(r.label != "Indefinitely" for r in refined)
+
+        plain = run_annotate_handling(model, _ANONYMIZED_LINE,
+                                      ignore_anonymized=False)
+        assert any(r.label == "Indefinitely" for r in plain)

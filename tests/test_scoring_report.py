@@ -1,0 +1,139 @@
+"""Tests for the scoring + report extensions (§6 'unlocked analyses')."""
+
+from repro.analysis import (
+    exposure_score,
+    generate_report,
+    peer_comparison,
+    quality_score,
+    score_companies,
+    sector_risk_ranking,
+)
+from repro.pipeline import (
+    DomainAnnotations,
+    HandlingAnnotation,
+    PurposeAnnotation,
+    RightsAnnotation,
+    TypeAnnotation,
+)
+
+
+def _maximal_record():
+    return DomainAnnotations(
+        domain="max.com", sector="CD", status="annotated",
+        types=[
+            TypeAnnotation(category=f"C{i}", meta_category=meta,
+                           descriptor=f"d{i}", verbatim="v", line=1)
+            for i, meta in enumerate(
+                ["Bio/health profile", "Financial/legal profile",
+                 "Physical behavior"] + ["Digital behavior"] * 27
+            )
+        ],
+        purposes=[
+            PurposeAnnotation(category="Advertising & sales",
+                              meta_category="Third-party",
+                              descriptor="targeted advertising",
+                              verbatim="v", line=1),
+            PurposeAnnotation(category="Data sharing",
+                              meta_category="Third-party",
+                              descriptor="data for sale", verbatim="v",
+                              line=1),
+        ],
+        handling=[
+            HandlingAnnotation(group="Data retention", label="Indefinitely",
+                               verbatim="v", line=1),
+        ],
+    )
+
+
+def _minimal_record():
+    return DomainAnnotations(
+        domain="min.com", sector="CD", status="annotated",
+        types=[TypeAnnotation(category="Contact info",
+                              meta_category="Physical profile",
+                              descriptor="email address", verbatim="v",
+                              line=1)],
+    )
+
+
+def _quality_record():
+    return DomainAnnotations(
+        domain="good.com", sector="IT", status="annotated",
+        types=[TypeAnnotation(category="Contact info",
+                              meta_category="Physical profile",
+                              descriptor="email address", verbatim="v",
+                              line=1)],
+        handling=[
+            HandlingAnnotation(group="Data retention", label="Stated",
+                               verbatim="v", line=1, period_days=730),
+            HandlingAnnotation(group="Data protection", label="Secure transfer",
+                               verbatim="v", line=1),
+            HandlingAnnotation(group="Data protection", label="Secure storage",
+                               verbatim="v", line=1),
+            HandlingAnnotation(group="Data protection", label="Access limit",
+                               verbatim="v", line=1),
+        ],
+        rights=[
+            RightsAnnotation(group="User access", label=label, verbatim="v",
+                             line=1)
+            for label in ("Edit", "View", "Export", "Full delete")
+        ] + [
+            RightsAnnotation(group="User choices", label="Opt-out via link",
+                             verbatim="v", line=1),
+        ],
+    )
+
+
+class TestScores:
+    def test_exposure_orders_max_above_min(self):
+        assert exposure_score(_maximal_record()) > \
+            exposure_score(_minimal_record()) + 30
+
+    def test_exposure_bounded(self):
+        assert 0 <= exposure_score(_maximal_record()) <= 100
+        assert 0 <= exposure_score(_minimal_record()) <= 100
+
+    def test_quality_rewards_good_practices(self):
+        assert quality_score(_quality_record()) > 90
+        assert quality_score(_minimal_record()) == 0.0
+
+    def test_score_companies_skips_failures(self):
+        failed = DomainAnnotations(domain="f.com", sector="IT",
+                                   status="crawl-failed")
+        scores = score_companies([_minimal_record(), failed])
+        assert [s.domain for s in scores] == ["min.com"]
+
+
+class TestPeerComparison:
+    def test_zscores_sum_to_zero_within_sector(self):
+        records = [_maximal_record(), _minimal_record()]
+        comparison = peer_comparison(records)
+        zs = [c.exposure_z for c in comparison.values()]
+        assert abs(sum(zs)) < 1e-9
+        assert comparison["max.com"].exposure_z > 0
+
+    def test_singleton_sector_gets_zero_z(self):
+        comparison = peer_comparison([_quality_record()])
+        assert comparison["good.com"].quality_z == 0.0
+
+
+class TestSectorRanking:
+    def test_ranking_on_pipeline_run(self, pipeline_result):
+        ranking = sector_risk_ranking(pipeline_result.records)
+        assert len(ranking) >= 8
+        means = [mean for _, mean in ranking]
+        assert means == sorted(means, reverse=True)
+        assert all(0 <= m <= 100 for m in means)
+
+
+class TestReport:
+    def test_report_contains_all_sections(self, pipeline_result):
+        report = generate_report(pipeline_result.records)
+        for heading in ("Annotation summary", "Collected data types",
+                        "Data collection purposes",
+                        "Data handling and user rights", "Findings",
+                        "Sector exposure ranking"):
+            assert heading in report
+
+    def test_report_is_markdown_table_heavy(self, pipeline_result):
+        report = generate_report(pipeline_result.records)
+        assert report.count("|") > 100

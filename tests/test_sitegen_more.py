@@ -1,0 +1,100 @@
+"""Additional site-generation tests: heading styles, failure-mode page
+behaviour as observed through the browser."""
+
+import pytest
+
+from repro._util.rng import SeedSequence
+from repro.corpus import PolicyWriter, PracticeSampler, SiteBuilder
+from repro.errors import FetchError
+from repro.htmlkit import BOLD_HEADING_LEVEL, html_to_document
+from repro.web import Browser, SimulatedInternet
+
+
+@pytest.fixture(scope="module")
+def toolkit():
+    seeds = SeedSequence(31)
+    sampler = PracticeSampler(seeds)
+    writer = PolicyWriter(seeds)
+    builder = SiteBuilder(seeds)
+    practices = sampler.sample("style-test.com", "IT")
+    doc = writer.write(practices, "Style Test Inc.")
+    return builder, doc, seeds
+
+
+class TestHeadingStyles:
+    def _render(self, toolkit, style):
+        builder, doc, seeds = toolkit
+        html = builder.policy_html(doc, style, seeds.rng("style", style))
+        return html_to_document(html)
+
+    def test_h2_style_has_h2_headings(self, toolkit):
+        rendered = self._render(toolkit, "h2")
+        levels = {l.heading_level for l in rendered.headings()}
+        assert 2 in levels
+
+    def test_bold_style_has_bold_headings(self, toolkit):
+        rendered = self._render(toolkit, "bold")
+        levels = {l.heading_level for l in rendered.headings()}
+        assert BOLD_HEADING_LEVEL in levels
+        assert 2 not in levels
+
+    def test_none_style_has_few_headings(self, toolkit):
+        rendered = self._render(toolkit, "none")
+        # Only the <h1> title remains; section titles are folded into text.
+        assert len(rendered.headings()) <= 2
+
+    def test_mixed_style_mixes(self, toolkit):
+        rendered = self._render(toolkit, "mixed")
+        levels = {l.heading_level for l in rendered.headings()}
+        assert len(levels) >= 2
+
+
+class TestFailureModesThroughBrowser:
+    def _browse(self, toolkit, mode, path="/"):
+        builder, doc, _ = toolkit
+        site, _ = builder.build_failing_site(f"{mode}.example",
+                                             "Example Inc.", mode, doc=doc)
+        net = SimulatedInternet(seed=3)
+        net.register(site)
+        return Browser(internet=net), site
+
+    def test_js_dynamic_content_invisible(self, toolkit):
+        browser, _ = self._browse(toolkit, "js-dynamic-content")
+        page = browser.goto("https://js-dynamic-content.example/privacy")
+        text = html_to_document(page.html).text
+        assert "Privacy Policy" in text
+        # The actual policy body never loads within the crawl budget.
+        assert "email address" not in text.lower()
+
+    def test_hidden_expandable_invisible(self, toolkit):
+        browser, _ = self._browse(toolkit, "hidden-expandable")
+        page = browser.goto("https://hidden-expandable.example/privacy")
+        rendered = html_to_document(page.html)
+        assert rendered.word_count() < 100
+
+    def test_timeout_site_unreachable(self, toolkit):
+        browser, _ = self._browse(toolkit, "timeout")
+        with pytest.raises(FetchError):
+            browser.goto("https://timeout.example/")
+
+    def test_legal_notice_site_has_no_privacy_word_link(self, toolkit):
+        browser, _ = self._browse(toolkit, "legal-notice-link")
+        page = browser.goto("https://legal-notice-link.example/")
+        from repro.crawler import extract_links
+
+        links = extract_links(page.html, page.final_url)
+        assert not any(l.mentions_privacy() for l in links)
+        assert any("legal" in l.text.lower() for l in links)
+
+    def test_mixed_language_page_detected(self, toolkit):
+        browser, _ = self._browse(toolkit, "mixed-language")
+        page = browser.goto("https://mixed-language.example/privacy")
+        from repro.lang import is_mixed_language
+
+        text = html_to_document(page.html).text
+        assert is_mixed_language(text)
+
+    def test_consent_box_site_shows_no_privacy_link(self, toolkit):
+        browser, _ = self._browse(toolkit, "consent-box-link")
+        page = browser.goto("https://consent-box-link.example/")
+        assert "privacy" not in page.html.lower()

@@ -1,0 +1,149 @@
+"""Tests for the taxonomies and label sets."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy import (
+    ACCESS_LABELS,
+    ASPECT_DEFINITIONS,
+    Aspect,
+    CHOICE_LABELS,
+    Category,
+    DATA_TYPE_TAXONOMY,
+    Descriptor,
+    MetaCategory,
+    PROTECTION_LABELS,
+    PURPOSE_TAXONOMY,
+    RETENTION_LABELS,
+    Taxonomy,
+    all_labels,
+)
+
+
+class TestAspects:
+    def test_nine_aspects(self):
+        assert len(list(Aspect)) == 9
+
+    def test_all_have_definitions(self):
+        assert set(ASPECT_DEFINITIONS) == set(Aspect)
+
+    def test_annotated_aspects(self):
+        assert Aspect.annotated() == (
+            Aspect.TYPES, Aspect.PURPOSES, Aspect.HANDLING, Aspect.RIGHTS,
+        )
+
+    def test_substantive_excludes_audiences_changes_other(self):
+        substantive = set(Aspect.substantive())
+        assert Aspect.AUDIENCES not in substantive
+        assert Aspect.CHANGES not in substantive
+        assert Aspect.OTHER not in substantive
+
+
+class TestDataTypeTaxonomy:
+    def test_paper_dimensions(self):
+        n_meta, n_categories, n_descriptors = DATA_TYPE_TAXONOMY.size()
+        assert n_meta == 6
+        assert n_categories == 34
+        assert n_descriptors >= 125  # paper: non-exhaustive list of 125
+
+    def test_surface_lookup_synonyms(self):
+        ref = DATA_TYPE_TAXONOMY.lookup_surface("mailing address")
+        assert ref.descriptor == "postal address"
+        assert ref.category == "Contact info"
+        assert ref.meta_category == "Physical profile"
+
+    def test_lookup_is_case_insensitive(self):
+        assert DATA_TYPE_TAXONOMY.lookup_surface("Mailing ADDRESS") is not None
+
+    def test_unknown_surface_returns_none(self):
+        assert DATA_TYPE_TAXONOMY.lookup_surface("zorbofrob") is None
+
+    def test_meta_of_category(self):
+        assert DATA_TYPE_TAXONOMY.meta_of_category("Tracking data") == \
+            "Digital behavior"
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(TaxonomyError):
+            DATA_TYPE_TAXONOMY.category("Nonsense")
+
+    def test_ref_builder(self):
+        ref = DATA_TYPE_TAXONOMY.ref("Contact info", "phone number")
+        assert ref.meta_category == "Physical profile"
+
+    def test_top_descriptors_ordered_by_weight(self):
+        top = DATA_TYPE_TAXONOMY.category("Contact info").top_descriptors(3)
+        weights = [d.weight for d in top]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_glossary_lines_cover_all_categories(self):
+        lines = DATA_TYPE_TAXONOMY.glossary_lines()
+        assert len(lines) == 34
+        assert any("Contact info" in line for line in lines)
+
+
+class TestPurposeTaxonomy:
+    def test_paper_dimensions(self):
+        n_meta, n_categories, n_descriptors = PURPOSE_TAXONOMY.size()
+        assert n_meta == 3
+        assert n_categories == 7
+        assert n_descriptors >= 48
+
+    def test_data_for_sale_descriptor_exists(self):
+        ref = PURPOSE_TAXONOMY.lookup_surface("sell your personal information")
+        assert ref.descriptor == "data for sale"
+        assert ref.category == "Data sharing"
+
+
+class TestTaxonomyValidation:
+    def test_ambiguous_surface_rejected(self):
+        d1 = Descriptor("alpha", ("shared form",))
+        d2 = Descriptor("beta", ("shared form",))
+        with pytest.raises(TaxonomyError):
+            Taxonomy(
+                name="bad",
+                meta_categories=(
+                    MetaCategory("M", (
+                        Category("C1", (d1,)),
+                        Category("C2", (d2,)),
+                    )),
+                ),
+            )
+
+    def test_duplicate_category_rejected(self):
+        cat = Category("C", (Descriptor("x"),))
+        with pytest.raises(TaxonomyError):
+            Taxonomy(
+                name="bad",
+                meta_categories=(
+                    MetaCategory("M1", (cat,)),
+                    MetaCategory("M2", (cat,)),
+                ),
+            )
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Category("empty", ())
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Descriptor("x", weight=0)
+
+
+class TestLabelSets:
+    def test_label_counts_match_paper(self):
+        assert len(RETENTION_LABELS.labels) == 3
+        assert len(PROTECTION_LABELS.labels) == 7
+        assert len(CHOICE_LABELS.labels) == 5
+        assert len(ACCESS_LABELS.labels) == 6
+        assert len(all_labels()) == 21
+
+    def test_every_label_has_cues(self):
+        for label in all_labels():
+            assert label.cues
+
+    def test_label_lookup(self):
+        assert RETENTION_LABELS.label("Stated").meta_category == "Data retention"
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(TaxonomyError):
+            CHOICE_LABELS.label("Nonsense")

@@ -1,0 +1,108 @@
+"""Tests for text-processing primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.textproc import (
+    collapse_whitespace,
+    normalize_for_match,
+    sentence_split,
+    slugify,
+    tokenize,
+    truncate,
+    word_count,
+)
+
+
+class TestNormalizeForMatch:
+    def test_lowercases_and_collapses(self):
+        assert normalize_for_match("  Hello\n  WORLD ") == "hello world"
+
+    def test_smart_quotes_mapped(self):
+        assert normalize_for_match("user’s “data”") == 'user\'s "data"'
+
+    def test_dashes_mapped(self):
+        assert normalize_for_match("opt–out — now") == "opt-out - now"
+
+    def test_accents_stripped(self):
+        assert normalize_for_match("café résumé") == "cafe resume"
+
+    def test_idempotent(self):
+        text = "Some – Mixed “Text”  here"
+        once = normalize_for_match(text)
+        assert normalize_for_match(once) == once
+
+    @given(st.text(max_size=200))
+    def test_never_raises_and_idempotent(self, text):
+        once = normalize_for_match(text)
+        assert normalize_for_match(once) == once
+
+
+class TestTokenize:
+    def test_simple(self):
+        assert tokenize("Email, address!") == ["email", "address"]
+
+    def test_apostrophes_kept_in_token(self):
+        assert tokenize("driver's license") == ["driver's", "license"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestSentenceSplit:
+    def test_basic_split(self):
+        sents = sentence_split("We collect data. We protect it. Trust us.")
+        assert len(sents) == 3
+
+    def test_abbreviation_not_split(self):
+        sents = sentence_split("We use tools, e.g. cookies for this. Done.")
+        assert len(sents) == 2
+
+    def test_single_sentence(self):
+        assert sentence_split("No terminal punctuation here") == [
+            "No terminal punctuation here"
+        ]
+
+    def test_question_marks(self):
+        sents = sentence_split("What do we collect? Your name.")
+        assert len(sents) == 2
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Contact Info!") == "contact-info"
+
+    def test_strips_edges(self):
+        assert slugify("  --weird -- input--  ") == "weird-input"
+
+
+class TestTruncate:
+    def test_short_text_unchanged(self):
+        assert truncate("abc", 10) == "abc"
+
+    def test_long_text_gets_ellipsis(self):
+        result = truncate("abcdefghij", 8)
+        assert len(result) <= 8
+        assert result.endswith("...")
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            truncate("abc", 0)
+
+    @given(st.text(max_size=100), st.integers(min_value=1, max_value=50))
+    def test_never_exceeds_limit(self, text, limit):
+        assert len(truncate(text, limit)) <= max(limit, len("...")) \
+            or len(truncate(text, limit)) <= limit + 3
+
+
+class TestWordCount:
+    def test_counts_whitespace_separated(self):
+        assert word_count("one two  three\nfour") == 4
+
+    def test_empty(self):
+        assert word_count("") == 0
+
+
+class TestCollapseWhitespace:
+    def test_preserves_newlines(self):
+        assert collapse_whitespace("a  b\nc\td") == "a b\nc d"
