@@ -6,9 +6,12 @@ domain after dedup, /privacy-policy existing for 54.5% of domains and
 /privacy for 48.6%.
 """
 
+import time
+
 from conftest import emit
 
 from repro.crawler import PrivacyCrawler
+from repro.pipeline import ExecutorOptions, crawl_domains
 from repro.web import Browser
 
 
@@ -49,3 +52,52 @@ def test_crawl_statistics(benchmark, bench_corpus, bench_result):
     assert 0.85 <= success_rate <= 0.97
     assert 3.5 <= result.mean_pages_crawled() <= 7.0
     assert 1.2 <= result.mean_privacy_pages() <= 3.2
+
+
+def test_parallel_crawl_speedup(benchmark, bench_corpus):
+    """Sharded parallel crawl vs serial on a network-bound workload.
+
+    ``latency_scale`` turns each page's simulated ``elapsed_ms`` into a real
+    (GIL-releasing) sleep, modelling the network-bound behaviour of live
+    crawling; the sharded executor overlaps those waits across workers.
+    """
+    sample = bench_corpus.domains[:120]
+    scale = 0.02  # 50 ms simulated latency -> 1 ms real sleep
+    executor = ExecutorOptions(workers=8, shard_size=4)
+
+    def crawl_serial():
+        crawler = PrivacyCrawler(
+            Browser(internet=bench_corpus.internet, latency_scale=scale))
+        return [crawler.crawl_domain(domain) for domain in sample]
+
+    def crawl_parallel():
+        return crawl_domains(bench_corpus.internet, sample,
+                             executor=executor, latency_scale=scale)
+
+    start = time.perf_counter()
+    serial_crawls = crawl_serial()
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_crawls = crawl_parallel()
+    parallel_elapsed = time.perf_counter() - start
+    benchmark.pedantic(crawl_parallel, rounds=3, iterations=1)
+
+    # Determinism: worker assignment must not change any crawl outcome.
+    assert list(parallel_crawls) == list(sample)
+    for domain, serial_crawl in zip(sample, serial_crawls):
+        assert parallel_crawls[domain].crawl_succeeded == \
+            serial_crawl.crawl_succeeded
+        assert parallel_crawls[domain].navigations == serial_crawl.navigations
+
+    speedup = serial_elapsed / parallel_elapsed
+    emit("E1b parallel crawl (sharded executor, 8 workers)", [
+        ("domains crawled", "-", str(len(sample))),
+        ("serial wall-clock", "-", f"{serial_elapsed:.2f}s"),
+        ("parallel wall-clock", "-", f"{parallel_elapsed:.2f}s"),
+        ("speedup", ">1x", f"{speedup:.2f}x"),
+    ])
+    assert parallel_elapsed < serial_elapsed, (
+        f"parallel crawl ({parallel_elapsed:.2f}s) not faster than serial "
+        f"({serial_elapsed:.2f}s)"
+    )

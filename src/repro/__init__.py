@@ -25,7 +25,12 @@ Quickstart::
 """
 
 from repro.corpus import CorpusConfig, SyntheticCorpus, build_corpus
-from repro.pipeline import PipelineOptions, PipelineResult, run_pipeline
+from repro.pipeline import (
+    ExecutorOptions,
+    PipelineOptions,
+    PipelineResult,
+    run_pipeline,
+)
 
 __version__ = "1.0.0"
 
@@ -33,6 +38,7 @@ __all__ = [
     "CorpusConfig",
     "SyntheticCorpus",
     "build_corpus",
+    "ExecutorOptions",
     "PipelineOptions",
     "PipelineResult",
     "run_pipeline",

@@ -47,8 +47,11 @@ def _build_and_run(args):
                                        fraction=args.fraction))
     options = PipelineOptions(model_name=args.model)
     start = time.time()
-    result = run_pipeline(corpus, options, progress=_progress)
-    print(f"pipeline finished in {time.time() - start:.1f}s",
+    workers = getattr(args, "workers", 1)
+    result = run_pipeline(corpus, options, progress=_progress,
+                          workers=workers if workers > 1 else None)
+    print(f"pipeline finished in {time.time() - start:.1f}s "
+          f"({workers} worker{'s' if workers != 1 else ''})",
           file=sys.stderr)
     return corpus, result
 
@@ -154,7 +157,18 @@ def cmd_crawl_stats(args) -> int:
     print(f"mean privacy pages per success:  {result.mean_privacy_pages():.2f}")
     print(f"crawl success rate:              "
           f"{100 * result.crawl_successes() / result.domains_total():.1f}%")
+    if result.fetch_stats is not None:
+        print("fetch counters (this run):")
+        for name, value in result.fetch_stats.as_dict().items():
+            print(f"  {name:<14} {value}")
     return 0
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fraction", type=float, default=0.1,
                         help="corpus scale; 1.0 = full 2,892 domains")
     parser.add_argument("--model", default="sim-gpt-4-turbo")
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="parallel pipeline workers; results are "
+                        "identical for any value (sharded executor)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run the pipeline end to end")

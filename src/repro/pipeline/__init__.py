@@ -1,6 +1,11 @@
 """The annotation pipeline: crawl → pre-process → segment → annotate → verify."""
 
-from repro.pipeline.api import annotate_policy_html, annotate_policy_text
+from repro.pipeline.api import (
+    annotate_policies_html,
+    annotate_policies_text,
+    annotate_policy_html,
+    annotate_policy_text,
+)
 from repro.pipeline.annotate import (
     AnnotateOptions,
     AspectOutcome,
@@ -23,10 +28,20 @@ from repro.pipeline.records import (
     read_jsonl,
     write_jsonl,
 )
+from repro.pipeline.parallel import (
+    ExecutorOptions,
+    ShardOutcome,
+    crawl_domains,
+    make_shards,
+    run_parallel_pipeline,
+    run_shard,
+)
 from repro.pipeline.runner import (
     DomainTrace,
     PipelineOptions,
     PipelineResult,
+    domain_model_seed,
+    model_for_domain,
     process_crawl,
     run_pipeline,
 )
@@ -38,6 +53,8 @@ from repro.pipeline.segmentation import (
 from repro.pipeline.verify import HallucinationVerifier, filter_verified
 
 __all__ = [
+    "annotate_policies_html",
+    "annotate_policies_text",
     "annotate_policy_html",
     "annotate_policy_text",
     "AnnotateOptions",
@@ -57,10 +74,18 @@ __all__ = [
     "read_jsonl",
     "write_jsonl",
     "DomainTrace",
+    "ExecutorOptions",
     "PipelineOptions",
     "PipelineResult",
+    "ShardOutcome",
+    "crawl_domains",
+    "domain_model_seed",
+    "make_shards",
+    "model_for_domain",
     "process_crawl",
+    "run_parallel_pipeline",
     "run_pipeline",
+    "run_shard",
     "MIN_HEADINGS",
     "SegmentedPolicy",
     "segment_policy",

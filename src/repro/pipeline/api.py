@@ -9,9 +9,18 @@ no crawling, no corpus:
     record = annotate_policy_html(open("policy.html").read())
     for t in record.types:
         print(t.category, "->", t.descriptor)
+
+For many documents, the batch functions fan the work out over a thread
+pool with one deterministically seeded model per document, so results are
+identical for any ``workers`` count:
+
+    records = annotate_policies_html({"a.com": html_a, "b.com": html_b},
+                                     workers=4)
 """
 
 from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.chatbot.models import ChatModel, make_model
 from repro.htmlkit import TextDocument, TextLine, html_to_document
@@ -22,7 +31,7 @@ from repro.pipeline.annotate import (
     annotate_types,
 )
 from repro.pipeline.records import DomainAnnotations
-from repro.pipeline.runner import PipelineOptions
+from repro.pipeline.runner import PipelineOptions, model_for_domain
 from repro.pipeline.segmentation import segment_policy
 from repro.pipeline.verify import HallucinationVerifier
 from repro.taxonomy import Aspect
@@ -46,6 +55,45 @@ def annotate_policy_text(text: str, model: ChatModel | None = None,
     ]
     return _annotate_document(TextDocument(lines=lines), model, options,
                               domain)
+
+
+def annotate_policies_html(policies: dict[str, str],
+                           options: PipelineOptions | None = None,
+                           workers: int = 1) -> dict[str, DomainAnnotations]:
+    """Annotate many HTML policies, optionally across a thread pool.
+
+    ``policies`` maps a domain (or any stable document id) to its HTML.
+    Each document gets its own model seeded from ``(model_seed, domain)``,
+    so the output is independent of ``workers`` and of dict order.
+    """
+    return _annotate_many(policies, annotate_policy_html, options, workers)
+
+
+def annotate_policies_text(policies: dict[str, str],
+                           options: PipelineOptions | None = None,
+                           workers: int = 1) -> dict[str, DomainAnnotations]:
+    """Annotate many plain-text policies (see :func:`annotate_policies_html`)."""
+    return _annotate_many(policies, annotate_policy_text, options, workers)
+
+
+def _annotate_many(policies: dict[str, str], annotate_one,
+                   options: PipelineOptions | None,
+                   workers: int) -> dict[str, DomainAnnotations]:
+    options = options or PipelineOptions()
+    items = list(policies.items())
+
+    def one(item: tuple[str, str]) -> tuple[str, DomainAnnotations]:
+        domain, body = item
+        model = model_for_domain(options, domain)
+        return domain, annotate_one(body, model=model, options=options,
+                                    domain=domain)
+
+    if workers <= 1:
+        pairs = [one(item) for item in items]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            pairs = list(pool.map(one, items))
+    return dict(pairs)
 
 
 def _annotate_document(document: TextDocument, model: ChatModel | None,

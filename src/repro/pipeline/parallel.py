@@ -1,0 +1,239 @@
+"""Sharded parallel pipeline executor with a deterministic merge.
+
+The paper's pipeline (crawl → pre-process → segment → annotate → verify) is
+embarrassingly parallel across domains: fetch outcomes are pure functions of
+``(internet seed, url, attempt)`` and — with per-domain model seeding
+(:func:`~repro.pipeline.runner.domain_model_seed`) — so are annotations.
+This module exploits that:
+
+1. The domain list is partitioned into contiguous, order-preserving shards
+   (:func:`make_shards`).
+2. Each shard runs on a :class:`~concurrent.futures.ThreadPoolExecutor`
+   worker with its **own** :class:`~repro.web.browser.Browser` /
+   :class:`~repro.crawler.crawler.PrivacyCrawler` and its own per-domain
+   chat models, so no mutable state is shared across workers. Fetch
+   counters are collected in per-worker sinks
+   (:meth:`~repro.web.net.SimulatedInternet.record_stats`) because the
+   internet-wide ledger is racy under concurrent increments.
+3. Shard results are merged back in original corpus order; token counters
+   and per-worker :class:`~repro.web.net.FetchStats` are summed at join.
+
+The result is byte-identical to a serial :func:`~repro.pipeline.runner
+.run_pipeline` run for every worker count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.corpus.build import SyntheticCorpus
+from repro.crawler.crawler import CrawlResult, PrivacyCrawler
+from repro.pipeline.records import DomainAnnotations
+from repro.pipeline.runner import (
+    DomainTrace,
+    PipelineOptions,
+    PipelineResult,
+    model_for_domain,
+    process_crawl,
+)
+from repro.web.browser import Browser
+from repro.web.net import FetchStats, SimulatedInternet
+
+
+@dataclass(frozen=True)
+class ExecutorOptions:
+    """Configuration for the sharded executor."""
+
+    #: Thread-pool size. 1 degenerates to a (still sharded) serial run.
+    workers: int = 4
+    #: Domains per shard. Small shards balance load across workers; large
+    #: shards amortise per-shard setup (browser, stats sink).
+    shard_size: int = 8
+    #: How many times a crashed shard is re-run before the error propagates.
+    max_retries: int = 2
+    #: Seconds slept before the first shard retry; doubles per retry.
+    retry_backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("ExecutorOptions.workers must be >= 1")
+        if self.shard_size < 1:
+            raise ValueError("ExecutorOptions.shard_size must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("ExecutorOptions.max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("ExecutorOptions.retry_backoff must be >= 0")
+
+
+@dataclass
+class ShardOutcome:
+    """Everything one shard produced, in shard-local domain order."""
+
+    index: int
+    domains: list[str]
+    records: list[DomainAnnotations] = field(default_factory=list)
+    traces: dict[str, DomainTrace] = field(default_factory=dict)
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    fetch_stats: FetchStats = field(default_factory=FetchStats)
+    #: 1 on first-try success; >1 when shard retries were needed.
+    attempts: int = 1
+
+
+def make_shards(domains: list[str], shard_size: int) -> list[list[str]]:
+    """Partition ``domains`` into contiguous shards, preserving order.
+
+    Deterministic: the same inputs always produce the same shards, and
+    concatenating the shards reproduces ``domains`` exactly.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    return [domains[i:i + shard_size]
+            for i in range(0, len(domains), shard_size)]
+
+
+def run_shard(corpus: SyntheticCorpus, index: int, domains: list[str],
+              options: PipelineOptions, progress=None) -> ShardOutcome:
+    """Run one shard with worker-private browser, crawler, and models."""
+    outcome = ShardOutcome(index=index, domains=list(domains))
+    crawler = PrivacyCrawler(Browser(internet=corpus.internet))
+    with corpus.internet.record_stats() as stats:
+        for domain in domains:
+            model = model_for_domain(options, domain)
+            crawl = crawler.crawl_domain(domain)
+            record, trace = process_crawl(corpus, crawl, model, options)
+            outcome.records.append(record)
+            outcome.traces[domain] = trace
+            outcome.prompt_tokens += model.usage.prompt_tokens
+            outcome.completion_tokens += model.usage.completion_tokens
+            if progress is not None:
+                progress(domain)
+    # Copy (not alias) the sink: it has already been folded into the
+    # internet-wide ledger and must stay a per-shard snapshot.
+    outcome.fetch_stats = FetchStats().merge(stats)
+    return outcome
+
+
+class _ProgressRelay:
+    """Serialises worker progress reports into a user callback.
+
+    Reports each domain at most once (shard retries re-process domains),
+    with a monotonically increasing ``done`` count — safe to call from any
+    worker thread.
+    """
+
+    def __init__(self, progress, total: int):
+        self._progress = progress
+        self._total = total
+        self._lock = threading.Lock()
+        self._seen: set[str] = set()
+
+    def __call__(self, domain: str) -> None:
+        if self._progress is None:
+            return
+        with self._lock:
+            if domain in self._seen:
+                return
+            self._seen.add(domain)
+            done = len(self._seen)
+        self._progress(done, self._total, domain)
+
+
+def run_parallel_pipeline(corpus: SyntheticCorpus,
+                          options: PipelineOptions | None = None,
+                          executor: ExecutorOptions | None = None,
+                          domains: list[str] | None = None,
+                          progress=None) -> PipelineResult:
+    """Run the pipeline on the sharded thread-pool executor.
+
+    Output (records, traces, token totals) is byte-identical to the serial
+    :func:`~repro.pipeline.runner.run_pipeline` for the same corpus and
+    options, independent of ``executor.workers`` and ``executor.shard_size``.
+    """
+    options = options or PipelineOptions()
+    executor = executor or ExecutorOptions()
+    domains = list(domains if domains is not None else corpus.domains)
+    shards = make_shards(domains, executor.shard_size)
+    relay = _ProgressRelay(progress, len(domains))
+
+    def run_with_retries(index: int, shard: list[str]) -> ShardOutcome:
+        delay = executor.retry_backoff
+        for attempt in range(executor.max_retries + 1):
+            try:
+                outcome = run_shard(corpus, index, shard, options, relay)
+            except Exception:
+                if attempt == executor.max_retries:
+                    raise
+                if delay > 0:
+                    time.sleep(delay)
+                delay *= 2
+            else:
+                outcome.attempts = attempt + 1
+                return outcome
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    with ThreadPoolExecutor(max_workers=executor.workers) as pool:
+        futures = [pool.submit(run_with_retries, index, shard)
+                   for index, shard in enumerate(shards)]
+        outcomes = [future.result() for future in futures]
+
+    return merge_outcomes(outcomes, options)
+
+
+def merge_outcomes(outcomes: list[ShardOutcome],
+                   options: PipelineOptions) -> PipelineResult:
+    """Merge shard outcomes back into original corpus order."""
+    result = PipelineResult(records=[], traces={}, options=options,
+                            fetch_stats=FetchStats())
+    for outcome in sorted(outcomes, key=lambda o: o.index):
+        result.records.extend(outcome.records)
+        result.traces.update(outcome.traces)
+        result.prompt_tokens += outcome.prompt_tokens
+        result.completion_tokens += outcome.completion_tokens
+        result.fetch_stats.merge(outcome.fetch_stats)
+    return result
+
+
+def crawl_domains(internet: SimulatedInternet, domains: list[str],
+                  executor: ExecutorOptions | None = None,
+                  progress=None, **browser_kwargs) -> dict[str, CrawlResult]:
+    """Parallel counterpart to :func:`repro.crawler.crawler.crawl_all`.
+
+    Crawls only (no annotation), sharded across a thread pool with one
+    browser per shard; extra keyword arguments configure each worker's
+    :class:`~repro.web.browser.Browser` (e.g. ``latency_scale`` to model
+    network-bound fetches). Results come back keyed in input order.
+    """
+    executor = executor or ExecutorOptions()
+    domains = list(domains)
+    relay = _ProgressRelay(progress, len(domains))
+
+    def run(shard: list[str]) -> list[tuple[str, CrawlResult]]:
+        crawler = PrivacyCrawler(
+            Browser(internet=internet, **browser_kwargs))
+        with internet.record_stats():
+            out = []
+            for domain in shard:
+                out.append((domain, crawler.crawl_domain(domain)))
+                relay(domain)
+            return out
+
+    shards = make_shards(domains, executor.shard_size)
+    with ThreadPoolExecutor(max_workers=executor.workers) as pool:
+        chunks = list(pool.map(run, shards))
+    by_domain = {domain: crawl for chunk in chunks for domain, crawl in chunk}
+    return {domain: by_domain[domain] for domain in domains}
+
+
+__all__ = [
+    "ExecutorOptions",
+    "ShardOutcome",
+    "crawl_domains",
+    "make_shards",
+    "merge_outcomes",
+    "run_parallel_pipeline",
+    "run_shard",
+]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
+from repro._util.rng import stable_hash
 from repro.chatbot.models import ChatModel, make_model
 from repro.corpus.build import SyntheticCorpus
 from repro.crawler.crawler import CrawlResult, PrivacyCrawler
@@ -28,6 +29,7 @@ from repro.pipeline.segmentation import SegmentedPolicy, segment_policy
 from repro.pipeline.verify import HallucinationVerifier
 from repro.taxonomy import Aspect
 from repro.web.browser import Browser
+from repro.web.net import FetchStats
 
 
 @dataclass(frozen=True)
@@ -82,6 +84,8 @@ class PipelineResult:
     options: PipelineOptions
     prompt_tokens: int = 0
     completion_tokens: int = 0
+    #: Fetch counters accumulated by this run only (not the whole internet).
+    fetch_stats: FetchStats | None = None
 
     # -- §3 statistics -----------------------------------------------------------
 
@@ -101,6 +105,8 @@ class PipelineResult:
         return sum(1 for r in self.records if r.fallback_aspects)
 
     def mean_pages_crawled(self) -> float:
+        if not self.traces:
+            return 0.0
         return statistics.mean(t.navigations for t in self.traces.values())
 
     def mean_privacy_pages(self) -> float:
@@ -122,34 +128,92 @@ class PipelineResult:
         return None
 
 
+def domain_model_seed(model_seed: int, domain: str) -> int:
+    """Derive the chat-model seed used for one domain's annotation.
+
+    Seeding the model per domain (rather than sharing one model whose noise
+    stream advances with every call) makes each domain's annotations a pure
+    function of ``(corpus seed, model seed, domain)`` — independent of the
+    order domains are processed in and of which executor worker handles
+    them. This is what lets ``run_pipeline(workers=N)`` return byte-identical
+    results for every ``N``.
+    """
+    return stable_hash(model_seed, "pipeline-domain", domain)
+
+
+def model_for_domain(options: PipelineOptions, domain: str) -> ChatModel:
+    """Build the per-domain chat model used by serial and parallel runs."""
+    return make_model(options.model_name,
+                      seed=domain_model_seed(options.model_seed, domain))
+
+
 def run_pipeline(corpus: SyntheticCorpus,
                  options: PipelineOptions | None = None,
                  model: ChatModel | None = None,
                  domains: list[str] | None = None,
-                 progress=None) -> PipelineResult:
-    """Run the full pipeline over (a subset of) a corpus."""
+                 progress=None,
+                 workers: int | None = None,
+                 executor=None) -> PipelineResult:
+    """Run the full pipeline over (a subset of) a corpus.
+
+    By default every domain is annotated with its own deterministically
+    seeded model (see :func:`domain_model_seed`), so results do not depend
+    on domain order or concurrency. Pass ``workers=N`` (or a full
+    :class:`~repro.pipeline.parallel.ExecutorOptions` via ``executor``) to
+    run on the sharded thread-pool executor; the output is byte-identical
+    to the serial run. Passing an explicit shared ``model`` keeps the
+    legacy sequential semantics (its noise stream advances across domains)
+    and is incompatible with ``workers``.
+    """
     options = options or PipelineOptions()
-    if model is None:
-        model = make_model(options.model_name, seed=options.model_seed)
+    if workers is not None or executor is not None:
+        if model is not None:
+            raise ValueError(
+                "run_pipeline: a shared `model` cannot be combined with "
+                "`workers`/`executor`; per-domain models are required for "
+                "worker-count-invariant results"
+            )
+        from repro.pipeline.parallel import ExecutorOptions, run_parallel_pipeline
+
+        if executor is None:
+            executor = ExecutorOptions(workers=workers)
+        elif workers is not None and workers != executor.workers:
+            raise ValueError("run_pipeline: `workers` conflicts with "
+                             "`executor.workers`")
+        return run_parallel_pipeline(corpus, options, executor=executor,
+                                     domains=domains, progress=progress)
+
     browser = Browser(internet=corpus.internet)
     crawler = PrivacyCrawler(browser)
     domains = domains if domains is not None else corpus.domains
 
     records: list[DomainAnnotations] = []
     traces: dict[str, DomainTrace] = {}
-    for index, domain in enumerate(domains):
-        crawl = crawler.crawl_domain(domain)
-        record, trace = process_crawl(corpus, crawl, model, options)
-        records.append(record)
-        traces[domain] = trace
-        if progress is not None:
-            progress(index + 1, len(domains), domain)
+    prompt_tokens = 0
+    completion_tokens = 0
+    with corpus.internet.record_stats() as fetch_stats:
+        for index, domain in enumerate(domains):
+            domain_model = model if model is not None \
+                else model_for_domain(options, domain)
+            crawl = crawler.crawl_domain(domain)
+            record, trace = process_crawl(corpus, crawl, domain_model, options)
+            records.append(record)
+            traces[domain] = trace
+            if model is None:
+                prompt_tokens += domain_model.usage.prompt_tokens
+                completion_tokens += domain_model.usage.completion_tokens
+            if progress is not None:
+                progress(index + 1, len(domains), domain)
+    if model is not None:
+        prompt_tokens = model.usage.prompt_tokens
+        completion_tokens = model.usage.completion_tokens
     return PipelineResult(
         records=records,
         traces=traces,
         options=options,
-        prompt_tokens=model.usage.prompt_tokens,
-        completion_tokens=model.usage.completion_tokens,
+        prompt_tokens=prompt_tokens,
+        completion_tokens=completion_tokens,
+        fetch_stats=fetch_stats,
     )
 
 

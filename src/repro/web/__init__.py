@@ -4,9 +4,9 @@ Replaces the live WWW + Crawlee/Playwright stack. See DESIGN.md §2 for the
 substitution rationale.
 """
 
-from repro.web.browser import Browser, PageResult, make_plain_client
+from repro.web.browser import Browser, PageResult, RetryEvent, make_plain_client
 from repro.web.http import Request, Response, Status
-from repro.web.net import FetchStats, SimulatedInternet
+from repro.web.net import STAT_COUNTERS, FetchStats, SimulatedInternet
 from repro.web.robots import ALLOW_ALL, DENY_ALL, RobotsPolicy
 from repro.web.site import SimPage, Website
 from repro.web.url import (
@@ -20,7 +20,9 @@ from repro.web.url import (
 __all__ = [
     "Browser",
     "PageResult",
+    "RetryEvent",
     "make_plain_client",
+    "STAT_COUNTERS",
     "Request",
     "Response",
     "Status",

@@ -9,6 +9,7 @@ ablations — sites that load their policy dynamically look empty to it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import FetchError, RobotsDisallowedError
@@ -17,6 +18,16 @@ from repro.web.net import SimulatedInternet
 from repro.web.url import join_url, normalize_url, parse_url
 
 MAX_REDIRECTS = 5
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One failed fetch attempt, as recorded in :attr:`Browser.retry_log`."""
+
+    url: str
+    attempt: int  # 0-based attempt number
+    reason: str
+    gave_up: bool  # True when this was the final attempt
 
 
 @dataclass
@@ -51,9 +62,18 @@ class Browser:
     user_agent: str = "Mozilla/5.0 (compatible; repro-crawler/1.0; headless)"
     timeout_ms: int = 30_000
     max_retries: int = 1
+    #: Base pause before retry ``n`` is ``backoff_ms * 2**n`` (0 = no pause).
+    backoff_ms: float = 0.0
+    #: Scale factor turning simulated ``elapsed_ms`` into a real sleep, so
+    #: benchmarks can model network-bound crawling (0 = instantaneous).
+    #: Sleeping releases the GIL, which is exactly how real crawl I/O behaves
+    #: and what lets the sharded executor overlap fetches across threads.
+    latency_scale: float = 0.0
     respect_robots: bool = True
     #: Navigation log, usable by tests and the failure auditor.
     history: list[str] = field(default_factory=list)
+    #: Failed fetch attempts (attempt numbering and the give-up marker).
+    retry_log: list[RetryEvent] = field(default_factory=list)
 
     def goto(self, url: str) -> PageResult:
         """Navigate to ``url``, following redirects.
@@ -108,9 +128,19 @@ class Browser:
         last_error: FetchError | None = None
         for attempt in range(self.max_retries + 1):
             try:
-                return self.internet.fetch(request, attempt=attempt)
+                response = self.internet.fetch(request, attempt=attempt)
             except FetchError as exc:
                 last_error = exc
+                gave_up = attempt == self.max_retries
+                self.retry_log.append(RetryEvent(url=url, attempt=attempt,
+                                                 reason=exc.reason,
+                                                 gave_up=gave_up))
+                if not gave_up and self.backoff_ms > 0:
+                    time.sleep(self.backoff_ms * (2 ** attempt) / 1000.0)
+                continue
+            if self.latency_scale > 0:
+                time.sleep(response.elapsed_ms * self.latency_scale / 1000.0)
+            return response
         assert last_error is not None
         raise last_error
 

@@ -9,7 +9,10 @@ bot blocking, rate limiting).
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from repro._util.rng import derive_rng
 from repro.errors import FetchError
@@ -17,6 +20,10 @@ from repro.web.http import Request, Response, Status
 from repro.web.robots import RobotsPolicy
 from repro.web.site import SimPage, Website
 from repro.web.url import parse_url
+
+#: Counter attribute names, in a stable reporting order.
+STAT_COUNTERS = ("requests", "successes", "timeouts", "resets", "blocked",
+                 "not_found", "dns_failures")
 
 
 @dataclass
@@ -31,6 +38,27 @@ class FetchStats:
     not_found: int = 0
     dns_failures: int = 0
 
+    def merge(self, other: "FetchStats") -> "FetchStats":
+        """Add ``other``'s counters into this instance (returns self)."""
+        for name in STAT_COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in STAT_COUNTERS}
+
+    @property
+    def failures(self) -> int:
+        return self.timeouts + self.resets + self.dns_failures
+
+    @classmethod
+    def total(cls, parts: Iterable["FetchStats"]) -> "FetchStats":
+        """Sum a collection of stats into a fresh instance."""
+        combined = cls()
+        for part in parts:
+            combined.merge(part)
+        return combined
+
 
 @dataclass
 class SimulatedInternet:
@@ -43,6 +71,49 @@ class SimulatedInternet:
     seed: int = 0
     sites: dict[str, Website] = field(default_factory=dict)
     stats: FetchStats = field(default_factory=FetchStats)
+    _stats_lock: threading.Lock = field(default_factory=threading.Lock,
+                                        repr=False, compare=False)
+    _local: threading.local = field(default_factory=threading.local,
+                                    repr=False, compare=False)
+
+    # -- stats accounting ------------------------------------------------------
+    #
+    # ``stats`` is the cumulative, instance-wide ledger. Concurrent crawlers
+    # must not increment it directly from worker threads (lost updates), so
+    # each worker installs a thread-local sink via :meth:`record_stats`; the
+    # sink is merged into the enclosing sink — or, at the outermost level,
+    # into ``stats`` under a lock — when the context exits.
+
+    @contextmanager
+    def record_stats(self) -> Iterator[FetchStats]:
+        """Collect this thread's fetch counters into a private sink.
+
+        Nested contexts stack: an inner sink folds into the outer one on
+        exit; the outermost sink folds into the global :attr:`stats`.
+        """
+        sink = FetchStats()
+        stack = getattr(self._local, "sinks", None)
+        if stack is None:
+            stack = self._local.sinks = []
+        stack.append(sink)
+        try:
+            yield sink
+        finally:
+            stack.pop()
+            if stack:
+                stack[-1].merge(sink)
+            else:
+                with self._stats_lock:
+                    self.stats.merge(sink)
+
+    def _count(self, counter: str) -> None:
+        stack = getattr(self._local, "sinks", None)
+        if stack:
+            sink = stack[-1]
+            setattr(sink, counter, getattr(sink, counter) + 1)
+            return
+        with self._stats_lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
 
     def register(self, site: Website) -> None:
         self.sites[site.domain.lower()] = site
@@ -67,23 +138,23 @@ class SimulatedInternet:
         Raises:
             FetchError: On DNS failure, timeout, or connection reset.
         """
-        self.stats.requests += 1
+        self._count("requests")
         url = parse_url(request.url)
         site = self.site_for_host(url.host)
         if site is None:
-            self.stats.dns_failures += 1
+            self._count("dns_failures")
             raise FetchError(request.url, "dns", f"cannot resolve host {url.host!r}")
 
         rng = derive_rng(self.seed, "fetch", request.url, attempt)
         if site.timeout_probability and rng.random() < site.timeout_probability:
-            self.stats.timeouts += 1
+            self._count("timeouts")
             raise FetchError(request.url, "timeout")
         if site.reset_probability and rng.random() < site.reset_probability:
-            self.stats.resets += 1
+            self._count("resets")
             raise FetchError(request.url, "connection-reset")
 
         if site.blocks_bots and _looks_like_bot(request.user_agent):
-            self.stats.blocked += 1
+            self._count("blocked")
             return Response(
                 url=request.url,
                 status=Status.FORBIDDEN,
@@ -94,7 +165,7 @@ class SimulatedInternet:
 
         page = site.page(url.path)
         if page is None:
-            self.stats.not_found += 1
+            self._count("not_found")
             return Response(
                 url=request.url,
                 status=Status.NOT_FOUND,
@@ -103,7 +174,7 @@ class SimulatedInternet:
             )
 
         if page.latency_ms > request.timeout_ms:
-            self.stats.timeouts += 1
+            self._count("timeouts")
             raise FetchError(request.url, "timeout")
 
         if page.redirect_to is not None:
@@ -116,7 +187,7 @@ class SimulatedInternet:
 
         budget_ms = request.timeout_ms - page.latency_ms
         body = page.rendered_html(request.render_js, budget_ms)
-        self.stats.successes += 1
+        self._count("successes")
         return Response(
             url=request.url,
             status=page.status,
@@ -132,4 +203,5 @@ def _looks_like_bot(user_agent: str) -> bool:
     return any(marker in ua for marker in ("bot", "crawler", "spider", "headless"))
 
 
-__all__ = ["SimulatedInternet", "FetchStats", "SimPage", "Website"]
+__all__ = ["SimulatedInternet", "FetchStats", "STAT_COUNTERS", "SimPage",
+           "Website"]

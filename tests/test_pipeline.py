@@ -11,6 +11,7 @@ from repro.pipeline import (
     DomainAnnotations,
     HallucinationVerifier,
     PipelineOptions,
+    PipelineResult,
     TypeAnnotation,
     annotate_policy_html,
     annotate_policy_text,
@@ -255,6 +256,15 @@ class TestRunner:
             len(pipeline_result.annotated_domains())
         assert pipeline_result.mean_pages_crawled() > 1
         assert pipeline_result.median_policy_words() > 500
+
+    def test_mean_pages_crawled_empty_is_zero(self, small_corpus):
+        # Regression: statistics.mean raised StatisticsError on empty runs.
+        empty = PipelineResult(records=[], traces={},
+                               options=PipelineOptions())
+        assert empty.mean_pages_crawled() == 0.0
+        assert empty.mean_privacy_pages() == 0.0
+        ran = run_pipeline(small_corpus, domains=[])
+        assert ran.mean_pages_crawled() == 0.0
 
     def test_fallback_used_somewhere(self, pipeline_result):
         assert pipeline_result.fallback_domains() > 0
