@@ -1,5 +1,6 @@
 """Internal utilities shared across repro subsystems."""
 
+from repro._util.profiling import StageTimings, stage_scope
 from repro._util.rng import SeedSequence, derive_rng, stable_hash
 from repro._util.textproc import (
     collapse_whitespace,
@@ -10,6 +11,8 @@ from repro._util.textproc import (
 )
 
 __all__ = [
+    "StageTimings",
+    "stage_scope",
     "SeedSequence",
     "derive_rng",
     "stable_hash",

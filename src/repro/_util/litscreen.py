@@ -1,0 +1,205 @@
+"""Literal-substring prescreens derived from alternation regexes.
+
+The annotation hot path is full of IGNORECASE cue patterns of the shape
+``r"retain|retention|stored?\\b"`` that are searched against lines which
+mostly contain none of the cues. A :class:`LiteralScreen` derives, from
+each pattern, one *mandatory literal* per top-level alternative — a
+substring that is provably present in every possible match of that
+alternative — and prescreens text with plain (C-speed) substring checks
+before any regex runs.
+
+The derivation is conservative by construction:
+
+* A pattern is split into its top-level alternatives (``|`` outside
+  groups and character classes).
+* Within one alternative, only unquantified literal characters at nesting
+  depth zero count. Groups, classes, escapes, and anchors end the current
+  literal run; a quantifier (``? * + {m,n}``) drops the character it
+  applies to. Whatever run survives is matched by every match of the
+  alternative, so its presence is a necessary condition.
+* If any alternative yields no literal run, the whole pattern falls back
+  to a compiled regex search inside the screen — never to a false
+  "cannot match".
+* Literal checks run against ``text.lower()`` and are only trusted for
+  ASCII text (``str.lower`` and ``re.IGNORECASE`` agree on ASCII);
+  non-ASCII text always passes the screen.
+
+``LiteralScreen.may_match(...) is False`` therefore guarantees that none
+of the screened patterns can match — skipping them cannot change any
+result, only the clock.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Characters that terminate a literal run when scanning an alternative.
+_QUANTIFIER_CHARS = frozenset("?*+{")
+
+
+def split_alternatives(pattern: str) -> list[str]:
+    """Split a regex on top-level ``|`` (outside groups/classes/escapes)."""
+    alternatives: list[str] = []
+    buf: list[str] = []
+    depth = 0
+    in_class = False
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "\\" and i + 1 < len(pattern):
+            buf.append(pattern[i:i + 2])
+            i += 2
+            continue
+        if in_class:
+            if ch == "]":
+                in_class = False
+            buf.append(ch)
+        elif ch == "[":
+            in_class = True
+            buf.append(ch)
+        elif ch == "(":
+            depth += 1
+            buf.append(ch)
+        elif ch == ")":
+            depth -= 1
+            buf.append(ch)
+        elif ch == "|" and depth == 0:
+            alternatives.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    alternatives.append("".join(buf))
+    return alternatives
+
+
+def mandatory_literal(alternative: str) -> str | None:
+    """Longest literal substring present in every match of ``alternative``.
+
+    Returns ``None`` when no mandatory literal can be established (the
+    caller must then keep the regex itself).
+    """
+    runs: list[str] = []
+    current: list[str] = []
+
+    def flush() -> None:
+        if current:
+            runs.append("".join(current))
+            current.clear()
+
+    i = 0
+    n = len(alternative)
+    while i < n:
+        ch = alternative[i]
+        if ch == "\\":
+            # Escapes (\b, \w, \s, \(, ...) are zero-width or char-class
+            # like; conservatively end the run instead of decoding them.
+            flush()
+            i += 2
+            continue
+        if ch == "[":
+            # Skip the whole class; its single char is not a fixed literal.
+            flush()
+            i += 1
+            while i < n:
+                if alternative[i] == "\\":
+                    i += 2
+                    continue
+                if alternative[i] == "]":
+                    break
+                i += 1
+            i += 1
+            continue
+        if ch == "(":
+            # Skip the whole group: it may be optional or alternated, so
+            # nothing inside is mandatory from this scan's viewpoint.
+            flush()
+            depth = 1
+            i += 1
+            while i < n and depth:
+                if alternative[i] == "\\":
+                    i += 2
+                    continue
+                if alternative[i] == "(":
+                    depth += 1
+                elif alternative[i] == ")":
+                    depth -= 1
+                i += 1
+            continue
+        if ch in _QUANTIFIER_CHARS:
+            # The quantifier applies to the previous atom: that character
+            # is no longer mandatory, the rest of the run still is.
+            if current:
+                current.pop()
+            flush()
+            if ch == "{":
+                while i < n and alternative[i] != "}":
+                    i += 1
+            i += 1
+            continue
+        if ch in ".^$)":
+            flush()
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+    flush()
+    runs = [run for run in runs if run]
+    if not runs:
+        return None
+    return max(runs, key=len)
+
+
+class LiteralScreen:
+    """Necessary-condition prescreen for a set of IGNORECASE patterns.
+
+    ``may_match(text, lowered) is False`` proves that none of the patterns
+    has a match in ``text``.
+    """
+
+    __slots__ = ("literals", "fallbacks")
+
+    def __init__(self, patterns) -> None:
+        literals: set[str] = set()
+        fallbacks: list[re.Pattern] = []
+        for pattern in patterns:
+            per_alternative = [
+                mandatory_literal(alt) for alt in split_alternatives(pattern)
+            ]
+            if any(lit is None or not lit.isascii()
+                   for lit in per_alternative):
+                fallbacks.append(re.compile(pattern, re.IGNORECASE))
+            else:
+                literals.update(lit.lower() for lit in per_alternative)
+        # Drop literals that contain another literal: the shorter one
+        # already screens every text the longer one would.
+        self.literals = tuple(
+            lit for lit in sorted(literals, key=len)
+            if not any(other in lit for other in literals
+                       if other != lit and len(other) < len(lit))
+        )
+        self.fallbacks = tuple(fallbacks)
+
+    def may_match(self, text: str, lowered: str | None = None) -> bool:
+        """Whether any screened pattern *could* match ``text``.
+
+        ``lowered`` is ``text.lower()`` when ``text`` is ASCII, else
+        ``None`` (callers screening many pattern sets against one text
+        lower it once). Non-ASCII text always passes.
+        """
+        if lowered is None:
+            if not text.isascii():
+                return True
+            lowered = text.lower()
+        for literal in self.literals:
+            if literal in lowered:
+                return True
+        for regex in self.fallbacks:
+            if regex.search(text):
+                return True
+        return False
+
+
+def lowered_for_screen(text: str) -> str | None:
+    """``text.lower()`` when literal screening is trustworthy, else None."""
+    return text.lower() if text.isascii() else None

@@ -1,0 +1,76 @@
+"""Per-stage wall-clock accounting for the pipeline hot path.
+
+A :class:`StageTimings` accumulates wall-clock seconds and invocation
+counts per named stage (crawl, preprocess, segment, annotate, ...). Serial
+runs carry a single accumulator; parallel shards each time their own and
+the accumulators are summed at merge, so the reported numbers are total
+CPU-seconds spent in each stage across all workers.
+
+Timings are observability only: they never feed back into pipeline
+behaviour, so records stay byte-identical whether or not a run is timed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+
+
+class StageTimings:
+    """Accumulated wall-clock seconds and call counts, keyed by stage name."""
+
+    __slots__ = ("_seconds", "_counts")
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a ``with`` block and add it to ``name``'s total."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + count
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds for one stage (0.0 when never timed)."""
+        return self._seconds.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """How many timed blocks contributed to ``name``."""
+        return self._counts.get(name, 0)
+
+    def merge(self, other: "StageTimings") -> "StageTimings":
+        """Fold another accumulator into this one (sums seconds and counts)."""
+        for name, seconds in other._seconds.items():
+            self.add(name, seconds, other._counts.get(name, 0))
+        return self
+
+    def as_dict(self) -> dict[str, float]:
+        """Stage -> seconds, in first-recorded order."""
+        return dict(self._seconds)
+
+    def counts(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering, e.g. ``crawl 1.2s, annotate 3.4s``."""
+        return ", ".join(f"{name} {seconds:.2f}s"
+                         for name, seconds in self._seconds.items())
+
+    def __bool__(self) -> bool:
+        return bool(self._seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StageTimings({self._seconds!r})"
+
+
+def stage_scope(timings: StageTimings | None, name: str):
+    """``timings.stage(name)`` or a no-op context when timing is off."""
+    return timings.stage(name) if timings is not None else nullcontext()

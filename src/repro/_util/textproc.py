@@ -36,6 +36,9 @@ def collapse_whitespace(text: str) -> str:
     return "\n".join(lines)
 
 
+_ANY_WS_RE = re.compile(r"\s+")
+
+
 def normalize_for_match(text: str) -> str:
     """Normalize text for robust substring matching.
 
@@ -43,14 +46,20 @@ def normalize_for_match(text: str) -> str:
     collapses all whitespace (including newlines) to single spaces. This is
     the canonical form used by the hallucination verifier when checking that
     a chatbot-extracted span actually occurs in the source text.
+
+    Pure-ASCII input (the overwhelmingly common case for policy text) skips
+    the NFKD decomposition and per-character combining-mark scan, which
+    dominated hallucination-verifier construction time; decomposition,
+    accent stripping, and quote/dash folding are all no-ops on ASCII.
     """
-    text = unicodedata.normalize("NFKD", text)
-    text = "".join(ch for ch in text if not unicodedata.combining(ch))
-    text = text.replace("‘", "'").replace("’", "'")
-    text = text.replace("“", '"').replace("”", '"')
-    text = text.replace("–", "-").replace("—", "-")
+    if not text.isascii():
+        text = unicodedata.normalize("NFKD", text)
+        text = "".join(ch for ch in text if not unicodedata.combining(ch))
+        text = text.replace("‘", "'").replace("’", "'")
+        text = text.replace("“", '"').replace("”", '"')
+        text = text.replace("–", "-").replace("—", "-")
     text = text.lower()
-    return re.sub(r"\s+", " ", text).strip()
+    return _ANY_WS_RE.sub(" ", text).strip()
 
 
 def tokenize(text: str) -> list[str]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import re
 
+from repro._util.litscreen import LiteralScreen, lowered_for_screen
 from repro.taxonomy import Aspect
 
 #: Ordered (pattern, aspect) rules for heading classification. The first
@@ -119,11 +120,25 @@ _COMPILED_LINE_CUES = {
     for aspect, patterns in _LINE_CUES.items()
 }
 
+#: One literal prescreen per aspect over exactly that aspect's cue
+#: patterns. When the screen rules the text out, no individual cue can
+#: match either, so the per-pattern counting loop is skipped with
+#: identical scores (see :mod:`repro._util.litscreen`).
+_CUE_SCREENS = {
+    aspect: LiteralScreen(patterns)
+    for aspect, patterns in _LINE_CUES.items()
+}
+
 
 def score_line(text: str) -> dict[Aspect, int]:
     """Cue-hit counts per aspect for one line of body text."""
     scores: dict[Aspect, int] = {}
+    screens = _CUE_SCREENS
+    lowered = lowered_for_screen(text)
     for aspect, patterns in _COMPILED_LINE_CUES.items():
+        screen = screens.get(aspect)
+        if screen is not None and not screen.may_match(text, lowered):
+            continue
         hits = sum(len(regex.findall(text)) for regex in patterns)
         if hits:
             scores[aspect] = hits

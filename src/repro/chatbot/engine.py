@@ -15,6 +15,14 @@ Implements the competences the paper's task prompts elicit from GPT-4:
 
 The engine itself is "ideal"; model tiers perturb its output
 (:mod:`repro.chatbot.models`).
+
+Per-line NLP (tokenization, negation scopes, sentence boundaries, trigger
+ranges, lexicon matches, practice hits) is read through a
+:class:`~repro.pipeline.docindex.DocumentIndex`. The pipeline binds one
+index per domain so all four annotation tasks — and the full-text fallback
+re-runs — share a single computation per line; an engine constructed
+without an index gets a private transient one and behaves identically,
+just without cross-task sharing.
 """
 
 from __future__ import annotations
@@ -23,11 +31,10 @@ import re
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.chatbot.aspects import classify_heading, classify_line
-from repro.chatbot.lexicon import PhraseMatcher, stem_token, tokenize_with_spans
-from repro.chatbot.negation import find_negation_scopes, is_negated
-from repro.chatbot.practices import PracticeHit, detect_practices
-from repro._util.textproc import sentence_split
+from repro.chatbot.aspects import classify_heading
+from repro.chatbot.lexicon import PhraseMatcher, stem_token
+from repro.chatbot.negation import is_negated
+from repro.chatbot.practices import PracticeHit
 from repro.taxonomy import (
     DATA_TYPE_TAXONOMY,
     PURPOSE_TAXONOMY,
@@ -125,7 +132,7 @@ def _trigger_sentence_ranges(text: str, trigger_re) -> list[tuple[int, int]]:
     return ranges
 
 
-def _in_ranges(ranges: list[tuple[int, int]], start: int, end: int) -> bool:
+def _in_ranges(ranges, start: int, end: int) -> bool:
     return any(r_start <= start and end <= r_end for r_start, r_end in ranges)
 _DETERMINER_RE = re.compile(r"^(?:your|our|the|a|an|certain|specific|any|"
                             r"other|such as|including|e\.g\.|what is commonly "
@@ -202,10 +209,20 @@ class AnnotationEngine:
     glossary: without it the engine only recognizes canonical descriptor
     names, not their synonym surface forms (the degradation the glossary
     ablation measures).
+
+    ``index`` is the per-document analysis cache shared across tasks; a
+    private transient one is created when the caller has none.
     """
 
-    def __init__(self, use_glossary: bool = True):
+    def __init__(self, use_glossary: bool = True, index=None):
         self.use_glossary = use_glossary
+        if index is None:
+            # Imported here: repro.pipeline.docindex depends on chatbot
+            # modules, so a module-level import would be circular.
+            from repro.pipeline.docindex import DocumentIndex
+
+            index = DocumentIndex()
+        self._index = index
 
     # -- heading / segmentation tasks ------------------------------------------
 
@@ -223,7 +240,7 @@ class AnnotationEngine:
         span_start = 0
         prev_line = 0
         for number, text in lines:
-            aspect = classify_line(text).value
+            aspect = self._index.analysis(text).aspect.value
             if aspect != current_aspect:
                 if current_aspect is not None:
                     spans.append((span_start, prev_line, current_aspect))
@@ -244,43 +261,102 @@ class AnnotationEngine:
 
     def _extract(self, lines: list[tuple[int, str]],
                  taxonomy_name: str) -> list[ExtractedMention]:
-        matcher = _matcher_for(taxonomy_name)
-        trigger_re = _TRIGGERS[taxonomy_name]
         mentions: list[ExtractedMention] = []
         for number, text in lines:
-            tokens = tokenize_with_spans(text)
-            scopes = find_negation_scopes(text)
-            contexts = _trigger_sentence_ranges(text, trigger_re)
-            if not contexts:
-                continue
-            matches = matcher.find_all(text, tokens)
-            covered: list[tuple[int, int]] = []
-            for match in matches:
-                if not _in_ranges(contexts, match.char_start, match.char_end):
-                    continue
-                ref = match.payload
-                if not self.use_glossary:
-                    # Without the glossary only canonical names normalize.
-                    canonical = ref.descriptor
-                    if stem_phrase(match.verbatim(text)) != stem_phrase(canonical):
-                        ref = None
+            for verbatim, negated, ref in self._line_mentions(text,
+                                                              taxonomy_name):
                 mentions.append(
-                    ExtractedMention(
-                        line=number,
-                        verbatim=match.verbatim(text),
-                        negated=is_negated(scopes, match.char_start,
-                                           match.char_end),
-                        ref=ref if isinstance(ref, DescriptorRef) else None,
-                    )
+                    ExtractedMention(line=number, verbatim=verbatim,
+                                     negated=negated, ref=ref)
                 )
-                covered.append((match.char_start, match.char_end))
-            mentions.extend(
-                self._extract_novel(number, text, covered, scopes, trigger_re)
-            )
         return mentions
 
-    def _extract_novel(self, number, text, covered, scopes,
-                       trigger_re) -> list[ExtractedMention]:
+    def _line_mentions(self, text: str, taxonomy_name: str,
+                       ) -> tuple[tuple[str, bool, DescriptorRef | None], ...]:
+        """Line-number-independent mentions of one line, cached per document."""
+        analysis = self._index.analysis(text)
+        key = ("mentions", taxonomy_name, self.use_glossary)
+        cached = analysis.memo.get(key)
+        if cached is None:
+            cached = self._compute_line_mentions(analysis, taxonomy_name)
+            analysis.memo[key] = cached
+        return cached
+
+    def _trigger_spans(self, analysis, taxonomy_name: str,
+                       ) -> tuple[tuple[int, int], ...]:
+        """Spans of trigger-phrase matches in the line."""
+        key = ("trigger-spans", taxonomy_name)
+        cached = analysis.memo.get(key)
+        if cached is None:
+            cached = tuple(
+                (m.start(), m.end())
+                for m in _TRIGGERS[taxonomy_name].finditer(analysis.text)
+            )
+            analysis.memo[key] = cached
+        return cached
+
+    def _trigger_contexts(self, analysis, taxonomy_name: str,
+                          ) -> tuple[tuple[int, int], ...]:
+        """Spans of whole sentences containing a trigger phrase."""
+        key = ("trigger-contexts", taxonomy_name)
+        cached = analysis.memo.get(key)
+        if cached is None:
+            text = analysis.text
+            trigger_re = _TRIGGERS[taxonomy_name]
+            # The triggers are anchor-free, so a match inside any sentence
+            # slice is also a match on the whole line: one whole-line miss
+            # rules out every sentence without computing sentence spans.
+            if trigger_re.search(text) is None:
+                cached = ()
+            else:
+                cached = tuple(
+                    span for span in analysis.sentence_spans
+                    if trigger_re.search(text[span[0]:span[1]])
+                )
+            analysis.memo[key] = cached
+        return cached
+
+    def _lexicon_matches(self, analysis, taxonomy_name: str):
+        key = ("matches", taxonomy_name)
+        cached = analysis.memo.get(key)
+        if cached is None:
+            matcher = _matcher_for(taxonomy_name)
+            cached = tuple(matcher.find_all(analysis.text, analysis.tokens))
+            analysis.memo[key] = cached
+        return cached
+
+    def _compute_line_mentions(self, analysis, taxonomy_name: str,
+                               ) -> tuple[tuple[str, bool, DescriptorRef | None], ...]:
+        text = analysis.text
+        contexts = self._trigger_contexts(analysis, taxonomy_name)
+        if not contexts:
+            return ()
+        scopes = analysis.negation_scopes
+        out: list[tuple[str, bool, DescriptorRef | None]] = []
+        covered: list[tuple[int, int]] = []
+        for match in self._lexicon_matches(analysis, taxonomy_name):
+            if not _in_ranges(contexts, match.char_start, match.char_end):
+                continue
+            ref = match.payload
+            if not self.use_glossary:
+                # Without the glossary only canonical names normalize.
+                canonical = ref.descriptor
+                if stem_phrase(match.verbatim(text)) != stem_phrase(canonical):
+                    ref = None
+            out.append((
+                match.verbatim(text),
+                is_negated(scopes, match.char_start, match.char_end),
+                ref if isinstance(ref, DescriptorRef) else None,
+            ))
+            covered.append((match.char_start, match.char_end))
+        out.extend(
+            self._novel_mentions(text, covered, scopes,
+                                 self._trigger_spans(analysis, taxonomy_name))
+        )
+        return tuple(out)
+
+    def _novel_mentions(self, text, covered, scopes, trigger_spans,
+                        ) -> list[tuple[str, bool, None]]:
         """Pattern-based extraction of out-of-glossary enumeration items.
 
         A candidate is only kept when its enumeration also contains at
@@ -288,39 +364,39 @@ class AnnotationEngine:
         enumerates this taxonomy's kind of item (and not, say, a purposes
         list encountered while extracting data types from full text).
         """
-        novel: list[ExtractedMention] = []
-        for trigger in trigger_re.finditer(text):
-            end = text.find(".", trigger.end())
+        novel: list[tuple[str, bool, None]] = []
+        for _, trigger_end in trigger_spans:
+            end = text.find(".", trigger_end)
             end = end if end != -1 else len(text)
             has_known = any(
-                trigger.end() <= c_start < end for c_start, _ in covered
+                trigger_end <= c_start < end for c_start, _ in covered
             )
             if not has_known:
                 continue
-            segment_text = text[trigger.end():end]
-            offset = trigger.end()
-            for raw in _ENUM_SPLIT_RE.split(segment_text):
+            segment_text = text[trigger_end:end]
+            # Walk the enumeration with real separator spans — the
+            # separators (", ", " and ", " or ", ";") have different
+            # lengths, so each item's true position is the text between
+            # consecutive separator matches, not a running guess.
+            pos = 0
+            pieces: list[tuple[int, str]] = []
+            for sep in _ENUM_SPLIT_RE.finditer(segment_text):
+                pieces.append((pos, segment_text[pos:sep.start()]))
+                pos = sep.end()
+            pieces.append((pos, segment_text[pos:]))
+            for rel_start, raw in pieces:
                 stripped = raw.strip()
                 if not stripped:
-                    offset += len(raw) + 1
                     continue
-                seg_start = text.find(stripped, offset)
-                if seg_start == -1:
-                    offset += len(raw) + 1
-                    continue
+                seg_start = (trigger_end + rel_start
+                             + (len(raw) - len(raw.lstrip())))
                 candidate = self._novel_candidate(text, stripped, seg_start,
                                                   covered)
                 if candidate is not None:
                     start, end_pos, phrase = candidate
                     novel.append(
-                        ExtractedMention(
-                            line=number,
-                            verbatim=phrase,
-                            negated=is_negated(scopes, start, end_pos),
-                            ref=None,
-                        )
+                        (phrase, is_negated(scopes, start, end_pos), None)
                     )
-                offset = seg_start + len(stripped)
         return novel
 
     @staticmethod
@@ -429,11 +505,9 @@ class AnnotationEngine:
                             ignore_anonymized_retention: bool = False) -> list[PracticeAnnotation]:
         annotations: list[PracticeAnnotation] = []
         for number, text in lines:
-            for sentence in sentence_split(text):
-                hits = detect_practices(
-                    sentence, groups=groups,
-                    ignore_anonymized_retention=ignore_anonymized_retention,
-                )
+            analysis = self._index.analysis(text)
+            for _, hits in analysis.practice_hits(groups,
+                                                  ignore_anonymized_retention):
                 for hit in hits:
                     annotations.append(self._hit_to_annotation(number, hit))
         return annotations

@@ -1,10 +1,17 @@
 """Token-level phrase matching for the annotation engine.
 
 A :class:`PhraseMatcher` compiles a set of phrases (taxonomy surface forms,
-label cues) into a first-token index and scans tokenized text for longest
-matches. Matching is robust to case, punctuation, plural inflection, and
-whitespace — the same tolerances a strong LLM shows when told to extract
-"the exact word(s) used in the text".
+label cues) into an immutable stem trie and scans tokenized text for
+longest matches (Aho–Corasick-style greedy left-to-right scan). Matching
+is robust to case, punctuation, plural inflection, and whitespace — the
+same tolerances a strong LLM shows when told to extract "the exact word(s)
+used in the text".
+
+The trie is built incrementally by :meth:`PhraseMatcher.add`; scanning
+never mutates the matcher, so one compiled matcher can be shared freely
+across pipeline worker threads (the previous implementation deferred a
+sort to the first scan, a latent data race under the executor's shared
+``lru_cache`` of matchers).
 
 Spans are reported as character offsets into the original text so callers
 can recover the verbatim phrase (needed for the pipeline's hallucination
@@ -60,10 +67,15 @@ class Token:
     end: int
 
 
-def tokenize_with_spans(text: str) -> list[Token]:
-    """Tokenize ``text`` keeping character offsets."""
+def tokenize_with_spans(text: str, stem=stem_token) -> list[Token]:
+    """Tokenize ``text`` keeping character offsets.
+
+    ``stem`` may be swapped for a memoized variant (the document index
+    passes its per-document stem cache) — it must agree with
+    :func:`stem_token` on every token.
+    """
     return [
-        Token(m.group(0), stem_token(m.group(0)), m.start(), m.end())
+        Token(m.group(0), stem(m.group(0)), m.start(), m.end())
         for m in _TOKEN_RE.finditer(text)
     ]
 
@@ -83,61 +95,85 @@ class PhraseMatch:
         return text[self.char_start : self.char_end]
 
 
-class PhraseMatcher:
-    """Longest-match phrase scanner over stemmed tokens."""
+class _TrieNode:
+    """One stem in the compiled phrase trie."""
+
+    __slots__ = ("children", "output")
 
     def __init__(self) -> None:
-        # first stem -> list of (stem tuple, phrase, payload), longest first.
-        self._index: dict[str, list[tuple[tuple[str, ...], str, object]]] = {}
-        self._dirty = False
+        self.children: dict[str, _TrieNode] = {}
+        #: ``(phrase, payload)`` when a registered phrase ends here. The
+        #: first registration wins, mirroring the longest-first stable
+        #: ordering of the previous list-based index.
+        self.output: tuple[str, object] | None = None
+
+
+class PhraseMatcher:
+    """Longest-match phrase scanner over a compiled stem trie.
+
+    ``add()`` extends the trie in place; ``find_all()`` only reads it, so a
+    fully-built matcher is safe to share across threads. Scanning is
+    O(tokens × longest-phrase) rather than O(tokens × phrases sharing a
+    first stem).
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
 
     def add(self, phrase: str, payload: object) -> None:
         stems = tuple(stem_token(tok) for tok in _TOKEN_RE.findall(phrase))
         if not stems:
             raise ValueError(f"phrase {phrase!r} has no tokens")
-        self._index.setdefault(stems[0], []).append((stems, phrase, payload))
-        self._dirty = True
-
-    def _prepare(self) -> None:
-        if self._dirty:
-            for entries in self._index.values():
-                entries.sort(key=lambda e: -len(e[0]))
-            self._dirty = False
+        node = self._root
+        for stem in stems:
+            child = node.children.get(stem)
+            if child is None:
+                child = _TrieNode()
+                node.children[stem] = child
+            node = child
+        if node.output is None:
+            node.output = (phrase, payload)
+        self._size += 1
 
     def find_all(self, text: str,
                  tokens: list[Token] | None = None) -> list[PhraseMatch]:
         """All non-overlapping longest matches, left to right."""
-        self._prepare()
         if tokens is None:
             tokens = tokenize_with_spans(text)
         matches: list[PhraseMatch] = []
+        root = self._root
         i = 0
         n = len(tokens)
         while i < n:
-            entries = self._index.get(tokens[i].stem)
-            matched = False
-            if entries:
-                for stems, phrase, payload in entries:
-                    length = len(stems)
-                    if i + length <= n and all(
-                        tokens[i + k].stem == stems[k] for k in range(1, length)
-                    ):
-                        matches.append(
-                            PhraseMatch(
-                                phrase_key=phrase,
-                                payload=payload,
-                                token_start=i,
-                                token_end=i + length,
-                                char_start=tokens[i].start,
-                                char_end=tokens[i + length - 1].end,
-                            )
-                        )
-                        i += length
-                        matched = True
-                        break
-            if not matched:
+            node = root.children.get(tokens[i].stem)
+            best_end = 0
+            best_output: tuple[str, object] | None = None
+            j = i
+            while node is not None:
+                j += 1
+                if node.output is not None:
+                    best_end = j
+                    best_output = node.output
+                if j >= n:
+                    break
+                node = node.children.get(tokens[j].stem)
+            if best_output is None:
                 i += 1
+                continue
+            phrase, payload = best_output
+            matches.append(
+                PhraseMatch(
+                    phrase_key=phrase,
+                    payload=payload,
+                    token_start=i,
+                    token_end=best_end,
+                    char_start=tokens[i].start,
+                    char_end=tokens[best_end - 1].end,
+                )
+            )
+            i = best_end
         return matches
 
     def __len__(self) -> int:
-        return sum(len(v) for v in self._index.values())
+        return self._size

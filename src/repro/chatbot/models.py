@@ -187,8 +187,16 @@ class SimulatedChatModel:
     seed: int = 0
     usage: TokenUsage = field(default_factory=TokenUsage)
     _calls: int = field(default=0, repr=False)
+    #: Per-document analysis index bound by the pipeline (see
+    #: :func:`repro.pipeline.docindex.bind_model_index`); threaded into the
+    #: engine each call so all tasks over a domain share one cache.
+    doc_index: object = field(default=None, repr=False, compare=False)
 
     # -- public API ----------------------------------------------------------
+
+    def bind_document_index(self, index) -> None:
+        """Attach (or with ``None`` detach) a per-document analysis index."""
+        self.doc_index = index
 
     def complete(self, messages: list[ChatMessage]) -> str:
         if not messages:
@@ -200,7 +208,8 @@ class SimulatedChatModel:
         rng = derive_rng(self.seed, self.name, task, stable_hash(payload),
                         self._calls)
 
-        engine = AnnotationEngine(use_glossary="### Glossary:" in prompt)
+        engine = AnnotationEngine(use_glossary="### Glossary:" in prompt,
+                                  index=self.doc_index)
         honors_negation = (self.profile.honors_negation
                            and "negated contexts" in prompt)
         # §6 refinement instruction, read off the prompt like everything else.
@@ -274,7 +283,10 @@ class SimulatedChatModel:
                 spurious.append([number, rng.choice(_FAKE_TYPES)])
             elif roll < (self.profile.hallucination_rate
                          + self.profile.spurious_extract_rate):
-                tokens = tokenize_with_spans(text)
+                if self.doc_index is not None:
+                    tokens = self.doc_index.analysis(text).tokens
+                else:
+                    tokens = tokenize_with_spans(text)
                 if len(tokens) >= 4:
                     start = rng.randrange(len(tokens) - 2)
                     span = tokens[start : start + rng.randint(2, 3)]

@@ -47,15 +47,17 @@ class NegationScope:
 
 def find_negation_scopes(text: str) -> list[NegationScope]:
     """All negated character ranges in ``text``."""
-    scopes: list[NegationScope] = []
-    for match in _TRIGGER_RE.finditer(text):
-        end_match = _SENTENCE_END_RE.search(text, match.end())
-        end = end_match.start() if end_match else len(text)
-        scopes.append(NegationScope(start=match.start(), end=end))
-    return scopes
+    return [
+        NegationScope(start=match.start(), end=_scope_end(text, match.end()))
+        for match in _TRIGGER_RE.finditer(text)
+    ]
 
 
-def is_negated(scopes: list[NegationScope], char_start: int,
-               char_end: int) -> bool:
+def _scope_end(text: str, trigger_end: int) -> int:
+    end_match = _SENTENCE_END_RE.search(text, trigger_end)
+    return end_match.start() if end_match else len(text)
+
+
+def is_negated(scopes, char_start: int, char_end: int) -> bool:
     """Whether the span lies inside any negated scope."""
     return any(s.contains(char_start, char_end) for s in scopes)

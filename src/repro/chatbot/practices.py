@@ -12,6 +12,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro._util.litscreen import LiteralScreen, lowered_for_screen
+
 # -- retention period parsing --------------------------------------------------
 
 _NUMBER_WORDS = {
@@ -43,6 +45,18 @@ class RetentionPeriod:
     text: str
 
 
+def _has_period_hint(sentence: str) -> bool:
+    """Cheap prescreen: a period match requires a literal time unit.
+
+    ``_PERIOD_RE`` cannot match without one of ``day``/``week``/``month``/
+    ``year`` (case-insensitively), so sentences without any unit substring
+    can skip the full scan with identical results.
+    """
+    lowered = sentence.lower()
+    return ("day" in lowered or "week" in lowered or "month" in lowered
+            or "year" in lowered)
+
+
 def parse_retention_period(sentence: str) -> RetentionPeriod | None:
     """Extract a stated retention period from a sentence, if any.
 
@@ -50,6 +64,8 @@ def parse_retention_period(sentence: str) -> RetentionPeriod | None:
     Returns the *longest* period mentioned (policies often mention a usage
     period plus an archival tail; the tail dominates).
     """
+    if not _has_period_hint(sentence):
+        return None
     best: RetentionPeriod | None = None
     for match in _PERIOD_RE.finditer(sentence):
         unit = match.group("unit").lower()
@@ -229,6 +245,26 @@ _COMPILED = [
 ]
 
 
+def _build_group_screens() -> dict[str, LiteralScreen]:
+    """One literal prescreen per group over its signatures' first cues.
+
+    Every signature needs its ``required[0]`` alternation to hit, so when a
+    group's combined first-cue screen rules the sentence out, none of that
+    group's signatures can match and the whole group may be skipped — a
+    pure prescreen that cannot change detection results (see
+    :mod:`repro._util.litscreen`).
+    """
+    first_cues: dict[str, list[str]] = {}
+    for sig in SIGNATURES:
+        first_cues.setdefault(sig.group, []).append(sig.required[0])
+    return {
+        group: LiteralScreen(cues) for group, cues in first_cues.items()
+    }
+
+
+_GROUP_SCREENS = _build_group_screens()
+
+
 @dataclass(frozen=True)
 class PracticeHit:
     """One detected practice in a sentence."""
@@ -251,10 +287,15 @@ _CATCH_ALL_LABELS = frozenset({"Generic"})
 _ANONYMIZED_RE = re.compile(r"anonymi[sz]|aggregated|de-identif",
                             re.IGNORECASE)
 
+#: Sentinel distinguishing "no period supplied" from "supplied, and None".
+_PERIOD_UNSET = object()
+
 
 def detect_practices(sentence: str,
                      groups: tuple[str, ...] | None = None,
-                     ignore_anonymized_retention: bool = False) -> list[PracticeHit]:
+                     ignore_anonymized_retention: bool = False,
+                     period: RetentionPeriod | None | object = _PERIOD_UNSET,
+                     ) -> list[PracticeHit]:
     """All practice labels detected in one sentence.
 
     ``groups`` restricts detection (the handling task only looks at
@@ -263,13 +304,33 @@ def detect_practices(sentence: str,
     restricted" yields Secure transfer + Access limit); retention labels
     are mutually exclusive, and the Generic protection label only fires
     when no specific protection matched.
+
+    ``period`` lets callers supply a pre-parsed
+    :func:`parse_retention_period` result — the handling and rights tasks
+    both scan the same sentences, and the document index parses each
+    sentence's period once instead of once per task.
     """
     hits: list[PracticeHit] = []
     matched_groups: set[str] = set()
     matched_labels: set[tuple[str, str]] = set()
-    period = parse_retention_period(sentence)
+    screens = _GROUP_SCREENS
+    screened_out: set[str] = set()
+    live = 0
+    lowered = lowered_for_screen(sentence)
+    for group in (groups if groups is not None else tuple(screens)):
+        screen = screens.get(group)
+        if screen is not None and not screen.may_match(sentence, lowered):
+            screened_out.add(group)
+        else:
+            live += 1
+    if not live:
+        return hits
+    if period is _PERIOD_UNSET:
+        period = parse_retention_period(sentence)
     for sig, required, excluded in _COMPILED:
         if groups is not None and sig.group not in groups:
+            continue
+        if sig.group in screened_out:
             continue
         if sig.group in _EXCLUSIVE_GROUPS and sig.group in matched_groups:
             continue

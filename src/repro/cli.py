@@ -53,6 +53,9 @@ def _build_and_run(args):
     print(f"pipeline finished in {time.time() - start:.1f}s "
           f"({workers} worker{'s' if workers != 1 else ''})",
           file=sys.stderr)
+    if result.stage_timings:
+        print(f"stage timings: {result.stage_timings.summary()}",
+              file=sys.stderr)
     return corpus, result
 
 

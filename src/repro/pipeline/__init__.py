@@ -14,6 +14,11 @@ from repro.pipeline.annotate import (
     annotate_rights,
     annotate_types,
 )
+from repro.pipeline.docindex import (
+    DocumentIndex,
+    LineAnalysis,
+    bind_model_index,
+)
 from repro.pipeline.preprocess import (
     PreprocessedPage,
     PreprocessResult,
@@ -63,6 +68,9 @@ __all__ = [
     "annotate_purposes",
     "annotate_rights",
     "annotate_types",
+    "DocumentIndex",
+    "LineAnalysis",
+    "bind_model_index",
     "PreprocessedPage",
     "PreprocessResult",
     "preprocess_crawl",

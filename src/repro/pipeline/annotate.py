@@ -23,6 +23,7 @@ from repro.chatbot.tasks import (
     run_normalize_types,
 )
 from repro.errors import TaskOutputError
+from repro.pipeline.docindex import bind_model_index
 from repro.pipeline.records import (
     HandlingAnnotation,
     PurposeAnnotation,
@@ -87,10 +88,11 @@ def _with_fallback(task, segmented: SegmentedPolicy, aspect: Aspect,
 
 def annotate_types(model: ChatModel, segmented: SegmentedPolicy,
                    verifier: HallucinationVerifier,
-                   options: AnnotateOptions = AnnotateOptions()) -> AspectOutcome:
+                   options: AnnotateOptions = AnnotateOptions(),
+                   index=None) -> AspectOutcome:
     """Extract, verify, normalize, and dedup collected data types."""
     return _annotate_taxonomy(
-        model, segmented, verifier, options,
+        model, segmented, verifier, options, index,
         aspect=Aspect.TYPES,
         extract=lambda lines: run_extract_types(
             model, lines, options.include_glossary, options.include_negation
@@ -105,10 +107,11 @@ def annotate_types(model: ChatModel, segmented: SegmentedPolicy,
 
 def annotate_purposes(model: ChatModel, segmented: SegmentedPolicy,
                       verifier: HallucinationVerifier,
-                      options: AnnotateOptions = AnnotateOptions()) -> AspectOutcome:
+                      options: AnnotateOptions = AnnotateOptions(),
+                      index=None) -> AspectOutcome:
     """Extract, verify, normalize, and dedup data collection purposes."""
     return _annotate_taxonomy(
-        model, segmented, verifier, options,
+        model, segmented, verifier, options, index,
         aspect=Aspect.PURPOSES,
         extract=lambda lines: run_extract_purposes(
             model, lines, options.include_glossary, options.include_negation
@@ -121,8 +124,10 @@ def annotate_purposes(model: ChatModel, segmented: SegmentedPolicy,
     )
 
 
-def _annotate_taxonomy(model, segmented, verifier, options, aspect, extract,
-                       normalize, taxonomy, record_type) -> AspectOutcome:
+def _annotate_taxonomy(model, segmented, verifier, options, index, aspect,
+                       extract, normalize, taxonomy,
+                       record_type) -> AspectOutcome:
+    bind_model_index(model, index)
     outcome = AspectOutcome()
     try:
         phrases, outcome.used_fallback = _with_fallback(extract, segmented,
@@ -166,10 +171,11 @@ def _annotate_taxonomy(model, segmented, verifier, options, aspect, extract,
 
 def annotate_handling(model: ChatModel, segmented: SegmentedPolicy,
                       verifier: HallucinationVerifier,
-                      options: AnnotateOptions = AnnotateOptions()) -> AspectOutcome:
+                      options: AnnotateOptions = AnnotateOptions(),
+                      index=None) -> AspectOutcome:
     """Label retention/protection practices."""
     return _annotate_practices(
-        model, segmented, verifier, options,
+        model, segmented, verifier, options, index,
         aspect=Aspect.HANDLING,
         task=lambda lines: run_annotate_handling(
             model, lines,
@@ -182,10 +188,11 @@ def annotate_handling(model: ChatModel, segmented: SegmentedPolicy,
 
 def annotate_rights(model: ChatModel, segmented: SegmentedPolicy,
                     verifier: HallucinationVerifier,
-                    options: AnnotateOptions = AnnotateOptions()) -> AspectOutcome:
+                    options: AnnotateOptions = AnnotateOptions(),
+                    index=None) -> AspectOutcome:
     """Label choice/access practices."""
     return _annotate_practices(
-        model, segmented, verifier, options,
+        model, segmented, verifier, options, index,
         aspect=Aspect.RIGHTS,
         task=lambda lines: run_annotate_rights(model, lines),
         valid_groups=_RIGHTS_GROUPS,
@@ -193,8 +200,9 @@ def annotate_rights(model: ChatModel, segmented: SegmentedPolicy,
     )
 
 
-def _annotate_practices(model, segmented, verifier, options, aspect, task,
-                        valid_groups, build) -> AspectOutcome:
+def _annotate_practices(model, segmented, verifier, options, index, aspect,
+                        task, valid_groups, build) -> AspectOutcome:
+    bind_model_index(model, index)
     outcome = AspectOutcome()
     try:
         results, outcome.used_fallback = _with_fallback(task, segmented,

@@ -30,6 +30,7 @@ from repro.pipeline.annotate import (
     annotate_rights,
     annotate_types,
 )
+from repro.pipeline.docindex import DocumentIndex
 from repro.pipeline.records import DomainAnnotations
 from repro.pipeline.runner import PipelineOptions, model_for_domain
 from repro.pipeline.segmentation import segment_policy
@@ -102,13 +103,19 @@ def _annotate_document(document: TextDocument, model: ChatModel | None,
     options = options or PipelineOptions()
     if model is None:
         model = make_model(options.model_name, seed=options.model_seed)
-    segmented = segment_policy(domain, document, model)
-    verifier = HallucinationVerifier(document.text)
+    index = (DocumentIndex.for_document(document)
+             if options.use_docindex else None)
+    segmented = segment_policy(domain, document, model, index=index)
+    verifier = HallucinationVerifier(document.text, index=index)
     annotate_options = options.annotate_options()
-    types = annotate_types(model, segmented, verifier, annotate_options)
-    purposes = annotate_purposes(model, segmented, verifier, annotate_options)
-    handling = annotate_handling(model, segmented, verifier, annotate_options)
-    rights = annotate_rights(model, segmented, verifier, annotate_options)
+    types = annotate_types(model, segmented, verifier, annotate_options,
+                           index=index)
+    purposes = annotate_purposes(model, segmented, verifier, annotate_options,
+                                 index=index)
+    handling = annotate_handling(model, segmented, verifier, annotate_options,
+                                 index=index)
+    rights = annotate_rights(model, segmented, verifier, annotate_options,
+                             index=index)
     record = DomainAnnotations(
         domain=domain,
         sector="--",

@@ -29,6 +29,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro._util.profiling import StageTimings
 from repro.corpus.build import SyntheticCorpus
 from repro.crawler.crawler import CrawlResult, PrivacyCrawler
 from repro.pipeline.records import DomainAnnotations
@@ -79,6 +80,8 @@ class ShardOutcome:
     prompt_tokens: int = 0
     completion_tokens: int = 0
     fetch_stats: FetchStats = field(default_factory=FetchStats)
+    #: Per-stage wall clock spent inside this shard (summed at merge).
+    timings: StageTimings = field(default_factory=StageTimings)
     #: 1 on first-try success; >1 when shard retries were needed.
     attempts: int = 1
 
@@ -103,8 +106,10 @@ def run_shard(corpus: SyntheticCorpus, index: int, domains: list[str],
     with corpus.internet.record_stats() as stats:
         for domain in domains:
             model = model_for_domain(options, domain)
-            crawl = crawler.crawl_domain(domain)
-            record, trace = process_crawl(corpus, crawl, model, options)
+            with outcome.timings.stage("crawl"):
+                crawl = crawler.crawl_domain(domain)
+            record, trace = process_crawl(corpus, crawl, model, options,
+                                          timings=outcome.timings)
             outcome.records.append(record)
             outcome.traces[domain] = trace
             outcome.prompt_tokens += model.usage.prompt_tokens
@@ -194,6 +199,7 @@ def merge_outcomes(outcomes: list[ShardOutcome],
         result.prompt_tokens += outcome.prompt_tokens
         result.completion_tokens += outcome.completion_tokens
         result.fetch_stats.merge(outcome.fetch_stats)
+        result.stage_timings.merge(outcome.timings)
     return result
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
+from repro._util.profiling import StageTimings, stage_scope
 from repro._util.rng import stable_hash
 from repro.chatbot.models import ChatModel, make_model
 from repro.corpus.build import SyntheticCorpus
@@ -23,6 +24,7 @@ from repro.pipeline.annotate import (
     annotate_rights,
     annotate_types,
 )
+from repro.pipeline.docindex import DocumentIndex, bind_model_index
 from repro.pipeline.preprocess import preprocess_crawl
 from repro.pipeline.records import DomainAnnotations
 from repro.pipeline.segmentation import SegmentedPolicy, segment_policy
@@ -46,6 +48,10 @@ class PipelineOptions:
     include_negation: bool = True
     #: §6 refinement: ignore indefinite retention of anonymized data.
     refine_anonymized_retention: bool = False
+    #: Share one per-document analysis index across a domain's tasks (pure
+    #: perf switch — output is byte-identical either way; ``False`` exists
+    #: for benchmarking and equivalence testing).
+    use_docindex: bool = True
 
     def annotate_options(self) -> AnnotateOptions:
         return AnnotateOptions(
@@ -86,6 +92,14 @@ class PipelineResult:
     completion_tokens: int = 0
     #: Fetch counters accumulated by this run only (not the whole internet).
     fetch_stats: FetchStats | None = None
+    #: Per-stage wall-clock accounting (crawl/preprocess/segment/annotate);
+    #: observability only — never feeds back into records.
+    stage_timings: StageTimings = field(default_factory=StageTimings)
+    #: Lazy ``(record count, domain -> record)`` lookup table, invalidated
+    #: by length (parallel merges extend ``records`` in place after
+    #: construction).
+    _record_index: tuple | None = field(default=None, repr=False,
+                                        compare=False)
 
     # -- §3 statistics -----------------------------------------------------------
 
@@ -122,10 +136,19 @@ class PipelineResult:
         return words[len(words) // 2] if words else 0
 
     def record_for(self, domain: str) -> DomainAnnotations | None:
-        for record in self.records:
-            if record.domain == domain:
-                return record
-        return None
+        """O(1) record lookup by domain.
+
+        Backed by a dict rebuilt whenever ``records`` changed length since
+        the last lookup; for duplicate domains the *first* record wins,
+        matching the linear scan this replaced.
+        """
+        cached = self._record_index
+        if cached is None or cached[0] != len(self.records):
+            index: dict[str, DomainAnnotations] = {}
+            for record in self.records:
+                index.setdefault(record.domain, record)
+            self._record_index = cached = (len(self.records), index)
+        return cached[1].get(domain)
 
 
 def domain_model_seed(model_seed: int, domain: str) -> int:
@@ -189,14 +212,17 @@ def run_pipeline(corpus: SyntheticCorpus,
 
     records: list[DomainAnnotations] = []
     traces: dict[str, DomainTrace] = {}
+    timings = StageTimings()
     prompt_tokens = 0
     completion_tokens = 0
     with corpus.internet.record_stats() as fetch_stats:
         for index, domain in enumerate(domains):
             domain_model = model if model is not None \
                 else model_for_domain(options, domain)
-            crawl = crawler.crawl_domain(domain)
-            record, trace = process_crawl(corpus, crawl, domain_model, options)
+            with timings.stage("crawl"):
+                crawl = crawler.crawl_domain(domain)
+            record, trace = process_crawl(corpus, crawl, domain_model,
+                                          options, timings=timings)
             records.append(record)
             traces[domain] = trace
             if model is None:
@@ -214,13 +240,20 @@ def run_pipeline(corpus: SyntheticCorpus,
         prompt_tokens=prompt_tokens,
         completion_tokens=completion_tokens,
         fetch_stats=fetch_stats,
+        stage_timings=timings,
     )
 
 
 def process_crawl(corpus: SyntheticCorpus, crawl: CrawlResult,
                   model: ChatModel,
-                  options: PipelineOptions) -> tuple[DomainAnnotations, DomainTrace]:
-    """Process one domain's crawl into an annotation record + trace."""
+                  options: PipelineOptions,
+                  timings: StageTimings | None = None,
+                  ) -> tuple[DomainAnnotations, DomainTrace]:
+    """Process one domain's crawl into an annotation record + trace.
+
+    ``timings`` (optional) accumulates per-stage wall clock for the
+    preprocess/segment/annotate stages.
+    """
     domain = crawl.domain
     sector = corpus.sector_of.get(domain, "??")
     trace = DomainTrace(domain=domain)
@@ -235,14 +268,18 @@ def process_crawl(corpus: SyntheticCorpus, crawl: CrawlResult,
         return DomainAnnotations(domain=domain, sector=sector,
                                  status="crawl-failed"), trace
 
-    pre = preprocess_crawl(crawl)
+    with stage_scope(timings, "preprocess"):
+        pre = preprocess_crawl(crawl)
     trace.retained_pages = pre.page_count()
     trace.drop_reasons = [reason for _, reason in pre.dropped]
     if not pre.ok:
         return DomainAnnotations(domain=domain, sector=sector,
                                  status="extract-failed"), trace
 
-    segmented = segment_policy(domain, pre.combined, model)
+    index = (DocumentIndex.for_document(pre.combined)
+             if options.use_docindex else None)
+    with stage_scope(timings, "segment"):
+        segmented = segment_policy(domain, pre.combined, model, index=index)
     if not options.use_segmentation:
         segmented = _unsegmented(segmented)
     trace.used_heading_path = segmented.used_heading_path
@@ -253,7 +290,9 @@ def process_crawl(corpus: SyntheticCorpus, crawl: CrawlResult,
         return DomainAnnotations(domain=domain, sector=sector,
                                  status="extract-failed"), trace
 
-    record = _annotate_domain(domain, sector, segmented, model, options)
+    with stage_scope(timings, "annotate"):
+        record = _annotate_domain(domain, sector, segmented, model, options,
+                                  index=index)
     return record, trace
 
 
@@ -267,14 +306,20 @@ def _unsegmented(segmented: SegmentedPolicy) -> SegmentedPolicy:
 
 def _annotate_domain(domain: str, sector: str, segmented: SegmentedPolicy,
                      model: ChatModel,
-                     options: PipelineOptions) -> DomainAnnotations:
-    verifier = HallucinationVerifier(segmented.document.text)
+                     options: PipelineOptions,
+                     index: DocumentIndex | None = None) -> DomainAnnotations:
+    bind_model_index(model, index)
+    verifier = HallucinationVerifier(segmented.document.text, index=index)
     annotate_options = options.annotate_options()
 
-    types = annotate_types(model, segmented, verifier, annotate_options)
-    purposes = annotate_purposes(model, segmented, verifier, annotate_options)
-    handling = annotate_handling(model, segmented, verifier, annotate_options)
-    rights = annotate_rights(model, segmented, verifier, annotate_options)
+    types = annotate_types(model, segmented, verifier, annotate_options,
+                           index=index)
+    purposes = annotate_purposes(model, segmented, verifier, annotate_options,
+                                 index=index)
+    handling = annotate_handling(model, segmented, verifier, annotate_options,
+                                 index=index)
+    rights = annotate_rights(model, segmented, verifier, annotate_options,
+                             index=index)
 
     fallback_aspects = [
         aspect.value

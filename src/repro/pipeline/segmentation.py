@@ -22,6 +22,7 @@ from repro.chatbot.models import ChatModel
 from repro.chatbot.tasks import run_label_headings, run_segment_text
 from repro.errors import TaskOutputError
 from repro.htmlkit import TextDocument, build_sections, table_of_contents
+from repro.pipeline.docindex import bind_model_index
 from repro.taxonomy import Aspect
 
 #: Minimum heading count for the heading-based path (Appendix B).
@@ -74,8 +75,14 @@ class SegmentedPolicy:
 
 
 def segment_policy(domain: str, document: TextDocument,
-                   model: ChatModel) -> SegmentedPolicy:
-    """Run the two-step segmentation for one domain."""
+                   model: ChatModel, index=None) -> SegmentedPolicy:
+    """Run the two-step segmentation for one domain.
+
+    ``index`` is the domain's :class:`~repro.pipeline.docindex.DocumentIndex`
+    (or ``None``); it is (re)bound to the model here so the text-analysis
+    fallback shares line analyses with the annotation tasks that follow.
+    """
+    bind_model_index(model, index)
     result = SegmentedPolicy(domain=domain, document=document)
     headings = document.headings()
 

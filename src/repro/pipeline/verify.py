@@ -13,17 +13,58 @@ from repro._util.textproc import normalize_for_match
 from repro.chatbot.lexicon import stem_token
 
 
-class HallucinationVerifier:
-    """Checks that annotation evidence strings occur in the source text."""
+def build_match_streams(source_text: str, stem=stem_token) -> tuple[str, str]:
+    """The verifier's two search streams for a source document.
 
-    def __init__(self, source_text: str):
-        self._normalized = " " + normalize_for_match(source_text) + " "
-        self._stems = set()
-        tokens = self._normalized.split()
-        self._stem_text = " " + " ".join(stem_token(t) for t in tokens) + " "
+    Returns ``(normalized, stemmed)``: the whitespace/case/punctuation
+    normalized text and its stemmed-token rendering, both padded with
+    spaces for word-boundary substring checks. ``stem`` may be a memoized
+    variant — the per-document analysis index passes its stem cache so the
+    document is not re-stemmed token by token after line tokenization
+    already stemmed most of its vocabulary.
+    """
+    normalized = " " + normalize_for_match(source_text) + " "
+    # Stem each distinct word once: documents repeat most of their
+    # vocabulary, and stemming is a pure function of the word.
+    memo: dict[str, str] = {}
+    parts: list[str] = []
+    append = parts.append
+    for word in normalized.split():
+        stemmed_word = memo.get(word)
+        if stemmed_word is None:
+            stemmed_word = stem(word)
+            memo[word] = stemmed_word
+        append(stemmed_word)
+    stemmed = " " + " ".join(parts) + " "
+    return normalized, stemmed
+
+
+class HallucinationVerifier:
+    """Checks that annotation evidence strings occur in the source text.
+
+    Pass the domain's :class:`~repro.pipeline.docindex.DocumentIndex` to
+    reuse its cached match streams (and stem memo) instead of re-deriving
+    them from scratch; results are identical either way. Repeated queries
+    for the same verbatim string (common across aspects and fallback
+    re-runs) are memoized per verifier.
+    """
+
+    def __init__(self, source_text: str, index=None):
+        if index is not None and index.document_text == source_text:
+            self._normalized, self._stem_text = index.match_streams()
+        else:
+            self._normalized, self._stem_text = build_match_streams(source_text)
+        self._memo: dict[str, bool] = {}
 
     def contains(self, verbatim: str) -> bool:
         """Whether ``verbatim`` appears in the source (fuzz-tolerant)."""
+        cached = self._memo.get(verbatim)
+        if cached is None:
+            cached = self._contains(verbatim)
+            self._memo[verbatim] = cached
+        return cached
+
+    def _contains(self, verbatim: str) -> bool:
         needle = normalize_for_match(verbatim)
         if not needle:
             return False

@@ -1,0 +1,179 @@
+"""Tests for the per-document analysis index and its pipeline wiring."""
+
+from repro.chatbot.aspects import classify_line
+from repro.chatbot.lexicon import tokenize_with_spans
+from repro.chatbot.models import make_model
+from repro.chatbot.negation import find_negation_scopes
+from repro.chatbot.practices import detect_practices, parse_retention_period
+from repro.corpus import CorpusConfig, build_corpus
+from repro.htmlkit import TextDocument, TextLine
+from repro.pipeline import (
+    DocumentIndex,
+    DomainAnnotations,
+    PipelineOptions,
+    PipelineResult,
+    bind_model_index,
+    run_pipeline,
+)
+from repro.pipeline.verify import build_match_streams
+
+LINE = ("We do not collect your email address. We retain data for two (2) "
+        "years.")
+
+
+def _document(*texts):
+    return TextDocument(lines=[
+        TextLine(number=i + 1, text=text) for i, text in enumerate(texts)
+    ])
+
+
+class TestLineAnalysis:
+    def test_tokens_match_plain_tokenization(self):
+        analysis = DocumentIndex().analysis(LINE)
+        assert list(analysis.tokens) == tokenize_with_spans(LINE)
+
+    def test_tokens_computed_once(self):
+        analysis = DocumentIndex().analysis(LINE)
+        assert analysis.tokens is analysis.tokens
+
+    def test_negation_scopes_match_plain(self):
+        analysis = DocumentIndex().analysis(LINE)
+        assert list(analysis.negation_scopes) == find_negation_scopes(LINE)
+
+    def test_sentence_spans_cover_text(self):
+        analysis = DocumentIndex().analysis(LINE)
+        spans = analysis.sentence_spans
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(LINE)
+        # Contiguous, in order.
+        for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+            assert start == prev_end
+
+    def test_trailing_partial_sentence_included(self):
+        analysis = DocumentIndex().analysis("One. no terminal punctuation")
+        assert analysis.sentence_spans[-1][1] == len(analysis.text)
+
+    def test_aspect_matches_classifier(self):
+        analysis = DocumentIndex().analysis(LINE)
+        assert analysis.aspect == classify_line(LINE)
+
+    def test_practice_hits_match_plain_detection(self):
+        analysis = DocumentIndex().analysis(LINE)
+        groups = ("Data retention", "Data protection")
+        for sentence, hits in analysis.practice_hits(groups):
+            assert list(hits) == detect_practices(sentence, groups=groups)
+
+    def test_practice_hits_cached_per_key(self):
+        analysis = DocumentIndex().analysis(LINE)
+        groups = ("User choices", "User access")
+        assert analysis.practice_hits(groups) is analysis.practice_hits(groups)
+
+
+class TestDocumentIndex:
+    def test_for_document_preregisters_lines(self):
+        document = _document("First line.", "Second line.", "First line.")
+        index = DocumentIndex.for_document(document)
+        assert len(index) == 2  # duplicates share one analysis
+        assert index.analysis("First line.") is index.analysis("First line.")
+
+    def test_unseen_text_registered_lazily(self):
+        index = DocumentIndex.for_document(_document("Known."))
+        before = len(index)
+        analysis = index.analysis("Never seen before.")
+        assert len(index) == before + 1
+        assert index.analysis("Never seen before.") is analysis
+
+    def test_stem_memoized(self):
+        index = DocumentIndex()
+        assert index.stem("cookies") == "cooky"
+        assert index.stem("cookies") == "cooky"
+
+    def test_retention_period_memoized_including_none(self):
+        index = DocumentIndex()
+        sentence = "We keep logs for ninety (90) days."
+        assert index.retention_period(sentence) == \
+            parse_retention_period(sentence)
+        assert index.retention_period("No period here.") is None
+        assert index.retention_period("No period here.") is None
+
+    def test_match_streams_equal_plain_build(self):
+        document = _document("We collect Email Addresses.", "Cookies too.")
+        index = DocumentIndex.for_document(document)
+        assert index.match_streams() == build_match_streams(document.text)
+
+
+class TestBindModelIndex:
+    def test_binds_and_clears_on_simulated_model(self):
+        model = make_model("sim-gpt-4-turbo")
+        index = DocumentIndex()
+        bind_model_index(model, index)
+        assert model.doc_index is index
+        bind_model_index(model, None)
+        assert model.doc_index is None
+
+    def test_model_without_hook_is_untouched(self):
+        class Bare:
+            pass
+
+        bind_model_index(Bare(), DocumentIndex())  # must not raise
+
+
+class TestPipelineEquivalence:
+    """Byte-identical output with the index on vs. off — the acceptance
+    oracle for the whole optimisation."""
+
+    def test_records_traces_tokens_identical(self):
+        corpus = build_corpus(CorpusConfig(seed=11, fraction=0.02))
+        on = run_pipeline(corpus, PipelineOptions(use_docindex=True))
+        off = run_pipeline(corpus, PipelineOptions(use_docindex=False))
+        assert [r.to_json() for r in on.records] == \
+            [r.to_json() for r in off.records]
+        assert on.traces == off.traces
+        assert on.prompt_tokens == off.prompt_tokens
+        assert on.completion_tokens == off.completion_tokens
+
+    def test_parallel_run_identical_with_index(self):
+        corpus = build_corpus(CorpusConfig(seed=11, fraction=0.02))
+        serial = run_pipeline(corpus, PipelineOptions(use_docindex=True))
+        parallel = run_pipeline(corpus, PipelineOptions(use_docindex=True),
+                                workers=3)
+        assert [r.to_json() for r in serial.records] == \
+            [r.to_json() for r in parallel.records]
+
+    def test_shared_model_with_index_off_clears_binding(self):
+        # A shared model processing an ad-hoc document must not keep a
+        # stale index from a previous docindex-enabled domain.
+        model = make_model("sim-gpt-4-turbo")
+        bind_model_index(model, DocumentIndex())
+        corpus = build_corpus(CorpusConfig(seed=11, fraction=0.01))
+        run_pipeline(corpus, PipelineOptions(use_docindex=False), model=model)
+        assert model.doc_index is None
+
+
+def _record(domain):
+    return DomainAnnotations(domain=domain, sector="--", status="annotated")
+
+
+class TestRecordForIndex:
+    def test_lookup_and_miss(self):
+        result = PipelineResult(records=[_record("a.com"), _record("b.com")],
+                                traces={}, options=PipelineOptions())
+        assert result.record_for("b.com").domain == "b.com"
+        assert result.record_for("missing.com") is None
+
+    def test_first_record_wins_for_duplicates(self):
+        first = _record("dup.com")
+        result = PipelineResult(records=[first, _record("dup.com")],
+                                traces={}, options=PipelineOptions())
+        assert result.record_for("dup.com") is first
+
+    def test_lookup_sees_records_appended_after_construction(self):
+        # merge_outcomes extends `records` in place after building the
+        # result; the lazy dict must notice the growth.
+        result = PipelineResult(records=[_record("a.com")], traces={},
+                                options=PipelineOptions())
+        assert result.record_for("a.com") is not None
+        late = _record("late.com")
+        result.records.append(late)
+        assert result.record_for("late.com") is late
+        assert result.record_for("a.com").domain == "a.com"

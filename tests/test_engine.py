@@ -65,6 +65,40 @@ class TestTypeExtraction:
         )
         assert mentions == []
 
+    def test_novel_enumeration_with_multichar_separators(self):
+        # Regression: the enumeration walker used to advance its offset by
+        # len(item) + 1, assuming a 1-char separator, but " and " / " or "
+        # are up to 5 chars — later items' spans drifted. Every item joined
+        # by "and" must come out intact and exactly once.
+        mentions = self.engine.extract_types(
+            [(1, "We collect your email address and pager number and "
+                 "sock size and quill type.")]
+        )
+        novel = [m.verbatim for m in mentions if m.ref is None]
+        assert novel == ["pager number", "sock size", "quill type"]
+
+    def test_novel_enumeration_duplicate_items_keep_own_spans(self):
+        # A repeated item must be located at its own position, not at the
+        # first occurrence (the drifted offset could re-find earlier text).
+        mentions = self.engine.extract_types(
+            [(1, "We collect your email address and pager number and "
+                 "pager number.")]
+        )
+        novel = [m.verbatim for m in mentions if m.ref is None]
+        assert novel == ["pager number", "pager number"]
+
+    def test_novel_enumeration_negation_uses_true_span(self):
+        # Both enumerations contain the same novel item; only the negated
+        # sentence's occurrence may be flagged, which requires correct
+        # spans after multi-char separators.
+        mentions = self.engine.extract_types(
+            [(1, "We do not collect your email address and pager number. "
+                 "We collect your email address and pager number.")]
+        )
+        novel = [(m.verbatim, m.negated) for m in mentions if m.ref is None]
+        assert ("pager number", True) in novel
+        assert ("pager number", False) in novel
+
     def test_purpose_items_not_novel_types(self):
         # A purposes enumeration must not leak into data-type extraction.
         mentions = self.engine.extract_types(

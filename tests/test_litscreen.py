@@ -1,0 +1,135 @@
+"""Tests for the literal-substring prescreen derivation."""
+
+import re
+
+from repro._util.litscreen import (
+    LiteralScreen,
+    lowered_for_screen,
+    mandatory_literal,
+    split_alternatives,
+)
+
+
+class TestSplitAlternatives:
+    def test_plain_alternation(self):
+        assert split_alternatives(r"retain|retention|keep") == \
+            ["retain", "retention", "keep"]
+
+    def test_no_alternation(self):
+        assert split_alternatives(r"effective date") == ["effective date"]
+
+    def test_group_pipes_not_split(self):
+        assert split_alternatives(r"revised (?:policy|version)|merger") == \
+            [r"revised (?:policy|version)", "merger"]
+
+    def test_class_pipe_not_split(self):
+        assert split_alternatives(r"a[|]b|c") == [r"a[|]b", "c"]
+
+    def test_escaped_pipe_not_split(self):
+        assert split_alternatives(r"a\|b|c") == [r"a\|b", "c"]
+
+
+class TestMandatoryLiteral:
+    def test_plain_literal(self):
+        assert mandatory_literal("effective date") == "effective date"
+
+    def test_optional_group_excluded(self):
+        assert mandatory_literal(r"we (?:may )?collect") == "collect"
+
+    def test_optional_char_dropped(self):
+        # "stored?" matches both "store" and "stored": only "store" is
+        # mandatory.
+        assert mandatory_literal(r"stored?") == "store"
+
+    def test_escape_breaks_run(self):
+        assert mandatory_literal(r"update\b") == "update"
+
+    def test_class_breaks_run(self):
+        literal = mandatory_literal(r"opt[- ]?out")
+        assert literal in {"opt", "out"}
+
+    def test_charwise_quantifier_keeps_prefix(self):
+        assert mandatory_literal(r"for \w+ purposes") == " purposes"
+
+    def test_counted_quantifier_dropped(self):
+        assert mandatory_literal(r"ab{2,3}cd") == "cd"
+
+    def test_no_literal_yields_none(self):
+        assert mandatory_literal(r"\w+") is None
+        assert mandatory_literal(r"(?:a|b)") is None
+
+
+class TestLiteralScreen:
+    def test_false_proves_no_match(self):
+        patterns = (r"retain|stored?\b", r"opt[- ]?out")
+        screen = LiteralScreen(patterns)
+        compiled = [re.compile(p, re.IGNORECASE) for p in patterns]
+        for text in (
+            "We value your privacy.",
+            "Data is stored securely.",
+            "You may OPT-OUT at any time.",
+            "Retained indefinitely.",
+            "Nothing relevant here at all.",
+        ):
+            if not screen.may_match(text, lowered_for_screen(text)):
+                assert not any(r.search(text) for r in compiled), text
+
+    def test_matching_text_passes(self):
+        screen = LiteralScreen((r"retain|stored?\b",))
+        assert screen.may_match("Records are stored for years.")
+        assert screen.may_match("WE RETAIN DATA.")
+
+    def test_unscreenable_pattern_falls_back_to_regex(self):
+        screen = LiteralScreen((r"\d{4}",))
+        assert screen.fallbacks
+        assert screen.may_match("Call 1234 now.")
+        assert not screen.may_match("No digits here.")
+
+    def test_non_ascii_text_always_passes(self):
+        screen = LiteralScreen((r"xyzzy",))
+        assert screen.may_match("café talk")
+        assert not screen.may_match("plain talk")
+
+    def test_redundant_superstring_literals_pruned(self):
+        screen = LiteralScreen((r"opt|opt-out",))
+        assert screen.literals == ("opt",)
+
+    def test_exact_on_real_cue_sets(self):
+        # Every aspect cue and practice first-cue set must screen exactly:
+        # wherever any pattern matches, the screen must pass.
+        from repro.chatbot.aspects import _COMPILED_LINE_CUES, _CUE_SCREENS
+        from repro.chatbot.practices import _COMPILED, _GROUP_SCREENS
+
+        probes = [
+            "We retain your data for two (2) years.",
+            "You may opt-out by clicking the link.",
+            "Access to data is restricted to authorized personnel.",
+            "We collect your email address and name.",
+            "We use the information for analytics purposes.",
+            "This policy has no matching cues whatsoever.",
+            "Encrypted in transit using TLS.",
+            "You may request a copy of your data.",
+            "Material changes will be posted with a new effective date.",
+        ]
+        for text in probes:
+            lowered = lowered_for_screen(text)
+            for aspect, patterns in _COMPILED_LINE_CUES.items():
+                if any(p.search(text) for p in patterns):
+                    assert _CUE_SCREENS[aspect].may_match(text, lowered), \
+                        (aspect, text)
+            first_by_group = {}
+            for sig, required, _ in _COMPILED:
+                first_by_group.setdefault(sig.group, []).append(required[0])
+            for group, firsts in first_by_group.items():
+                if any(r.search(text) for r in firsts):
+                    assert _GROUP_SCREENS[group].may_match(text, lowered), \
+                        (group, text)
+
+    def test_screens_have_no_fallbacks_for_shipped_patterns(self):
+        # The shipped cue sets are fully literal-screenable; a fallback
+        # regex here means a pattern change degraded the fast path.
+        from repro.chatbot.aspects import _CUE_SCREENS
+        from repro.chatbot.practices import _GROUP_SCREENS
+
+        for screen in (*_CUE_SCREENS.values(), *_GROUP_SCREENS.values()):
+            assert screen.fallbacks == ()

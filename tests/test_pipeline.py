@@ -164,6 +164,63 @@ class TestHallucinationVerifier:
                 ch.isalnum() for ch in snippet
             )
 
+    def test_empty_and_whitespace_verbatim_rejected(self):
+        verifier = HallucinationVerifier("We collect your email address.")
+        assert not verifier.contains("")
+        assert not verifier.contains("   \t\n  ")
+
+    def test_punctuation_only_verbatim(self):
+        verifier = HallucinationVerifier("We collect data. Really.")
+        # Normalization keeps punctuation, so a literal occurrence matches
+        # but a fabricated punctuation run does not.
+        assert verifier.contains(".")
+        assert not verifier.contains("!!!")
+
+    def test_plural_inflection_at_document_start(self):
+        verifier = HallucinationVerifier("Cookies are used on this site.")
+        assert verifier.contains("cookie")
+
+    def test_plural_inflection_at_document_end(self):
+        verifier = HallucinationVerifier("This site uses tracking cookies")
+        assert verifier.contains("tracking cookie")
+
+    def test_index_backed_path_equivalent(self):
+        from repro.corpus import CorpusConfig, build_corpus
+        from repro.crawler import crawl_all
+        from repro.pipeline import DocumentIndex, preprocess_crawl
+        from repro.web.browser import Browser
+
+        corpus = build_corpus(CorpusConfig(seed=3, fraction=0.01))
+        crawls = crawl_all(Browser(internet=corpus.internet),
+                           corpus.domains[:8])
+        checked = 0
+        for crawl in crawls.values():
+            pre = preprocess_crawl(crawl)
+            if not pre.ok:
+                continue
+            text = pre.combined.text
+            index = DocumentIndex.for_document(pre.combined)
+            plain = HallucinationVerifier(text)
+            backed = HallucinationVerifier(text, index=index)
+            probes = [line.text for line in pre.combined.lines[:20]]
+            probes += ["email address", "quantum preferences", "cookie", ""]
+            for probe in probes:
+                assert plain.contains(probe) == backed.contains(probe), probe
+                checked += 1
+        assert checked > 0
+
+    def test_index_for_other_document_is_ignored(self):
+        from repro.pipeline import DocumentIndex
+        from repro.htmlkit import TextDocument, TextLine
+
+        other = TextDocument(lines=[TextLine(number=1, text="Unrelated.")])
+        verifier = HallucinationVerifier(
+            "We collect your email address.",
+            index=DocumentIndex.for_document(other),
+        )
+        assert verifier.contains("email address")
+        assert not verifier.contains("unrelated")
+
 
 class TestAnnotateApi:
     def test_annotate_policy_html(self):

@@ -1,0 +1,93 @@
+"""Tests for the stage-timing layer and its pipeline surfacing."""
+
+from repro._util.profiling import StageTimings, stage_scope
+from repro.corpus import CorpusConfig, build_corpus
+from repro.pipeline import PipelineOptions, run_pipeline
+
+
+class TestStageTimings:
+    def test_starts_empty(self):
+        timings = StageTimings()
+        assert not timings
+        assert timings.total("annotate") == 0.0
+        assert timings.count("annotate") == 0
+        assert timings.as_dict() == {}
+        assert timings.summary() == ""
+
+    def test_add_accumulates(self):
+        timings = StageTimings()
+        timings.add("crawl", 1.5)
+        timings.add("crawl", 0.5)
+        assert timings.total("crawl") == 2.0
+        assert timings.count("crawl") == 2
+        assert timings.as_dict() == {"crawl": 2.0}
+
+    def test_stage_context_manager_times_block(self):
+        timings = StageTimings()
+        with timings.stage("work"):
+            pass
+        assert timings.count("work") == 1
+        assert timings.total("work") >= 0.0
+
+    def test_stage_records_on_exception(self):
+        timings = StageTimings()
+        try:
+            with timings.stage("work"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timings.count("work") == 1
+
+    def test_merge_sums_seconds_and_counts(self):
+        a = StageTimings()
+        a.add("crawl", 1.0)
+        a.add("annotate", 2.0)
+        b = StageTimings()
+        b.add("annotate", 3.0, count=2)
+        b.add("segment", 0.5)
+        assert a.merge(b) is a
+        assert a.total("annotate") == 5.0
+        assert a.count("annotate") == 3
+        assert a.total("segment") == 0.5
+        assert a.total("crawl") == 1.0
+
+    def test_summary_format(self):
+        timings = StageTimings()
+        timings.add("crawl", 1.25)
+        timings.add("annotate", 0.5)
+        assert timings.summary() == "crawl 1.25s, annotate 0.50s"
+
+    def test_stage_scope_none_is_noop(self):
+        with stage_scope(None, "anything"):
+            pass
+
+    def test_stage_scope_delegates(self):
+        timings = StageTimings()
+        with stage_scope(timings, "work"):
+            pass
+        assert timings.count("work") == 1
+
+
+class TestPipelineTimings:
+    def test_serial_run_times_all_stages(self):
+        corpus = build_corpus(CorpusConfig(seed=5, fraction=0.01))
+        result = run_pipeline(corpus)
+        for stage in ("crawl", "preprocess", "segment", "annotate"):
+            assert result.stage_timings.count(stage) > 0, stage
+            assert result.stage_timings.total(stage) >= 0.0
+        assert result.stage_timings.count("crawl") == len(corpus.domains)
+
+    def test_parallel_run_merges_shard_timings(self):
+        corpus = build_corpus(CorpusConfig(seed=5, fraction=0.01))
+        result = run_pipeline(corpus, workers=2)
+        assert result.stage_timings.count("crawl") == len(corpus.domains)
+        assert result.stage_timings.total("annotate") >= 0.0
+
+    def test_timings_do_not_affect_records(self):
+        corpus = build_corpus(CorpusConfig(seed=5, fraction=0.01))
+        a = run_pipeline(corpus)
+        b = run_pipeline(corpus)
+        assert [r.to_json() for r in a.records] == \
+            [r.to_json() for r in b.records]
+        # Wall-clock numbers differ run to run, but the stage set is stable.
+        assert set(a.stage_timings.as_dict()) == set(b.stage_timings.as_dict())
