@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Cache-correctness benchmark: cold vs warm pipeline runs.
+
+Runs the full pipeline twice over the same corpus with a fresh
+``--cache-dir``:
+
+* **cold** — empty store; every domain is computed and checkpointed.
+* **warm** — same store; the run must be served *entirely* from disk.
+
+Hard assertions (this doubles as the CI cache-correctness job):
+
+1. The warm run recomputes **nothing**: its hit counter equals the domain
+   count and the crawl/preprocess/segment/annotate stages record zero
+   invocations and zero seconds.
+2. Cold, warm, and a cache-less reference run produce byte-identical
+   records (compared via SHA-256 over the serialized record stream).
+3. Fetch counters and token totals match across all three runs.
+
+Results land in ``BENCH_cache.json`` at the repo root:
+
+    {"corpus_domains": N, "cold_s": ..., "warm_s": ..., "speedup": ...,
+     "records_sha256": ...}
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py
+    PYTHONPATH=src python benchmarks/bench_cache.py --domains 10 \
+        --out /tmp/smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.pipeline import PipelineOptions, run_pipeline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Domain universe size at fraction=1.0 (see repro.corpus.build).
+FULL_UNIVERSE = 2892
+
+#: Stages a warm run must never enter.
+COMPUTE_STAGES = ("crawl", "preprocess", "segment", "annotate")
+
+
+def _build(seed: int, n_domains: int):
+    fraction = min(1.0, n_domains / FULL_UNIVERSE * 1.5 + 0.005)
+    corpus = build_corpus(CorpusConfig(seed=seed, fraction=fraction))
+    if len(corpus.domains) < n_domains:
+        raise SystemExit(
+            f"corpus too small: {len(corpus.domains)} < {n_domains}"
+        )
+    return corpus, corpus.domains[:n_domains]
+
+
+def _records_sha256(result) -> str:
+    digest = hashlib.sha256()
+    for record in result.records:
+        digest.update(record.to_json().encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--domains", type=int, default=60,
+                        help="corpus size to run (default: 60)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="corpus seed (default: 7)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="pipeline workers for both runs (default: 1)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="cache directory (default: fresh temp dir)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_cache.json",
+                        help="JSON artifact path")
+    args = parser.parse_args(argv)
+
+    print(f"building corpus (seed={args.seed}, domains={args.domains})")
+    corpus, domains = _build(args.seed, args.domains)
+    n = len(domains)
+    options = PipelineOptions()
+    workers = args.workers if args.workers > 1 else None
+    cache_dir = args.cache_dir or Path(tempfile.mkdtemp(prefix="bench-cache-"))
+
+    print("reference run (no cache) ...")
+    reference = run_pipeline(corpus, options, domains=domains,
+                             workers=workers)
+    reference_sha = _records_sha256(reference)
+
+    print(f"cold run (empty cache at {cache_dir}) ...")
+    t0 = time.perf_counter()
+    cold = run_pipeline(corpus, options, domains=domains, workers=workers,
+                        cache_dir=cache_dir)
+    cold_s = time.perf_counter() - t0
+
+    print("warm run (same cache) ...")
+    t0 = time.perf_counter()
+    warm = run_pipeline(corpus, options, domains=domains, workers=workers,
+                        cache_dir=cache_dir)
+    warm_s = time.perf_counter() - t0
+
+    # 1. The warm run must recompute nothing at all.
+    warm_counts = warm.stage_timings.counts()
+    hits = warm_counts.get("cache.record.hit", 0)
+    if hits != n:
+        raise SystemExit(f"FAIL: warm run hit {hits}/{n} domains")
+    if warm_counts.get("cache.record.miss", 0) != 0:
+        raise SystemExit("FAIL: warm run recorded cache misses")
+    for stage in COMPUTE_STAGES:
+        count = warm.stage_timings.count(stage)
+        seconds = warm.stage_timings.total(stage)
+        if count != 0 or seconds != 0.0:
+            raise SystemExit(
+                f"FAIL: warm run entered stage {stage!r} "
+                f"({count} times, {seconds:.4f}s)"
+            )
+    print(f"warm run served all {n} domains from the store "
+          f"(0 stage invocations)")
+
+    # 2. Byte-identical records across reference / cold / warm.
+    cold_sha = _records_sha256(cold)
+    warm_sha = _records_sha256(warm)
+    if not (reference_sha == cold_sha == warm_sha):
+        raise SystemExit(
+            f"FAIL: record hashes differ: reference={reference_sha[:12]} "
+            f"cold={cold_sha[:12]} warm={warm_sha[:12]}"
+        )
+    print(f"records byte-identical across runs (sha256 {warm_sha[:12]}…)")
+
+    # 3. Aggregate counters must not drift either.
+    for name, run in (("cold", cold), ("warm", warm)):
+        if run.fetch_stats.as_dict() != reference.fetch_stats.as_dict():
+            raise SystemExit(f"FAIL: {name} fetch counters drifted")
+        if (run.prompt_tokens, run.completion_tokens) != \
+                (reference.prompt_tokens, reference.completion_tokens):
+            raise SystemExit(f"FAIL: {name} token totals drifted")
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "corpus_domains": n,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "warm_counters": {name: count for name, count in warm_counts.items()
+                          if name.startswith("cache.")},
+        "records_sha256": warm_sha,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    print(f"cold {cold_s:.2f}s -> warm {warm_s:.2f}s ({speedup:.1f}x)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

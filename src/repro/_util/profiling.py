@@ -8,6 +8,13 @@ CPU-seconds spent in each stage across all workers.
 
 Timings are observability only: they never feed back into pipeline
 behaviour, so records stay byte-identical whether or not a run is timed.
+
+Besides timed stages, an accumulator can carry *count-only* entries
+(:meth:`StageTimings.increment`) — event counters with no wall-clock
+attribution, used for the pipeline cache's hit/miss counters. Count-only
+entries survive :meth:`StageTimings.merge` (the merge covers the union of
+timed and counted names; an earlier version iterated timed names only and
+silently dropped counter categories present in just one shard).
 """
 
 from __future__ import annotations
@@ -38,6 +45,10 @@ class StageTimings:
         self._seconds[name] = self._seconds.get(name, 0.0) + seconds
         self._counts[name] = self._counts.get(name, 0) + count
 
+    def increment(self, name: str, count: int = 1) -> None:
+        """Count an event without attributing any wall-clock to it."""
+        self._counts[name] = self._counts.get(name, 0) + count
+
     def total(self, name: str) -> float:
         """Accumulated seconds for one stage (0.0 when never timed)."""
         return self._seconds.get(name, 0.0)
@@ -47,9 +58,16 @@ class StageTimings:
         return self._counts.get(name, 0)
 
     def merge(self, other: "StageTimings") -> "StageTimings":
-        """Fold another accumulator into this one (sums seconds and counts)."""
+        """Fold another accumulator into this one (sums seconds and counts).
+
+        Covers the union of timed and count-only entries, so a category
+        present in only one of the two accumulators is never dropped.
+        """
         for name, seconds in other._seconds.items():
             self.add(name, seconds, other._counts.get(name, 0))
+        for name, count in other._counts.items():
+            if name not in other._seconds:
+                self.increment(name, count)
         return self
 
     def as_dict(self) -> dict[str, float]:
@@ -60,12 +78,19 @@ class StageTimings:
         return dict(self._counts)
 
     def summary(self) -> str:
-        """One-line human-readable rendering, e.g. ``crawl 1.2s, annotate 3.4s``."""
-        return ", ".join(f"{name} {seconds:.2f}s"
-                         for name, seconds in self._seconds.items())
+        """One-line human-readable rendering, e.g. ``crawl 1.2s, annotate 3.4s``.
+
+        Count-only entries render as ``name ×N``.
+        """
+        parts = [f"{name} {seconds:.2f}s"
+                 for name, seconds in self._seconds.items()]
+        parts.extend(f"{name} ×{count}"
+                     for name, count in self._counts.items()
+                     if name not in self._seconds)
+        return ", ".join(parts)
 
     def __bool__(self) -> bool:
-        return bool(self._seconds)
+        return bool(self._seconds) or bool(self._counts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StageTimings({self._seconds!r})"

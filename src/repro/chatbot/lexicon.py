@@ -108,6 +108,56 @@ class _TrieNode:
         self.output: tuple[str, object] | None = None
 
 
+def lexicon_fingerprint() -> str:
+    """Content hash of every data table the annotation stages read.
+
+    This is the versioning hook the pipeline cache keys annotation-stage
+    entries on: it covers the data-type and purpose taxonomies (names,
+    surface forms, weights), the four practice label sets and their cue
+    phrases, the heading/line aspect cues, the practice detection
+    signatures, and the negation trigger list. Editing any of those — a
+    new surface form, a reworded cue — changes the fingerprint and
+    invalidates cached segment/annotate/verify results, while crawl-stage
+    cache entries (which depend only on page bytes) stay valid.
+
+    Imports are deferred so this module keeps its zero-dependency role in
+    the package graph (the engine and models import it at load time).
+    """
+    import hashlib
+    import json
+
+    from repro.chatbot.aspects import _HEADING_RULES, _LINE_CUES
+    from repro.chatbot.negation import _NEGATION_TRIGGERS
+    from repro.chatbot.practices import SIGNATURES
+    from repro.taxonomy import DATA_TYPE_TAXONOMY, PURPOSE_TAXONOMY
+    from repro.taxonomy.labels import (
+        ACCESS_LABELS,
+        CHOICE_LABELS,
+        PROTECTION_LABELS,
+        RETENTION_LABELS,
+    )
+
+    payload = {
+        "taxonomies": [DATA_TYPE_TAXONOMY.fingerprint(),
+                       PURPOSE_TAXONOMY.fingerprint()],
+        "labels": [label_set.fingerprint()
+                   for label_set in (RETENTION_LABELS, PROTECTION_LABELS,
+                                     CHOICE_LABELS, ACCESS_LABELS)],
+        "heading-rules": [[pattern, aspect.value]
+                          for pattern, aspect in _HEADING_RULES],
+        "line-cues": {aspect.value: list(cues)
+                      for aspect, cues in _LINE_CUES.items()},
+        "signatures": [[sig.group, sig.label, list(sig.required),
+                        list(sig.excluded), sig.needs_period,
+                        sig.forbids_period]
+                       for sig in SIGNATURES],
+        "negation": list(_NEGATION_TRIGGERS),
+    }
+    blob = json.dumps(payload, ensure_ascii=False, sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class PhraseMatcher:
     """Longest-match phrase scanner over a compiled stem trie.
 

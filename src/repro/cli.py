@@ -40,7 +40,58 @@ def _progress(done: int, total: int, domain: str) -> None:
         print(f"  ... {done}/{total} domains", file=sys.stderr)
 
 
+def _resolve_cache(args):
+    """Build the PipelineCache implied by --cache-dir/--resume/--invalidate.
+
+    ``--resume`` demands an existing, non-empty cache (a typo'd path must
+    not silently recompute everything); ``--invalidate LAYER`` drops
+    entries before the run.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    resume = getattr(args, "resume", False)
+    invalidate = getattr(args, "invalidate", None)
+    if cache_dir is None:
+        if resume:
+            raise SystemExit("repro-pipeline: error: --resume requires "
+                             "--cache-dir")
+        if invalidate:
+            raise SystemExit("repro-pipeline: error: --invalidate requires "
+                             "--cache-dir")
+        return None
+
+    from repro.pipeline import PipelineCache
+
+    cache = PipelineCache(cache_dir)
+    if invalidate:
+        removed = cache.invalidate(invalidate)
+        print(f"cache: invalidated {removed} {invalidate} entr"
+              f"{'y' if removed == 1 else 'ies'} in {cache_dir}",
+              file=sys.stderr)
+    if resume:
+        entries = cache.entry_count()
+        if entries == 0:
+            raise SystemExit(
+                f"repro-pipeline: error: --resume: no cache entries found "
+                f"under {cache_dir}; run once with --cache-dir first "
+                f"(or drop --resume)")
+        print(f"cache: resuming from {entries} checkpointed entries",
+              file=sys.stderr)
+    return cache
+
+
+def _print_cache_stats(result) -> None:
+    counts = result.stage_timings.counts()
+    record_hits = counts.get("cache.record.hit", 0)
+    record_misses = counts.get("cache.record.miss", 0)
+    crawl_hits = counts.get("cache.crawl.hit", 0)
+    print(f"cache: {record_hits} domains served from store, "
+          f"{record_misses} recomputed "
+          f"({crawl_hits} of those reused a cached crawl)",
+          file=sys.stderr)
+
+
 def _build_and_run(args):
+    cache = _resolve_cache(args)
     print(f"building corpus (seed={args.seed}, fraction={args.fraction})",
           file=sys.stderr)
     corpus = build_corpus(CorpusConfig(seed=args.seed,
@@ -49,13 +100,16 @@ def _build_and_run(args):
     start = time.time()
     workers = getattr(args, "workers", 1)
     result = run_pipeline(corpus, options, progress=_progress,
-                          workers=workers if workers > 1 else None)
+                          workers=workers if workers > 1 else None,
+                          cache=cache)
     print(f"pipeline finished in {time.time() - start:.1f}s "
           f"({workers} worker{'s' if workers != 1 else ''})",
           file=sys.stderr)
     if result.stage_timings:
         print(f"stage timings: {result.stage_timings.summary()}",
               file=sys.stderr)
+    if cache is not None:
+        _print_cache_stats(result)
     return corpus, result
 
 
@@ -186,6 +240,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=_positive_int, default=1,
                         help="parallel pipeline workers; results are "
                         "identical for any value (sharded executor)")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="content-addressed result store: unchanged "
+                        "domains are served from disk, completed domains "
+                        "are checkpointed atomically, and results stay "
+                        "byte-identical to a fresh run")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --cache-dir: continue an interrupted "
+                        "run; errors if the cache directory holds no "
+                        "checkpointed entries")
+    parser.add_argument("--invalidate",
+                        choices=["all", "records", "crawl"], metavar="LAYER",
+                        help="with --cache-dir: drop cached entries before "
+                        "running (LAYER: all, records — force "
+                        "re-annotation but keep crawls — or crawl)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run the pipeline end to end")

@@ -14,6 +14,15 @@ from repro.pipeline.annotate import (
     annotate_rights,
     annotate_types,
 )
+from repro.pipeline.cache import (
+    CachedCrawl,
+    CachedRecord,
+    CacheKeys,
+    PipelineCache,
+    domain_input_fingerprint,
+    options_fingerprint,
+    site_fingerprint,
+)
 from repro.pipeline.docindex import (
     DocumentIndex,
     LineAnalysis,
@@ -45,8 +54,10 @@ from repro.pipeline.runner import (
     DomainTrace,
     PipelineOptions,
     PipelineResult,
+    annotate_document,
     domain_model_seed,
     model_for_domain,
+    preprocess_domain,
     process_crawl,
     run_pipeline,
 )
@@ -64,6 +75,15 @@ __all__ = [
     "annotate_policy_text",
     "AnnotateOptions",
     "AspectOutcome",
+    "CachedCrawl",
+    "CachedRecord",
+    "CacheKeys",
+    "PipelineCache",
+    "annotate_document",
+    "domain_input_fingerprint",
+    "options_fingerprint",
+    "preprocess_domain",
+    "site_fingerprint",
     "annotate_handling",
     "annotate_purposes",
     "annotate_rights",

@@ -1,0 +1,462 @@
+"""Content-addressed pipeline cache with checkpoint/resume.
+
+At production scale (the ROADMAP's Russell-3000 north star) a crash mid-run
+or a one-line lexicon tweak must not force recomputing every domain from
+scratch. This module gives ``run_pipeline(cache_dir=...)`` a crash-safe,
+content-addressed result store:
+
+- **Content addressing.** Every cache key is a SHA-256 fingerprint of the
+  domain's *inputs* (site bytes, robots rules, failure knobs, the simulated
+  internet's seed), the *pipeline options*, and per-stage *version tokens*
+  (hand-bumped code versions plus the
+  :func:`~repro.chatbot.lexicon.lexicon_fingerprint` content hash of the
+  taxonomies/label sets/cue tables). Unchanged inputs → same key → the
+  stage is skipped; any changed byte → new key → recompute. Keys never
+  depend on dict ordering, worker counts, or domain order.
+
+- **Two layers.** The ``records`` layer stores a domain's final output
+  (annotation record, trace, token counts, fetch-counter delta) keyed by
+  *everything*; a warm rerun skips crawl/preprocess/segment/annotate
+  entirely. The ``crawl`` layer stores the preprocessed combined document
+  keyed only by inputs + crawl/preprocess versions, so editing a lexicon
+  entry invalidates annotations but replays the stored document instead of
+  re-crawling.
+
+- **Checkpoint/resume.** Each completed domain is written immediately via
+  temp-file + ``os.replace`` (atomic on POSIX), so a killed run — serial
+  or any shard of the parallel executor — leaves only whole entries
+  behind. Re-running with the same cache directory resumes from the last
+  completed domain; the merge tolerates partially-written shards because
+  reuse is per-domain, not per-shard.
+
+- **Determinism.** Cached results are byte-identical to fresh computation
+  for every worker count: replay-from-crawl re-seeds the per-domain model
+  exactly as a fresh run would after crawling, and fetch counters captured
+  at compute time are replayed into the live accounting sinks
+  (:meth:`~repro.web.net.SimulatedInternet.replay_stats`).
+
+Cache hit/miss counters are surfaced through
+``PipelineResult.stage_timings`` (count-only entries named
+``cache.record.hit`` etc.), which is how the bench/CI cache-correctness
+jobs prove a warm run recomputed nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.htmlkit import TextDocument, TextLine
+from repro.pipeline.records import DomainAnnotations
+from repro.pipeline.runner import (
+    DomainTrace,
+    PipelineOptions,
+    annotate_document,
+    model_for_domain,
+    preprocess_domain,
+)
+from repro.web.net import FetchStats
+
+#: Bump a stage's token when its code changes behaviour; entries keyed on
+#: the old token are simply never hit again (no migration needed).
+STAGE_VERSIONS = {
+    "crawl": "1",
+    "preprocess": "1",
+    "segment": "1",
+    "annotate": "1",
+    "verify": "1",
+}
+
+#: On-disk entry schema; bump to orphan every existing entry at once.
+SCHEMA_VERSION = 1
+
+#: Counter names surfaced in ``PipelineResult.stage_timings``.
+HIT_RECORD = "cache.record.hit"
+MISS_RECORD = "cache.record.miss"
+HIT_CRAWL = "cache.crawl.hit"
+MISS_CRAWL = "cache.crawl.miss"
+
+_LAYERS = ("records", "crawl")
+
+
+def _digest(payload) -> str:
+    """SHA-256 of a JSON-canonical rendering (sorted keys, no whitespace).
+
+    Sorting makes the fingerprint independent of dict insertion order —
+    two option mappings with permuted keys hash identically.
+    """
+    blob = json.dumps(payload, ensure_ascii=False, sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def options_fingerprint(options: PipelineOptions) -> str:
+    """Fingerprint of the full option set (model name/seed included)."""
+    return _digest(asdict(options))
+
+
+def site_fingerprint(site) -> str:
+    """Fingerprint of one simulated website's crawl-relevant content.
+
+    Covers every page byte and serving knob — paths, HTML (static and
+    JS-appended), status, redirects, content type, language, latency —
+    plus robots rules, bot blocking, and flakiness probabilities. Pages
+    are hashed in sorted-path order so registration order is irrelevant.
+    """
+    payload = {
+        "domain": site.domain,
+        "blocks_bots": site.blocks_bots,
+        "timeout_probability": site.timeout_probability,
+        "reset_probability": site.reset_probability,
+        "failure_mode": site.failure_mode,
+        "robots": [[group.agents, group.allows, group.disallows,
+                    group.crawl_delay] for group in site.robots.groups],
+        "pages": [
+            [path, page.html, page.js_html, page.js_delay_ms,
+             int(page.status), page.redirect_to, page.content_type,
+             page.language, page.latency_ms]
+            for path, page in sorted(site.pages.items())
+        ],
+    }
+    return _digest(payload)
+
+
+def domain_input_fingerprint(corpus, domain: str) -> str:
+    """Fingerprint of everything the crawl stage reads for one domain.
+
+    The simulated internet's seed is included because fetch outcomes
+    (timeouts, resets) are functions of ``(seed, url, attempt)``.
+    """
+    site = corpus.internet.site_for_host(domain)
+    return _digest({
+        "net_seed": corpus.internet.seed,
+        "domain": domain,
+        "sector": corpus.sector_of.get(domain, "??"),
+        "site": site_fingerprint(site) if site is not None else None,
+    })
+
+
+class CacheKeys:
+    """Precomputed cache keys for one ``(corpus, options)`` run.
+
+    Per-domain input fingerprints are memoized; the memo dict is shared
+    safely across executor threads (idempotent values, GIL-atomic dict
+    ops).
+    """
+
+    def __init__(self, corpus, options: PipelineOptions):
+        from repro.chatbot.lexicon import lexicon_fingerprint
+
+        self.corpus = corpus
+        self.options = options
+        self.options_fp = options_fingerprint(options)
+        self.lexicon_fp = lexicon_fingerprint()
+        #: Crawl-layer token: crawl/preprocess code versions only — no
+        #: options, no lexicon — so lexicon edits leave this layer valid.
+        self.crawl_token = _digest({
+            "schema": SCHEMA_VERSION,
+            "stages": {name: STAGE_VERSIONS[name]
+                       for name in ("crawl", "preprocess")},
+        })
+        #: Record-layer token: everything downstream depends on.
+        self.record_token = _digest({
+            "schema": SCHEMA_VERSION,
+            "stages": dict(STAGE_VERSIONS),
+            "lexicon": self.lexicon_fp,
+            "options": self.options_fp,
+        })
+        self._domain_fps: dict[str, str] = {}
+
+    def domain_fingerprint(self, domain: str) -> str:
+        fp = self._domain_fps.get(domain)
+        if fp is None:
+            fp = self._domain_fps[domain] = \
+                domain_input_fingerprint(self.corpus, domain)
+        return fp
+
+    def crawl_key(self, domain: str) -> str:
+        return _digest({"domain": self.domain_fingerprint(domain),
+                        "token": self.crawl_token})
+
+    def record_key(self, domain: str) -> str:
+        return _digest({"domain": self.domain_fingerprint(domain),
+                        "token": self.record_token})
+
+
+# -- cache entries ------------------------------------------------------------
+
+
+@dataclass
+class CachedRecord:
+    """One domain's final pipeline output, as stored in the records layer."""
+
+    record: DomainAnnotations
+    trace: DomainTrace
+    prompt_tokens: int
+    completion_tokens: int
+    fetch: FetchStats
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "record": json.loads(self.record.to_json()),
+            "trace": asdict(self.trace),
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "fetch": self.fetch.as_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CachedRecord":
+        return cls(
+            record=DomainAnnotations.from_json(
+                json.dumps(payload["record"])),
+            trace=DomainTrace(**payload["trace"]),
+            prompt_tokens=payload["prompt_tokens"],
+            completion_tokens=payload["completion_tokens"],
+            fetch=FetchStats(**payload["fetch"]),
+        )
+
+
+@dataclass
+class CachedCrawl:
+    """One domain's crawl+preprocess outcome, as stored in the crawl layer.
+
+    ``outcome`` is ``"ok"`` (``document`` holds the combined policy text),
+    ``"crawl-failed"``, or ``"extract-failed"`` (preprocess produced no
+    usable text). The trace carries only crawl/preprocess fields; the
+    segmentation fields are recomputed at replay.
+    """
+
+    outcome: str
+    trace: DomainTrace
+    fetch: FetchStats
+    document: TextDocument | None = None
+
+    def to_payload(self) -> dict:
+        lines = None
+        if self.document is not None:
+            lines = [[line.number, line.text, line.heading_level]
+                     for line in self.document.lines]
+        return {
+            "schema": SCHEMA_VERSION,
+            "outcome": self.outcome,
+            "trace": asdict(self.trace),
+            "fetch": self.fetch.as_dict(),
+            "document": lines,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CachedCrawl":
+        document = None
+        if payload["document"] is not None:
+            document = TextDocument(lines=[
+                TextLine(number=number, text=text, heading_level=level)
+                for number, text, level in payload["document"]
+            ])
+        return cls(
+            outcome=payload["outcome"],
+            trace=DomainTrace(**payload["trace"]),
+            fetch=FetchStats(**payload["fetch"]),
+            document=document,
+        )
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class PipelineCache:
+    """A content-addressed, crash-safe result store rooted at a directory.
+
+    Layout: ``<root>/<layer>/<key[:2]>/<key>.json`` with writes going
+    through a same-directory temp file and ``os.replace``, so readers only
+    ever see whole entries. Unreadable or schema-mismatched entries are
+    treated as misses (and a crash can at worst leave a stray ``*.tmp*``
+    file, which is ignored).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- records layer ---------------------------------------------------
+
+    def load_record(self, key: str) -> CachedRecord | None:
+        payload = self._read(self._path("records", key))
+        return CachedRecord.from_payload(payload) if payload else None
+
+    def store_record(self, key: str, entry: CachedRecord) -> None:
+        self._write(self._path("records", key), entry.to_payload())
+
+    # -- crawl layer -----------------------------------------------------
+
+    def load_crawl(self, key: str) -> CachedCrawl | None:
+        payload = self._read(self._path("crawl", key))
+        return CachedCrawl.from_payload(payload) if payload else None
+
+    def store_crawl(self, key: str, entry: CachedCrawl) -> None:
+        self._write(self._path("crawl", key), entry.to_payload())
+
+    # -- maintenance -----------------------------------------------------
+
+    def entry_count(self, layer: str = "all") -> int:
+        return sum(1 for _ in self._entries(layer))
+
+    def invalidate(self, layer: str = "all") -> int:
+        """Remove cached entries; returns how many files were deleted.
+
+        ``layer`` is ``"all"``, ``"records"`` (drop final results but keep
+        crawls, forcing re-annotation only), or ``"crawl"``.
+        """
+        removed = 0
+        for path in list(self._entries(layer)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def _entries(self, layer: str):
+        if layer == "all":
+            layers = _LAYERS
+        elif layer in _LAYERS:
+            layers = (layer,)
+        else:
+            raise ValueError(
+                f"unknown cache layer {layer!r}; expected one of "
+                f"{('all',) + _LAYERS}")
+        for name in layers:
+            base = self.root / name
+            if base.is_dir():
+                yield from base.glob("*/*.json")
+
+    # -- I/O -------------------------------------------------------------
+
+    def _path(self, layer: str, key: str) -> Path:
+        return self.root / layer / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _read(path: Path) -> dict | None:
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return payload
+
+    @staticmethod
+    def _write(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.tmp{os.getpid()}-{threading.get_ident()}")
+        try:
+            with tmp.open("w", encoding="utf-8") as fh:
+                json.dump(payload, fh, ensure_ascii=False)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # a failed dump must not leave debris behind
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+
+# -- the cached per-domain pipeline step --------------------------------------
+
+
+def process_domain_cached(corpus, crawler, domain: str,
+                          options: PipelineOptions, timings, cache, keys,
+                          ) -> tuple[DomainAnnotations, DomainTrace, int, int]:
+    """Run (or replay) one domain through the pipeline with caching.
+
+    Returns ``(record, trace, prompt_tokens, completion_tokens)``, exactly
+    what the uncached per-domain loop produces, and checkpoints both cache
+    layers as soon as their stage completes. Fetch counters are either
+    captured into the entry (fresh compute) or replayed into the live sink
+    (hit), so aggregate ``fetch_stats`` match a fresh run either way.
+    """
+    internet = corpus.internet
+    record_key = keys.record_key(domain)
+    entry = cache.load_record(record_key)
+    if entry is not None:
+        timings.increment(HIT_RECORD)
+        internet.replay_stats(entry.fetch)
+        return (entry.record, entry.trace,
+                entry.prompt_tokens, entry.completion_tokens)
+
+    timings.increment(MISS_RECORD)
+    sector = corpus.sector_of.get(domain, "??")
+    crawl_key = keys.crawl_key(domain)
+    crawl_entry = cache.load_crawl(crawl_key)
+    prompt_tokens = completion_tokens = 0
+
+    if crawl_entry is not None:
+        timings.increment(HIT_CRAWL)
+        internet.replay_stats(crawl_entry.fetch)
+        fetch = crawl_entry.fetch
+        trace = crawl_entry.trace
+        if crawl_entry.outcome == "ok":
+            model = model_for_domain(options, domain)
+            record = annotate_document(domain, sector, crawl_entry.document,
+                                       model, options, trace=trace,
+                                       timings=timings)
+            prompt_tokens = model.usage.prompt_tokens
+            completion_tokens = model.usage.completion_tokens
+        else:
+            record = DomainAnnotations(domain=domain, sector=sector,
+                                       status=crawl_entry.outcome)
+    else:
+        timings.increment(MISS_CRAWL)
+        model = model_for_domain(options, domain)
+        with internet.record_stats() as sink:
+            with timings.stage("crawl"):
+                crawl = crawler.crawl_domain(domain)
+            trace, document, early = preprocess_domain(corpus, crawl,
+                                                       timings=timings)
+        # The sink has already folded into the enclosing accounting
+        # context; snapshot it for the cache entries.
+        fetch = FetchStats().merge(sink)
+        outcome = early.status if early is not None else "ok"
+        # Checkpoint the crawl layer *before* annotating: the trace is
+        # serialized now, so the segmentation fields annotate_document
+        # adds below don't leak into the crawl-stage entry.
+        cache.store_crawl(crawl_key, CachedCrawl(
+            outcome=outcome, trace=trace, fetch=fetch, document=document))
+        if early is not None:
+            record = early
+        else:
+            record = annotate_document(domain, sector, document, model,
+                                       options, trace=trace, timings=timings)
+            prompt_tokens = model.usage.prompt_tokens
+            completion_tokens = model.usage.completion_tokens
+
+    cache.store_record(record_key, CachedRecord(
+        record=record, trace=trace, prompt_tokens=prompt_tokens,
+        completion_tokens=completion_tokens, fetch=fetch))
+    return record, trace, prompt_tokens, completion_tokens
+
+
+__all__ = [
+    "CachedCrawl",
+    "CachedRecord",
+    "CacheKeys",
+    "HIT_CRAWL",
+    "HIT_RECORD",
+    "MISS_CRAWL",
+    "MISS_RECORD",
+    "PipelineCache",
+    "SCHEMA_VERSION",
+    "STAGE_VERSIONS",
+    "domain_input_fingerprint",
+    "options_fingerprint",
+    "process_domain_cached",
+    "site_fingerprint",
+]

@@ -99,21 +99,37 @@ def make_shards(domains: list[str], shard_size: int) -> list[list[str]]:
 
 
 def run_shard(corpus: SyntheticCorpus, index: int, domains: list[str],
-              options: PipelineOptions, progress=None) -> ShardOutcome:
-    """Run one shard with worker-private browser, crawler, and models."""
+              options: PipelineOptions, progress=None,
+              cache=None, keys=None) -> ShardOutcome:
+    """Run one shard with worker-private browser, crawler, and models.
+
+    With ``cache``/``keys`` set, every completed domain is checkpointed to
+    the content-addressed store via an atomic temp-file + rename as soon
+    as it finishes, so a shard that dies mid-run loses at most the domain
+    in flight; a resumed run replays the finished ones from disk.
+    """
     outcome = ShardOutcome(index=index, domains=list(domains))
     crawler = PrivacyCrawler(Browser(internet=corpus.internet))
+    if cache is not None:
+        from repro.pipeline.cache import process_domain_cached
     with corpus.internet.record_stats() as stats:
         for domain in domains:
-            model = model_for_domain(options, domain)
-            with outcome.timings.stage("crawl"):
-                crawl = crawler.crawl_domain(domain)
-            record, trace = process_crawl(corpus, crawl, model, options,
-                                          timings=outcome.timings)
+            if cache is not None:
+                record, trace, ptok, ctok = process_domain_cached(
+                    corpus, crawler, domain, options, outcome.timings,
+                    cache, keys)
+                outcome.prompt_tokens += ptok
+                outcome.completion_tokens += ctok
+            else:
+                model = model_for_domain(options, domain)
+                with outcome.timings.stage("crawl"):
+                    crawl = crawler.crawl_domain(domain)
+                record, trace = process_crawl(corpus, crawl, model, options,
+                                              timings=outcome.timings)
+                outcome.prompt_tokens += model.usage.prompt_tokens
+                outcome.completion_tokens += model.usage.completion_tokens
             outcome.records.append(record)
             outcome.traces[domain] = trace
-            outcome.prompt_tokens += model.usage.prompt_tokens
-            outcome.completion_tokens += model.usage.completion_tokens
             if progress is not None:
                 progress(domain)
     # Copy (not alias) the sink: it has already been folded into the
@@ -151,24 +167,42 @@ def run_parallel_pipeline(corpus: SyntheticCorpus,
                           options: PipelineOptions | None = None,
                           executor: ExecutorOptions | None = None,
                           domains: list[str] | None = None,
-                          progress=None) -> PipelineResult:
+                          progress=None,
+                          cache=None,
+                          cache_dir=None) -> PipelineResult:
     """Run the pipeline on the sharded thread-pool executor.
 
     Output (records, traces, token totals) is byte-identical to the serial
     :func:`~repro.pipeline.runner.run_pipeline` for the same corpus and
     options, independent of ``executor.workers`` and ``executor.shard_size``.
+
+    ``cache``/``cache_dir`` enable the content-addressed store (see
+    :mod:`repro.pipeline.cache`): cache keys are computed once and shared
+    read-only across workers, each shard checkpoints completed domains
+    atomically, and the merge tolerates partial shards — a killed run
+    resumes per-domain, not per-shard.
     """
     options = options or PipelineOptions()
     executor = executor or ExecutorOptions()
     domains = list(domains if domains is not None else corpus.domains)
     shards = make_shards(domains, executor.shard_size)
     relay = _ProgressRelay(progress, len(domains))
+    keys = None
+    if cache is None and cache_dir is not None:
+        from repro.pipeline.cache import PipelineCache
+
+        cache = PipelineCache(cache_dir)
+    if cache is not None:
+        from repro.pipeline.cache import CacheKeys
+
+        keys = CacheKeys(corpus, options)
 
     def run_with_retries(index: int, shard: list[str]) -> ShardOutcome:
         delay = executor.retry_backoff
         for attempt in range(executor.max_retries + 1):
             try:
-                outcome = run_shard(corpus, index, shard, options, relay)
+                outcome = run_shard(corpus, index, shard, options, relay,
+                                    cache=cache, keys=keys)
             except Exception:
                 if attempt == executor.max_retries:
                     raise

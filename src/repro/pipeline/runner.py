@@ -176,7 +176,9 @@ def run_pipeline(corpus: SyntheticCorpus,
                  domains: list[str] | None = None,
                  progress=None,
                  workers: int | None = None,
-                 executor=None) -> PipelineResult:
+                 executor=None,
+                 cache_dir=None,
+                 cache=None) -> PipelineResult:
     """Run the full pipeline over (a subset of) a corpus.
 
     By default every domain is annotated with its own deterministically
@@ -187,8 +189,26 @@ def run_pipeline(corpus: SyntheticCorpus,
     to the serial run. Passing an explicit shared ``model`` keeps the
     legacy sequential semantics (its noise stream advances across domains)
     and is incompatible with ``workers``.
+
+    Pass ``cache_dir`` (or a prebuilt
+    :class:`~repro.pipeline.cache.PipelineCache` via ``cache``) to enable
+    the content-addressed result store: domains whose inputs, options, and
+    stage versions are unchanged are served from disk instead of being
+    recomputed, and every completed domain is checkpointed atomically so
+    an interrupted run resumes from where it stopped. Cached results are
+    byte-identical to fresh computation for every worker count.
     """
     options = options or PipelineOptions()
+    if cache is None and cache_dir is not None:
+        from repro.pipeline.cache import PipelineCache
+
+        cache = PipelineCache(cache_dir)
+    if cache is not None and model is not None:
+        raise ValueError(
+            "run_pipeline: a shared `model` cannot be combined with "
+            "`cache`/`cache_dir`; cached results require order-invariant "
+            "per-domain models"
+        )
     if workers is not None or executor is not None:
         if model is not None:
             raise ValueError(
@@ -204,11 +224,17 @@ def run_pipeline(corpus: SyntheticCorpus,
             raise ValueError("run_pipeline: `workers` conflicts with "
                              "`executor.workers`")
         return run_parallel_pipeline(corpus, options, executor=executor,
-                                     domains=domains, progress=progress)
+                                     domains=domains, progress=progress,
+                                     cache=cache)
 
     browser = Browser(internet=corpus.internet)
     crawler = PrivacyCrawler(browser)
     domains = domains if domains is not None else corpus.domains
+    keys = None
+    if cache is not None:
+        from repro.pipeline.cache import CacheKeys, process_domain_cached
+
+        keys = CacheKeys(corpus, options)
 
     records: list[DomainAnnotations] = []
     traces: dict[str, DomainTrace] = {}
@@ -217,17 +243,23 @@ def run_pipeline(corpus: SyntheticCorpus,
     completion_tokens = 0
     with corpus.internet.record_stats() as fetch_stats:
         for index, domain in enumerate(domains):
-            domain_model = model if model is not None \
-                else model_for_domain(options, domain)
-            with timings.stage("crawl"):
-                crawl = crawler.crawl_domain(domain)
-            record, trace = process_crawl(corpus, crawl, domain_model,
-                                          options, timings=timings)
+            if cache is not None:
+                record, trace, ptok, ctok = process_domain_cached(
+                    corpus, crawler, domain, options, timings, cache, keys)
+                prompt_tokens += ptok
+                completion_tokens += ctok
+            else:
+                domain_model = model if model is not None \
+                    else model_for_domain(options, domain)
+                with timings.stage("crawl"):
+                    crawl = crawler.crawl_domain(domain)
+                record, trace = process_crawl(corpus, crawl, domain_model,
+                                              options, timings=timings)
+                if model is None:
+                    prompt_tokens += domain_model.usage.prompt_tokens
+                    completion_tokens += domain_model.usage.completion_tokens
             records.append(record)
             traces[domain] = trace
-            if model is None:
-                prompt_tokens += domain_model.usage.prompt_tokens
-                completion_tokens += domain_model.usage.completion_tokens
             if progress is not None:
                 progress(index + 1, len(domains), domain)
     if model is not None:
@@ -256,6 +288,30 @@ def process_crawl(corpus: SyntheticCorpus, crawl: CrawlResult,
     """
     domain = crawl.domain
     sector = corpus.sector_of.get(domain, "??")
+    trace, document, early = preprocess_domain(corpus, crawl, timings=timings)
+    if early is not None:
+        return early, trace
+    record = annotate_document(domain, sector, document, model, options,
+                               trace=trace, timings=timings)
+    return record, trace
+
+
+def preprocess_domain(corpus: SyntheticCorpus, crawl: CrawlResult,
+                      timings: StageTimings | None = None,
+                      ) -> tuple[DomainTrace, "TextDocument | None",
+                                 DomainAnnotations | None]:
+    """The lexicon-independent front half of :func:`process_crawl`.
+
+    Builds the domain trace through the crawl and preprocess stages and
+    returns ``(trace, combined document, early record)``. ``early`` is a
+    crawl-failed/extract-failed record when the pipeline stops before
+    segmentation (and then ``document`` is ``None``); otherwise the caller
+    continues with :func:`annotate_document`. This split is the pipeline
+    cache's stage boundary: everything up to here depends only on page
+    bytes and crawler code, not on the annotation lexicon or model.
+    """
+    domain = crawl.domain
+    sector = corpus.sector_of.get(domain, "??")
     trace = DomainTrace(domain=domain)
     trace.navigations = crawl.navigations
     trace.page_errors = crawl.errors()
@@ -265,35 +321,51 @@ def process_crawl(corpus: SyntheticCorpus, crawl: CrawlResult,
     trace.saw_pdf = any(page.is_pdf for page in potential)
 
     if not crawl.crawl_succeeded:
-        return DomainAnnotations(domain=domain, sector=sector,
-                                 status="crawl-failed"), trace
+        return trace, None, DomainAnnotations(domain=domain, sector=sector,
+                                              status="crawl-failed")
 
     with stage_scope(timings, "preprocess"):
         pre = preprocess_crawl(crawl)
     trace.retained_pages = pre.page_count()
     trace.drop_reasons = [reason for _, reason in pre.dropped]
     if not pre.ok:
-        return DomainAnnotations(domain=domain, sector=sector,
-                                 status="extract-failed"), trace
+        return trace, None, DomainAnnotations(domain=domain, sector=sector,
+                                              status="extract-failed")
+    return trace, pre.combined, None
 
-    index = (DocumentIndex.for_document(pre.combined)
+
+def annotate_document(domain: str, sector: str, document,
+                      model: ChatModel,
+                      options: PipelineOptions,
+                      trace: DomainTrace | None = None,
+                      timings: StageTimings | None = None,
+                      ) -> DomainAnnotations:
+    """Segment and annotate one preprocessed document (back half of
+    :func:`process_crawl`).
+
+    A pure function of ``(document, model state, options)`` — the pipeline
+    cache replays it against a stored document with a freshly seeded
+    per-domain model and gets byte-identical output. ``trace`` (optional)
+    receives the segmentation fields.
+    """
+    index = (DocumentIndex.for_document(document)
              if options.use_docindex else None)
     with stage_scope(timings, "segment"):
-        segmented = segment_policy(domain, pre.combined, model, index=index)
+        segmented = segment_policy(domain, document, model, index=index)
     if not options.use_segmentation:
         segmented = _unsegmented(segmented)
-    trace.used_heading_path = segmented.used_heading_path
-    trace.used_text_analysis = segmented.used_text_analysis
-    trace.extraction_succeeded = segmented.extraction_succeeded
-    trace.policy_words = segmented.substantive_word_count()
+    if trace is not None:
+        trace.used_heading_path = segmented.used_heading_path
+        trace.used_text_analysis = segmented.used_text_analysis
+        trace.extraction_succeeded = segmented.extraction_succeeded
+        trace.policy_words = segmented.substantive_word_count()
     if not segmented.extraction_succeeded:
         return DomainAnnotations(domain=domain, sector=sector,
-                                 status="extract-failed"), trace
+                                 status="extract-failed")
 
     with stage_scope(timings, "annotate"):
-        record = _annotate_domain(domain, sector, segmented, model, options,
-                                  index=index)
-    return record, trace
+        return _annotate_domain(domain, sector, segmented, model, options,
+                                index=index)
 
 
 def _unsegmented(segmented: SegmentedPolicy) -> SegmentedPolicy:

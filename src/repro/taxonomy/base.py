@@ -257,6 +257,39 @@ class Taxonomy:
             ) from None
         return DescriptorRef(meta_name, category, cat.descriptor(descriptor).name)
 
+    # -- versioning ------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of the full taxonomy tree.
+
+        Covers every behaviour-relevant datum — meta-category, category,
+        and descriptor names, surface forms, and sampling weights — in
+        definition order, so editing any entry yields a new fingerprint.
+        The pipeline cache uses this as the taxonomy's version token:
+        a lexicon tweak invalidates annotation-stage cache entries without
+        touching crawl-stage entries.
+        """
+        import hashlib
+        import json
+
+        payload = [
+            [
+                meta.name,
+                [
+                    [
+                        cat.name,
+                        [[d.name, list(d.surface_forms), d.weight]
+                         for d in cat.descriptors],
+                    ]
+                    for cat in meta.categories
+                ],
+            ]
+            for meta in self.meta_categories
+        ]
+        blob = json.dumps([self.name, payload], ensure_ascii=False,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     # -- stats -----------------------------------------------------------
 
     def size(self) -> tuple[int, int, int]:

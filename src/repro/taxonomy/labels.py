@@ -59,6 +59,21 @@ class LabelSet:
     def names(self) -> list[str]:
         return [lab.name for lab in self.labels]
 
+    def fingerprint(self) -> str:
+        """Content hash of the label set (names, groups, cue phrases).
+
+        The pipeline cache folds this into its annotation-stage version
+        token so editing a cue phrase invalidates cached annotations.
+        """
+        import hashlib
+        import json
+
+        payload = [[lab.name, lab.meta_category, list(lab.cues)]
+                   for lab in self.labels]
+        blob = json.dumps([self.name, payload], ensure_ascii=False,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
 
 RETENTION_LABELS = LabelSet(
     name="Data retention",

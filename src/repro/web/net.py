@@ -106,6 +106,23 @@ class SimulatedInternet:
                 with self._stats_lock:
                     self.stats.merge(sink)
 
+    def replay_stats(self, stats: FetchStats) -> None:
+        """Fold previously captured counters into the active sink.
+
+        Used by the pipeline cache: when a domain's result is served from
+        the content-addressed store, the fetches it *would* have issued are
+        replayed into the current accounting context so a cached run
+        reports the same counters as a fresh one. Outside any
+        :meth:`record_stats` context the counters fold into the global
+        ledger under the lock.
+        """
+        stack = getattr(self._local, "sinks", None)
+        if stack:
+            stack[-1].merge(stats)
+            return
+        with self._stats_lock:
+            self.stats.merge(stats)
+
     def _count(self, counter: str) -> None:
         stack = getattr(self._local, "sinks", None)
         if stack:

@@ -15,6 +15,14 @@ SMALL_FRACTION = 0.06
 SMALL_SEED = 1234
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="re-snapshot tests/golden/ from a fresh serial pipeline run "
+             "instead of comparing against it",
+    )
+
+
 @pytest.fixture(scope="session")
 def small_corpus():
     """A ~170-domain corpus with every failure mode represented."""

@@ -1,0 +1,145 @@
+"""Fault injection: checkpoint/resume after a mid-run crash.
+
+Contract under test: a run killed after K of N domains leaves only whole
+cache entries behind; re-running with the same cache directory produces
+byte-identical results to an uninterrupted run while recomputing at most
+N − K domains. Holds for the serial loop and for the sharded executor
+(where a kill strands *partial shards* — resume is per-domain, never
+per-shard).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.pipeline import (
+    ExecutorOptions,
+    PipelineCache,
+    PipelineOptions,
+    run_pipeline,
+)
+from repro.pipeline.cache import HIT_RECORD, MISS_RECORD
+
+SEED = 7
+FRACTION = 0.03
+OPTIONS = PipelineOptions(model_seed=3)
+N_DOMAINS = 30
+
+
+class Killed(RuntimeError):
+    """Injected crash standing in for SIGKILL / OOM / power loss."""
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(CorpusConfig(seed=SEED, fraction=FRACTION))
+
+
+@pytest.fixture(scope="module")
+def domains(corpus):
+    return corpus.domains[:N_DOMAINS]
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(corpus, domains):
+    return run_pipeline(corpus, OPTIONS, domains=domains)
+
+
+def _signature(result):
+    return (
+        [r.to_json() for r in result.records],
+        {d: vars(t) for d, t in result.traces.items()},
+        result.prompt_tokens,
+        result.completion_tokens,
+    )
+
+
+def _kill_after(k: int):
+    """A progress callback that crashes once ``k`` domains completed."""
+
+    def progress(done, total, domain):
+        if done >= k:
+            raise Killed(f"injected crash after {done} domains")
+
+    return progress
+
+
+class TestSerialResume:
+    @pytest.mark.parametrize("kill_after", [1, 7, N_DOMAINS - 1])
+    def test_resume_is_byte_identical_and_bounded(self, corpus, domains,
+                                                  uninterrupted, tmp_path,
+                                                  kill_after):
+        cache = PipelineCache(tmp_path / "c")
+        with pytest.raises(Killed):
+            run_pipeline(corpus, OPTIONS, domains=domains, cache=cache,
+                         progress=_kill_after(kill_after))
+        # Only whole entries on disk: everything readable, >= K records.
+        assert cache.entry_count("records") >= kill_after
+
+        resumed = run_pipeline(corpus, OPTIONS, domains=domains, cache=cache)
+        assert _signature(resumed) == _signature(uninterrupted)
+        counts = resumed.stage_timings.counts()
+        assert counts.get(MISS_RECORD, 0) <= N_DOMAINS - kill_after
+        assert counts[HIT_RECORD] >= kill_after
+
+    def test_double_crash_still_converges(self, corpus, domains,
+                                          uninterrupted, tmp_path):
+        """Crash, resume, crash again further along, resume again."""
+        cache = PipelineCache(tmp_path / "c")
+        for kill_after in (5, 20):
+            with pytest.raises(Killed):
+                run_pipeline(corpus, OPTIONS, domains=domains, cache=cache,
+                             progress=_kill_after(kill_after))
+        resumed = run_pipeline(corpus, OPTIONS, domains=domains, cache=cache)
+        assert _signature(resumed) == _signature(uninterrupted)
+        assert resumed.stage_timings.counts().get(MISS_RECORD, 0) <= \
+            N_DOMAINS - 20
+
+
+class TestParallelResume:
+    def test_killed_worker_leaves_partial_shards_resume_tolerates(
+            self, corpus, domains, uninterrupted, tmp_path):
+        """A crash mid-shard strands shards at different depths; the merge
+        must reuse every completed *domain* regardless of shard."""
+        cache = PipelineCache(tmp_path / "c")
+        kill_after = 9
+        executor = ExecutorOptions(workers=3, shard_size=4, max_retries=0)
+        with pytest.raises(Killed):
+            run_pipeline(corpus, OPTIONS, domains=domains, cache=cache,
+                         executor=executor, progress=_kill_after(kill_after))
+        checkpointed = cache.entry_count("records")
+        assert checkpointed >= kill_after - 1  # the domain in flight may die
+
+        resumed = run_pipeline(corpus, OPTIONS, domains=domains, cache=cache,
+                               executor=ExecutorOptions(workers=3,
+                                                        shard_size=4))
+        assert _signature(resumed) == _signature(uninterrupted)
+        counts = resumed.stage_timings.counts()
+        assert counts.get(MISS_RECORD, 0) <= N_DOMAINS - checkpointed
+        assert counts[HIT_RECORD] == checkpointed
+
+    def test_serial_resume_of_parallel_crash(self, corpus, domains,
+                                             uninterrupted, tmp_path):
+        """Checkpoint format is executor-agnostic: a crashed parallel run
+        can be finished by a serial one (and vice versa)."""
+        cache = PipelineCache(tmp_path / "c")
+        with pytest.raises(Killed):
+            run_pipeline(corpus, OPTIONS, domains=domains, cache=cache,
+                         executor=ExecutorOptions(workers=4, shard_size=2,
+                                                  max_retries=0),
+                         progress=_kill_after(10))
+        resumed = run_pipeline(corpus, OPTIONS, domains=domains, cache=cache)
+        assert _signature(resumed) == _signature(uninterrupted)
+
+    def test_parallel_resume_of_serial_crash(self, corpus, domains,
+                                             uninterrupted, tmp_path):
+        cache = PipelineCache(tmp_path / "c")
+        with pytest.raises(Killed):
+            run_pipeline(corpus, OPTIONS, domains=domains, cache=cache,
+                         progress=_kill_after(12))
+        resumed = run_pipeline(corpus, OPTIONS, domains=domains, cache=cache,
+                               workers=4)
+        assert _signature(resumed) == _signature(uninterrupted)
+        assert resumed.stage_timings.counts().get(MISS_RECORD, 0) <= \
+            N_DOMAINS - 12

@@ -39,3 +39,54 @@ class TestCommands:
                      "--policies", "5"])
         assert code == 0
         assert "sim-gpt-4-turbo" in capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_cache_flags_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["--cache-dir", str(tmp_path), "--resume", "--invalidate",
+             "records", "run"])
+        assert args.cache_dir == str(tmp_path)
+        assert args.resume is True
+        assert args.invalidate == "records"
+        args = build_parser().parse_args(["--invalidate", "all", "run"])
+        assert args.invalidate == "all"
+        assert args.command == "run"
+
+    def test_invalidate_rejects_unknown_layer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--invalidate", "bogus", "run"])
+
+    def test_cold_then_warm_run(self, capsys, tmp_path):
+        base = ["--fraction", "0.02", "--seed", "3",
+                "--cache-dir", str(tmp_path / "c"), "run"]
+        assert main(base) == 0
+        cold_out = capsys.readouterr().out
+        assert main(base) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold_out  # identical stats either way
+        assert "0 recomputed" in warm.err
+
+    def test_resume_without_cache_dir_errors(self):
+        with pytest.raises(SystemExit, match="requires --cache-dir"):
+            main(["--fraction", "0.02", "--resume", "run"])
+
+    def test_resume_with_empty_cache_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no cache entries"):
+            main(["--fraction", "0.02",
+                  "--cache-dir", str(tmp_path / "empty"), "--resume", "run"])
+
+    def test_invalidate_without_cache_dir_errors(self):
+        with pytest.raises(SystemExit, match="requires --cache-dir"):
+            main(["--fraction", "0.02", "--invalidate", "all", "run"])
+
+    def test_invalidate_records_then_rerun(self, capsys, tmp_path):
+        base = ["--fraction", "0.02", "--seed", "3",
+                "--cache-dir", str(tmp_path / "c")]
+        assert main(base + ["run"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--invalidate", "records", "run"]) == 0
+        err = capsys.readouterr().err
+        assert "invalidated" in err
+        # Re-annotated from stored crawls, not re-crawled.
+        assert "reused a cached crawl" in err

@@ -1,0 +1,165 @@
+"""Golden-corpus regression suite.
+
+``tests/golden/`` snapshots the full :class:`PipelineResult` for a fixed
+12-domain corpus — records, traces, token totals, fetch counters — and
+every execution configuration (serial, parallel, cached cold, cached
+warm, docindex off) must reproduce it exactly. Any behavioural drift in
+crawl, preprocessing, segmentation, annotation, or verification shows up
+here as a field-level diff.
+
+To bless an *intentional* change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_corpus.py \
+        --update-golden
+
+which re-snapshots from a fresh serial run (and then re-checks that all
+other configurations still agree with it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import ExecutorOptions, PipelineOptions, run_pipeline
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+OPTIONS = PipelineOptions()
+
+#: 12 domains of the seed-1234 corpus (see ``small_corpus``), picked to
+#: cover every outcome class: 7 annotated (2 of which activate the
+#: fallback path), 3 crawl-failed, 2 extract-failed.
+GOLDEN_DOMAINS = [
+    "trailheadleisure.com",    # annotated
+    "rainierbrands.com",       # crawl-failed
+    "paragonhome.com",         # annotated
+    "meridianinsurance.com",   # extract-failed
+    "juniperapparel.com",      # annotated
+    "equinoxmotors.com",       # crawl-failed
+    "goldenoakapparel.com",    # annotated
+    "zenithfinancial.com",     # extract-failed
+    "crownleisure.com",        # annotated
+    "forgemotors.com",         # crawl-failed
+    "velahospitality.com",     # annotated, fallback
+    "quantumretail.com",       # annotated, fallback
+]
+
+
+def _snapshot(result) -> dict:
+    """Everything a regression must not move, JSON-ready."""
+    return {
+        "records": [json.loads(r.to_json()) for r in result.records],
+        "traces": {d: vars(t) for d, t in result.traces.items()},
+        "summary": {
+            "prompt_tokens": result.prompt_tokens,
+            "completion_tokens": result.completion_tokens,
+            "fetch_stats": result.fetch_stats.as_dict(),
+            "statuses": {r.domain: r.status for r in result.records},
+            "hallucinations_filtered": sum(r.hallucinations_filtered
+                                           for r in result.records),
+        },
+    }
+
+
+def _write_golden(snap: dict) -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    meta = {
+        "corpus_seed": 1234,
+        "corpus_fraction": 0.06,
+        "options": "PipelineOptions() defaults",
+        "domains": GOLDEN_DOMAINS,
+        "configurations_checked": [
+            "serial", "parallel(workers=3, shard_size=4)",
+            "cached cold", "cached warm", "use_docindex=False",
+        ],
+    }
+    (GOLDEN_DIR / "meta.json").write_text(
+        json.dumps(meta, indent=2) + "\n", encoding="utf-8")
+    (GOLDEN_DIR / "records.jsonl").write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n"
+                for r in snap["records"]), encoding="utf-8")
+    (GOLDEN_DIR / "traces.json").write_text(
+        json.dumps(snap["traces"], indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    (GOLDEN_DIR / "summary.json").write_text(
+        json.dumps(snap["summary"], indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def _load_golden() -> dict:
+    records = [
+        json.loads(line)
+        for line in (GOLDEN_DIR / "records.jsonl")
+        .read_text(encoding="utf-8").splitlines() if line
+    ]
+    return {
+        "records": records,
+        "traces": json.loads(
+            (GOLDEN_DIR / "traces.json").read_text(encoding="utf-8")),
+        "summary": json.loads(
+            (GOLDEN_DIR / "summary.json").read_text(encoding="utf-8")),
+    }
+
+
+def _assert_matches(snap: dict, golden: dict, config: str) -> None:
+    for record, expected in zip(snap["records"], golden["records"]):
+        assert record == expected, (
+            f"[{config}] record drifted for {expected.get('domain')}")
+    assert len(snap["records"]) == len(golden["records"])
+    for domain, expected in golden["traces"].items():
+        assert snap["traces"][domain] == expected, (
+            f"[{config}] trace drifted for {domain}")
+    assert snap["traces"].keys() == golden["traces"].keys()
+    assert snap["summary"] == golden["summary"], f"[{config}] summary drifted"
+
+
+@pytest.fixture(scope="module")
+def golden(request, small_corpus):
+    missing = sorted(set(GOLDEN_DOMAINS) - set(small_corpus.domains))
+    assert not missing, f"golden domains absent from corpus: {missing}"
+    if request.config.getoption("--update-golden"):
+        result = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS)
+        _write_golden(_snapshot(result))
+    if not (GOLDEN_DIR / "records.jsonl").exists():
+        pytest.fail("tests/golden/ missing; regenerate with "
+                    "`pytest tests/test_golden_corpus.py --update-golden`")
+    return _load_golden()
+
+
+def test_golden_covers_every_outcome_class(golden):
+    statuses = set(golden["summary"]["statuses"].values())
+    assert statuses == {"annotated", "crawl-failed", "extract-failed"}
+    fallback = [r for r in golden["records"] if r.get("fallback_aspects")]
+    assert len(fallback) >= 2, "corpus must exercise the fallback path"
+    assert len(golden["records"]) == len(GOLDEN_DOMAINS)
+
+
+def test_serial_matches_golden(small_corpus, golden):
+    result = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS)
+    _assert_matches(_snapshot(result), golden, "serial")
+
+
+def test_parallel_matches_golden(small_corpus, golden):
+    result = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS,
+                          executor=ExecutorOptions(workers=3, shard_size=4))
+    _assert_matches(_snapshot(result), golden, "parallel w3/s4")
+
+
+def test_cached_cold_and_warm_match_golden(small_corpus, golden, tmp_path):
+    cold = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS,
+                        cache_dir=tmp_path / "c")
+    _assert_matches(_snapshot(cold), golden, "cached cold")
+    warm = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS,
+                        cache_dir=tmp_path / "c")
+    _assert_matches(_snapshot(warm), golden, "cached warm")
+    assert warm.stage_timings.counts()["cache.record.hit"] == \
+        len(GOLDEN_DOMAINS)
+
+
+def test_docindex_off_matches_golden(small_corpus, golden):
+    result = run_pipeline(small_corpus,
+                          PipelineOptions(use_docindex=False),
+                          domains=GOLDEN_DOMAINS)
+    _assert_matches(_snapshot(result), golden, "use_docindex=False")

@@ -57,6 +57,74 @@ class TestStageTimings:
         timings.add("annotate", 0.5)
         assert timings.summary() == "crawl 1.25s, annotate 0.50s"
 
+    def test_increment_counts_without_seconds(self):
+        timings = StageTimings()
+        timings.increment("cache.record.hit")
+        timings.increment("cache.record.hit", 4)
+        assert timings.count("cache.record.hit") == 5
+        assert timings.total("cache.record.hit") == 0.0
+        assert timings.as_dict() == {}  # no wall-clock attributed
+        assert timings.counts() == {"cache.record.hit": 5}
+        assert bool(timings)  # count-only accumulators are non-empty
+
+    def test_merge_heterogeneous_shards_keeps_all_categories(self):
+        """Regression: merging shards with disjoint category sets used to
+        drop count-only categories present in just one shard (the old
+        merge iterated timed names only)."""
+        # Shard A: timed stages only (e.g. every domain was a cache miss).
+        a = StageTimings()
+        a.add("crawl", 1.0)
+        a.add("annotate", 2.0)
+        # Shard B: count-only cache counters (every domain was a hit).
+        b = StageTimings()
+        b.increment("cache.record.hit", 8)
+        # Shard C: a mix, including a category A/B never saw.
+        c = StageTimings()
+        c.add("segment", 0.25)
+        c.increment("cache.record.hit", 2)
+        c.increment("cache.crawl.hit", 3)
+
+        merged = StageTimings()
+        for shard in (a, b, c):
+            merged.merge(shard)
+        assert merged.total("crawl") == 1.0
+        assert merged.total("annotate") == 2.0
+        assert merged.total("segment") == 0.25
+        assert merged.counts()["cache.record.hit"] == 10
+        assert merged.counts()["cache.crawl.hit"] == 3
+        # Counter categories never leak into the seconds table.
+        assert "cache.record.hit" not in merged.as_dict()
+
+    def test_merge_order_does_not_matter(self):
+        def build(*ops):
+            timings = StageTimings()
+            for kind, name, value in ops:
+                if kind == "add":
+                    timings.add(name, value)
+                else:
+                    timings.increment(name, value)
+            return timings
+
+        shards = [
+            [("add", "crawl", 1.0), ("inc", "cache.record.miss", 1)],
+            [("inc", "cache.record.hit", 5)],
+            [("add", "annotate", 0.5), ("inc", "cache.record.hit", 2)],
+        ]
+        forward = StageTimings()
+        for shard in shards:
+            forward.merge(build(*shard))
+        backward = StageTimings()
+        for shard in reversed(shards):
+            backward.merge(build(*shard))
+        assert forward.counts() == backward.counts()
+        assert forward.as_dict() == backward.as_dict()
+
+    def test_summary_renders_count_only_entries(self):
+        timings = StageTimings()
+        timings.add("crawl", 1.25)
+        timings.increment("cache.record.hit", 7)
+        assert timings.summary() == "crawl 1.25s, cache.record.hit ×7"
+
     def test_stage_scope_none_is_noop(self):
         with stage_scope(None, "anything"):
             pass
