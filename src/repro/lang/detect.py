@@ -6,6 +6,24 @@ discarded by pre-processing). A full langid model is unnecessary: privacy
 prose is stopword-dense, so counting high-frequency function words across a
 handful of languages separates them cleanly, and CJK content is detected by
 script.
+
+Detection sits on the pre-processing hot path (it runs over every retained
+page *and* over every window of the mixed-language scan), so the scoring
+pass is written to touch each token once:
+
+- ASCII text skips the non-Latin script scan entirely (the share is zero
+  by construction).
+- ASCII text too short to contain the detector's minimum token count
+  returns ``"und"`` before tokenizing at all.
+- Stopword hits for all languages are counted in a single pass over the
+  tokens via a reverse token → languages table, instead of one pass per
+  language.
+
+All three are pure fast paths: the returned language and scores are
+identical to the naive implementation. :class:`LanguageDetector` adds a
+bounded per-instance memo on top, for callers (one instance per executor
+shard) that re-detect identical text, e.g. the whole-document guess
+followed by a single-window mixed-language scan over the same lines.
 """
 
 from __future__ import annotations
@@ -37,7 +55,22 @@ _STOPWORDS: dict[str, frozenset[str]] = {
     ),
 }
 
+#: Reverse index: token → languages whose stopword list contains it, so one
+#: pass over the tokens scores every language at once.
+_STOPWORD_LANGS: dict[str, tuple[str, ...]] = {}
+for _lang, _words in _STOPWORDS.items():
+    for _word in _words:
+        _STOPWORD_LANGS[_word] = _STOPWORD_LANGS.get(_word, ()) + (_lang,)
+del _lang, _words, _word
+
 _MIN_TOKENS = 12
+
+#: Any ASCII string shorter than this cannot tokenize into ``_MIN_TOKENS``
+#: tokens (each token needs at least one character plus a separator), so
+#: detection can return "und" without tokenizing. ASCII-only: Unicode
+#: normalization may expand non-ASCII text (ligatures, fractions) and
+#: change the token count, so non-ASCII input takes the full path.
+_MIN_TEXT_CHARS = 2 * _MIN_TOKENS - 1
 
 
 @dataclass(frozen=True)
@@ -51,7 +84,8 @@ class LanguageGuess:
 
 def _script_share(text: str) -> float:
     """Share of characters in CJK/Cyrillic/Greek scripts."""
-    if not text:
+    if not text or text.isascii():
+        # ASCII has no non-Latin characters; skip the per-character scan.
         return 0.0
     non_latin = sum(
         1
@@ -70,15 +104,21 @@ def detect_language(text: str) -> LanguageGuess:
 
     Returns ``"und"`` (undetermined) for very short inputs.
     """
+    if len(text) < _MIN_TEXT_CHARS and text.isascii():
+        # Below the detector's minimum signal length and Latin-only:
+        # the stopword pass cannot reach _MIN_TOKENS tokens and the
+        # script check cannot fire, so the answer is always "und".
+        return LanguageGuess("und", 0.0, {})
     if _script_share(text) > 0.25:
         return LanguageGuess("cjk", 1.0, {"cjk": 1.0})
     tokens = tokenize(text)
     if len(tokens) < _MIN_TOKENS:
         return LanguageGuess("und", 0.0, {})
-    scores: dict[str, float] = {}
-    for lang, stopwords in _STOPWORDS.items():
-        hits = sum(1 for tok in tokens if tok in stopwords)
-        scores[lang] = hits / len(tokens)
+    counts = dict.fromkeys(_STOPWORDS, 0)
+    for token in tokens:
+        for lang in _STOPWORD_LANGS.get(token, ()):
+            counts[lang] += 1
+    scores = {lang: counts[lang] / len(tokens) for lang in _STOPWORDS}
     best = max(scores, key=scores.get)
     total = sum(scores.values())
     confidence = scores[best] / total if total else 0.0
@@ -92,6 +132,22 @@ def is_english(text: str) -> bool:
     return detect_language(text).language == "en"
 
 
+def _window_languages(text: str, window_lines: int, detect) -> set[str]:
+    """Languages confidently identified across line windows of ``text``."""
+    lines = [line for line in text.split("\n") if line.strip()]
+    if len(lines) < 2:
+        return set()
+    languages: set[str] = set()
+    for start in range(0, len(lines), window_lines):
+        window = "\n".join(lines[start : start + window_lines])
+        guess = detect(window)
+        if guess.language not in ("und", "cjk"):
+            languages.add(guess.language)
+        elif guess.language == "cjk":
+            languages.add("cjk")
+    return languages
+
+
 def is_mixed_language(text: str, window_lines: int = 40) -> bool:
     """Detect documents that combine substantial runs of several languages.
 
@@ -99,15 +155,49 @@ def is_mixed_language(text: str, window_lines: int = 40) -> bool:
     confidently disagree about the language — the signal used to discard
     the combined-language policies §4 mentions.
     """
-    lines = [line for line in text.split("\n") if line.strip()]
-    if len(lines) < 2:
-        return False
-    languages: set[str] = set()
-    for start in range(0, len(lines), window_lines):
-        window = "\n".join(lines[start : start + window_lines])
-        guess = detect_language(window)
-        if guess.language not in ("und", "cjk"):
-            languages.add(guess.language)
-        elif guess.language == "cjk":
-            languages.add("cjk")
-    return len(languages) > 1
+    return len(_window_languages(text, window_lines, detect_language)) > 1
+
+
+class LanguageDetector:
+    """Memoizing language detector for one pre-processing context.
+
+    The executor creates one instance per shard (and the serial runner one
+    per run); the memo therefore lives exactly as long as the shard, and
+    identical text — a page's whole-document guess followed by its
+    single-window mixed-language scan, or repeated boilerplate windows
+    across a shard's domains — is scored once.
+
+    The memo is bounded: once ``max_entries`` distinct texts are cached it
+    is cleared wholesale, which keeps worst-case memory flat without LRU
+    bookkeeping on the hot path. Detection is a pure function of the text,
+    so memoization can never change a result.
+    """
+
+    __slots__ = ("_memo", "_max_entries")
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._memo: dict[str, LanguageGuess] = {}
+        self._max_entries = max_entries
+
+    def detect(self, text: str) -> LanguageGuess:
+        guess = self._memo.get(text)
+        if guess is None:
+            if len(self._memo) >= self._max_entries:
+                self._memo.clear()
+            guess = detect_language(text)
+            self._memo[text] = guess
+        return guess
+
+    def is_mixed(self, text: str, window_lines: int = 40) -> bool:
+        return len(_window_languages(text, window_lines, self.detect)) > 1
+
+
+__all__ = [
+    "LanguageDetector",
+    "LanguageGuess",
+    "detect_language",
+    "is_english",
+    "is_mixed_language",
+]

@@ -374,6 +374,7 @@ class PipelineCache:
 
 def process_domain_cached(corpus, crawler, domain: str,
                           options: PipelineOptions, timings, cache, keys,
+                          detector=None,
                           ) -> tuple[DomainAnnotations, DomainTrace, int, int]:
     """Run (or replay) one domain through the pipeline with caching.
 
@@ -382,6 +383,8 @@ def process_domain_cached(corpus, crawler, domain: str,
     layers as soon as their stage completes. Fetch counters are either
     captured into the entry (fresh compute) or replayed into the live sink
     (hit), so aggregate ``fetch_stats`` match a fresh run either way.
+    ``detector`` (optional) shares memoized language-detection state with
+    the calling run or shard.
     """
     internet = corpus.internet
     record_key = keys.record_key(domain)
@@ -420,7 +423,8 @@ def process_domain_cached(corpus, crawler, domain: str,
             with timings.stage("crawl"):
                 crawl = crawler.crawl_domain(domain)
             trace, document, early = preprocess_domain(corpus, crawl,
-                                                       timings=timings)
+                                                       timings=timings,
+                                                       detector=detector)
         # The sink has already folded into the enclosing accounting
         # context; snapshot it for the cache entries.
         fetch = FetchStats().merge(sink)

@@ -8,30 +8,60 @@ This module exploits that:
 
 1. The domain list is partitioned into contiguous, order-preserving shards
    (:func:`make_shards`).
-2. Each shard runs on a :class:`~concurrent.futures.ThreadPoolExecutor`
-   worker with its **own** :class:`~repro.web.browser.Browser` /
-   :class:`~repro.crawler.crawler.PrivacyCrawler` and its own per-domain
-   chat models, so no mutable state is shared across workers. Fetch
-   counters are collected in per-worker sinks
-   (:meth:`~repro.web.net.SimulatedInternet.record_stats`) because the
-   internet-wide ledger is racy under concurrent increments.
+2. Each shard runs with its **own** :class:`~repro.web.browser.Browser` /
+   :class:`~repro.crawler.crawler.PrivacyCrawler`, its own per-domain chat
+   models, and its own memoized language detector, so no mutable state is
+   shared across workers.
 3. Shard results are merged back in original corpus order; token counters
    and per-worker :class:`~repro.web.net.FetchStats` are summed at join.
 
-The result is byte-identical to a serial :func:`~repro.pipeline.runner
-.run_pipeline` run for every worker count.
+Three interchangeable backends execute the shards
+(:attr:`ExecutorOptions.backend`):
+
+``"thread"``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`. Zero setup cost,
+    but pure-Python stages serialize on the GIL — threads only help when
+    fetch latency is simulated with real sleeps (``Browser(latency_scale=
+    ...)``), i.e. network-bound runs.
+
+``"process"``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`. Shards are shipped
+    as picklable :class:`ShardTask` descriptions; each worker process
+    reconstructs its corpus locally (inheriting the parent's fully built
+    corpus for free under the ``fork`` start method, rebuilding it
+    deterministically from :class:`~repro.corpus.build.CorpusConfig`
+    otherwise) and returns a picklable :class:`ShardOutcome`. Compute-bound
+    runs scale with cores because each worker owns a whole interpreter.
+    Fetch-counter deltas are folded back into the parent's
+    :class:`~repro.web.net.SimulatedInternet` ledger via
+    :meth:`~repro.web.net.SimulatedInternet.replay_stats`, so ledger
+    totals match serial runs exactly.
+
+``"serial"``
+    Runs the shards inline, in order, on the calling thread. Degenerate
+    but useful: the same sharded code path (including per-shard retries
+    and cache checkpoints) with zero concurrency.
+
+Every backend produces byte-identical records, traces, and aggregate stats
+for every worker count and shard size.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 
 from repro._util.profiling import StageTimings
-from repro.corpus.build import SyntheticCorpus
+from repro.corpus.build import CorpusConfig, SyntheticCorpus, build_corpus
 from repro.crawler.crawler import CrawlResult, PrivacyCrawler
+from repro.lang import LanguageDetector
 from repro.pipeline.records import DomainAnnotations
 from repro.pipeline.runner import (
     DomainTrace,
@@ -43,20 +73,39 @@ from repro.pipeline.runner import (
 from repro.web.browser import Browser
 from repro.web.net import FetchStats, SimulatedInternet
 
+#: Supported executor backends, in documentation order.
+BACKENDS = ("serial", "thread", "process")
+
+#: Test seam for the retry backoff sleep (monkeypatch to assert no worker
+#: slot ever blocks when ``retry_backoff == 0``).
+_sleep = time.sleep
+
 
 @dataclass(frozen=True)
 class ExecutorOptions:
     """Configuration for the sharded executor."""
 
-    #: Thread-pool size. 1 degenerates to a (still sharded) serial run.
+    #: Pool size. 1 degenerates to a (still sharded) serial run.
     workers: int = 4
     #: Domains per shard. Small shards balance load across workers; large
-    #: shards amortise per-shard setup (browser, stats sink).
+    #: shards amortise per-shard setup (browser, stats sink, and — for the
+    #: process backend — task pickling).
     shard_size: int = 8
     #: How many times a crashed shard is re-run before the error propagates.
     max_retries: int = 2
     #: Seconds slept before the first shard retry; doubles per retry.
+    #: Tradeoff: the sleep happens *on the worker slot* (thread or
+    #: process), so a backing-off shard blocks that slot for the whole
+    #: delay. That is deliberate — a crashing shard usually indicates a
+    #: systemic problem where hammering retries makes things worse — but
+    #: tests and latency-sensitive callers should pass ``0``, which skips
+    #: the sleep entirely and retries immediately.
     retry_backoff: float = 0.05
+    #: Execution backend: ``"thread"`` (default; best for network-bound
+    #: runs where fetch latency is simulated with real sleeps),
+    #: ``"process"`` (compute-bound runs scale with cores), or
+    #: ``"serial"`` (inline, no concurrency).
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -67,11 +116,22 @@ class ExecutorOptions:
             raise ValueError("ExecutorOptions.max_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("ExecutorOptions.retry_backoff must be >= 0")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"ExecutorOptions.backend must be one of {BACKENDS}, "
+                f"got {self.backend!r}")
 
 
 @dataclass
 class ShardOutcome:
-    """Everything one shard produced, in shard-local domain order."""
+    """Everything one shard produced, in shard-local domain order.
+
+    Every field is picklable by construction — this is the return channel
+    of the process backend. (``DomainAnnotations``/``DomainTrace`` are
+    plain dataclasses; ``StageTimings`` holds two dicts; ``FetchStats`` is
+    counters only. Nothing here may ever grow a lock, an open file, or a
+    reference back into the corpus/model graph.)
+    """
 
     index: int
     domains: list[str]
@@ -84,6 +144,31 @@ class ShardOutcome:
     timings: StageTimings = field(default_factory=StageTimings)
     #: 1 on first-try success; >1 when shard retries were needed.
     attempts: int = 1
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable description of one shard for the process backend.
+
+    A worker process needs nothing beyond this task to produce the shard's
+    :class:`ShardOutcome`: the corpus is reconstructed locally from
+    ``corpus_config`` (deterministic — :func:`~repro.corpus.build
+    .build_corpus` is a pure function of its config), per-domain models
+    are re-seeded from ``options``, and the cache store (when
+    ``cache_dir`` is set) is re-opened from its directory. Under the
+    ``fork`` start method the reconstruction is skipped: the worker
+    inherits the parent's fully built corpus snapshot (see
+    :data:`_FORK_CORPUS`), which also preserves any in-memory corpus
+    mutations a caller made after :func:`build_corpus`.
+    """
+
+    corpus_config: CorpusConfig
+    index: int
+    domains: tuple[str, ...]
+    options: PipelineOptions
+    cache_dir: str | None = None
+    max_retries: int = 0
+    retry_backoff: float = 0.0
 
 
 def make_shards(domains: list[str], shard_size: int) -> list[list[str]]:
@@ -110,6 +195,7 @@ def run_shard(corpus: SyntheticCorpus, index: int, domains: list[str],
     """
     outcome = ShardOutcome(index=index, domains=list(domains))
     crawler = PrivacyCrawler(Browser(internet=corpus.internet))
+    detector = LanguageDetector()
     if cache is not None:
         from repro.pipeline.cache import process_domain_cached
     with corpus.internet.record_stats() as stats:
@@ -117,7 +203,7 @@ def run_shard(corpus: SyntheticCorpus, index: int, domains: list[str],
             if cache is not None:
                 record, trace, ptok, ctok = process_domain_cached(
                     corpus, crawler, domain, options, outcome.timings,
-                    cache, keys)
+                    cache, keys, detector=detector)
                 outcome.prompt_tokens += ptok
                 outcome.completion_tokens += ctok
             else:
@@ -125,7 +211,8 @@ def run_shard(corpus: SyntheticCorpus, index: int, domains: list[str],
                 with outcome.timings.stage("crawl"):
                     crawl = crawler.crawl_domain(domain)
                 record, trace = process_crawl(corpus, crawl, model, options,
-                                              timings=outcome.timings)
+                                              timings=outcome.timings,
+                                              detector=detector)
                 outcome.prompt_tokens += model.usage.prompt_tokens
                 outcome.completion_tokens += model.usage.completion_tokens
             outcome.records.append(record)
@@ -138,12 +225,149 @@ def run_shard(corpus: SyntheticCorpus, index: int, domains: list[str],
     return outcome
 
 
+def _run_with_retries(run, max_retries: int, retry_backoff: float,
+                      ) -> ShardOutcome:
+    """Re-run a crashing shard up to ``max_retries`` times.
+
+    The backoff sleep (when ``retry_backoff > 0``) happens right here on
+    the executor slot — see :attr:`ExecutorOptions.retry_backoff` for the
+    tradeoff. With ``retry_backoff == 0`` the retry is immediate and the
+    slot never blocks.
+    """
+    delay = retry_backoff
+    for attempt in range(max_retries + 1):
+        try:
+            outcome = run()
+        except Exception:
+            if attempt == max_retries:
+                raise
+            if delay > 0:
+                _sleep(delay)
+            delay *= 2
+        else:
+            outcome.attempts = attempt + 1
+            return outcome
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+# -- process-backend worker state ---------------------------------------------
+#
+# A worker process resolves its corpus in two steps:
+#
+# 1. The fork fast path: ``_FORK_CORPUS`` is set by the parent immediately
+#    before the pool is created, so children forked from it inherit the
+#    fully built corpus (copy-on-write, no pickling, no rebuild) — and any
+#    in-memory mutations made after build_corpus().
+# 2. The reconstruction path: under a ``spawn``/``forkserver`` start
+#    method (or when the task's config doesn't match the inherited
+#    corpus), the worker rebuilds the corpus from the task's CorpusConfig.
+#    build_corpus() is deterministic, so the rebuilt corpus is
+#    byte-equivalent to the parent's.
+#
+# Both paths memoize per process: a worker serving many shards of one run
+# pays the (re)construction at most once.
+
+_FORK_CORPUS: SyntheticCorpus | None = None
+_WORKER_CORPUS: SyntheticCorpus | None = None
+_WORKER_KEYS: tuple | None = None  # (corpus id, options, cache_dir, CacheKeys)
+
+
+def _worker_corpus(config: CorpusConfig) -> SyntheticCorpus:
+    global _WORKER_CORPUS
+    inherited = _FORK_CORPUS
+    if inherited is not None and inherited.config == config:
+        return inherited
+    cached = _WORKER_CORPUS
+    if cached is None or cached.config != config:
+        cached = build_corpus(config)
+        _WORKER_CORPUS = cached
+    return cached
+
+
+def _worker_cache_keys(corpus: SyntheticCorpus, options: PipelineOptions,
+                       cache_dir: str):
+    """Per-process memo for the (cache, keys) pair of one run."""
+    global _WORKER_KEYS
+    from repro.pipeline.cache import CacheKeys, PipelineCache
+
+    cached = _WORKER_KEYS
+    if (cached is None or cached[0] is not corpus or cached[1] != options
+            or cached[2] != cache_dir):
+        cached = (corpus, options, cache_dir, PipelineCache(cache_dir),
+                  CacheKeys(corpus, options))
+        _WORKER_KEYS = cached
+    return cached[3], cached[4]
+
+
+def run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Process-pool entry point: resolve worker-local state, run the shard.
+
+    Must stay a top-level function (pickled by reference). Retries happen
+    inside the worker so a flaky shard doesn't bounce through the parent.
+    """
+    corpus = _worker_corpus(task.corpus_config)
+    cache = keys = None
+    if task.cache_dir is not None:
+        cache, keys = _worker_cache_keys(corpus, task.options, task.cache_dir)
+    return _run_with_retries(
+        lambda: run_shard(corpus, task.index, list(task.domains),
+                          task.options, cache=cache, keys=keys),
+        task.max_retries, task.retry_backoff)
+
+
+def _process_pool_context():
+    """Prefer ``fork`` (workers inherit the built corpus) when available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_shards_process(corpus: SyntheticCorpus, options: PipelineOptions,
+                        shards: list[list[str]], executor: ExecutorOptions,
+                        relay: "_ProgressRelay",
+                        cache=None) -> list[ShardOutcome]:
+    """Run the shards on a process pool and restore ledger parity.
+
+    Worker processes fetch against their *own* corpus copy, so the
+    parent's :class:`SimulatedInternet` ledger never sees those requests;
+    each returned shard's counter delta is folded back in via
+    :meth:`~repro.web.net.SimulatedInternet.replay_stats`, which makes
+    ``internet.stats`` match a serial run exactly.
+    """
+    global _FORK_CORPUS
+    cache_dir = str(cache.root) if cache is not None else None
+    tasks = [
+        ShardTask(corpus_config=corpus.config, index=index,
+                  domains=tuple(shard), options=options, cache_dir=cache_dir,
+                  max_retries=executor.max_retries,
+                  retry_backoff=executor.retry_backoff)
+        for index, shard in enumerate(shards)
+    ]
+    outcomes: list[ShardOutcome] = []
+    _FORK_CORPUS = corpus
+    try:
+        with ProcessPoolExecutor(max_workers=executor.workers,
+                                 mp_context=_process_pool_context()) as pool:
+            futures = [pool.submit(run_shard_task, task) for task in tasks]
+            for future in as_completed(futures):
+                outcome = future.result()
+                corpus.internet.replay_stats(outcome.fetch_stats)
+                for domain in outcome.domains:
+                    relay(domain)
+                outcomes.append(outcome)
+    finally:
+        _FORK_CORPUS = None
+    return outcomes
+
+
 class _ProgressRelay:
     """Serialises worker progress reports into a user callback.
 
     Reports each domain at most once (shard retries re-process domains),
     with a monotonically increasing ``done`` count — safe to call from any
-    worker thread.
+    worker thread. The process backend reports at shard completion (the
+    parent can't observe per-domain progress inside a worker process);
+    thread and serial backends report per domain.
     """
 
     def __init__(self, progress, total: int):
@@ -170,17 +394,21 @@ def run_parallel_pipeline(corpus: SyntheticCorpus,
                           progress=None,
                           cache=None,
                           cache_dir=None) -> PipelineResult:
-    """Run the pipeline on the sharded thread-pool executor.
+    """Run the pipeline on the sharded executor.
 
     Output (records, traces, token totals) is byte-identical to the serial
     :func:`~repro.pipeline.runner.run_pipeline` for the same corpus and
-    options, independent of ``executor.workers`` and ``executor.shard_size``.
+    options, independent of ``executor.workers``, ``executor.shard_size``,
+    and ``executor.backend``.
 
     ``cache``/``cache_dir`` enable the content-addressed store (see
     :mod:`repro.pipeline.cache`): cache keys are computed once and shared
-    read-only across workers, each shard checkpoints completed domains
-    atomically, and the merge tolerates partial shards — a killed run
-    resumes per-domain, not per-shard.
+    read-only across workers (recomputed per process on the process
+    backend), each shard checkpoints completed domains atomically, and the
+    merge tolerates partial shards — a killed run resumes per-domain, not
+    per-shard. The store's temp-file + ``os.replace`` writes are atomic
+    across *processes* as well as threads, so concurrent worker processes
+    never corrupt entries.
     """
     options = options or PipelineOptions()
     executor = executor or ExecutorOptions()
@@ -192,32 +420,31 @@ def run_parallel_pipeline(corpus: SyntheticCorpus,
         from repro.pipeline.cache import PipelineCache
 
         cache = PipelineCache(cache_dir)
+
+    if executor.backend == "process":
+        outcomes = _run_shards_process(corpus, options, shards, executor,
+                                       relay, cache=cache)
+        return merge_outcomes(outcomes, options)
+
     if cache is not None:
         from repro.pipeline.cache import CacheKeys
 
         keys = CacheKeys(corpus, options)
 
     def run_with_retries(index: int, shard: list[str]) -> ShardOutcome:
-        delay = executor.retry_backoff
-        for attempt in range(executor.max_retries + 1):
-            try:
-                outcome = run_shard(corpus, index, shard, options, relay,
-                                    cache=cache, keys=keys)
-            except Exception:
-                if attempt == executor.max_retries:
-                    raise
-                if delay > 0:
-                    time.sleep(delay)
-                delay *= 2
-            else:
-                outcome.attempts = attempt + 1
-                return outcome
-        raise AssertionError("unreachable")  # pragma: no cover
+        return _run_with_retries(
+            lambda: run_shard(corpus, index, shard, options, relay,
+                              cache=cache, keys=keys),
+            executor.max_retries, executor.retry_backoff)
 
-    with ThreadPoolExecutor(max_workers=executor.workers) as pool:
-        futures = [pool.submit(run_with_retries, index, shard)
-                   for index, shard in enumerate(shards)]
-        outcomes = [future.result() for future in futures]
+    if executor.backend == "serial":
+        outcomes = [run_with_retries(index, shard)
+                    for index, shard in enumerate(shards)]
+    else:
+        with ThreadPoolExecutor(max_workers=executor.workers) as pool:
+            futures = [pool.submit(run_with_retries, index, shard)
+                       for index, shard in enumerate(shards)]
+            outcomes = [future.result() for future in futures]
 
     return merge_outcomes(outcomes, options)
 
@@ -246,10 +473,18 @@ def crawl_domains(internet: SimulatedInternet, domains: list[str],
     browser per shard; extra keyword arguments configure each worker's
     :class:`~repro.web.browser.Browser` (e.g. ``latency_scale`` to model
     network-bound fetches). Results come back keyed in input order.
+
+    Duplicate domains in the input are crawled once: the result is keyed
+    by domain, so a second occurrence could only ever collapse into the
+    first anyway — deduplicating up front (keeping first-occurrence order)
+    means progress totals and shard work match the returned dict instead
+    of silently over-counting. Thread backend only: a crawl-only call has
+    no ``CorpusConfig`` to rebuild from, so there is no picklable task
+    description for worker processes.
     """
     executor = executor or ExecutorOptions()
-    domains = list(domains)
-    relay = _ProgressRelay(progress, len(domains))
+    ordered = list(dict.fromkeys(domains))
+    relay = _ProgressRelay(progress, len(ordered))
 
     def run(shard: list[str]) -> list[tuple[str, CrawlResult]]:
         crawler = PrivacyCrawler(
@@ -261,19 +496,22 @@ def crawl_domains(internet: SimulatedInternet, domains: list[str],
                 relay(domain)
             return out
 
-    shards = make_shards(domains, executor.shard_size)
+    shards = make_shards(ordered, executor.shard_size)
     with ThreadPoolExecutor(max_workers=executor.workers) as pool:
         chunks = list(pool.map(run, shards))
     by_domain = {domain: crawl for chunk in chunks for domain, crawl in chunk}
-    return {domain: by_domain[domain] for domain in domains}
+    return {domain: by_domain[domain] for domain in ordered}
 
 
 __all__ = [
+    "BACKENDS",
     "ExecutorOptions",
     "ShardOutcome",
+    "ShardTask",
     "crawl_domains",
     "make_shards",
     "merge_outcomes",
     "run_parallel_pipeline",
     "run_shard",
+    "run_shard_task",
 ]

@@ -5,11 +5,21 @@ the text the annotation stages work on:
 
 1. Drop non-HTML documents (PDF policies are unsupported, a §4 failure
    class).
-2. Render each potential privacy page to a line-numbered text document.
-3. Remove duplicate pages (same final URL or identical rendered text).
-4. Remove non-English pages and discard documents mixing languages.
-5. Concatenate the surviving pages into one combined, globally numbered
+2. Drop pages whose raw HTML bytes are identical to an already-processed
+   page, *before* paying for rendering or language detection (tier-0
+   dedupe; identical bytes render to identical text, so the outcome is
+   the same ``duplicate-content`` drop the rendered-text tier would have
+   produced).
+3. Render each surviving page to a line-numbered text document.
+4. Remove duplicate pages (same final URL or identical rendered text).
+5. Remove non-English pages and discard documents mixing languages.
+6. Concatenate the surviving pages into one combined, globally numbered
    document for segmentation.
+
+Language detection goes through a :class:`~repro.lang.LanguageDetector`
+whose memo the caller scopes to its execution context (one per executor
+shard, one per serial run), so repeated text — e.g. a whole-document guess
+followed by a single-window mixed-language scan — is scored once.
 """
 
 from __future__ import annotations
@@ -19,7 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.crawler.crawler import CrawlResult, PageRecord
 from repro.htmlkit import TextDocument, TextLine, html_to_document
-from repro.lang import detect_language, is_mixed_language
+from repro.lang import LanguageDetector
 
 
 @dataclass
@@ -48,16 +58,34 @@ class PreprocessResult:
         return len(self.pages)
 
 
-def preprocess_crawl(crawl: CrawlResult) -> PreprocessResult:
-    """Run the full §3.1 pre-processing for one domain."""
+def preprocess_crawl(crawl: CrawlResult,
+                     detector: LanguageDetector | None = None,
+                     ) -> PreprocessResult:
+    """Run the full §3.1 pre-processing for one domain.
+
+    ``detector`` memoizes language detection across calls; callers that
+    process many domains (the executor's shards, the serial runner) pass
+    one instance so repeated text is scored once. Omitting it creates a
+    private instance — the output is identical either way.
+    """
+    detector = detector if detector is not None else LanguageDetector()
     result = PreprocessResult(domain=crawl.domain)
     seen_urls: set[str] = set()
+    seen_raw: set[str] = set()
     seen_hashes: set[str] = set()
 
     for page in crawl.potential_privacy_pages():
-        reason = _drop_reason(page, seen_urls, seen_hashes)
+        reason = _drop_reason(page, seen_urls)
         if reason is not None:
             result.dropped.append((page.requested_url, reason))
+            continue
+        raw_digest = hashlib.sha256(page.html.encode("utf-8")).hexdigest()
+        if raw_digest in seen_raw:
+            # Byte-identical to a page that already went through the
+            # rendered-text tier: identical bytes render identically, so
+            # this is the same duplicate-content outcome without paying
+            # html_to_document + detect_language again.
+            result.dropped.append((page.requested_url, "duplicate-content"))
             continue
         document = html_to_document(page.html)
         text = document.text
@@ -66,12 +94,13 @@ def preprocess_crawl(crawl: CrawlResult) -> PreprocessResult:
             result.dropped.append((page.requested_url, "duplicate-content"))
             continue
         seen_hashes.add(digest)
+        seen_raw.add(raw_digest)
         seen_urls.add(page.final_url)
-        guess = detect_language(text)
+        guess = detector.detect(text)
         if guess.language not in ("en", "und"):
             result.dropped.append((page.requested_url, "non-english"))
             continue
-        if is_mixed_language(text):
+        if detector.is_mixed(text):
             result.dropped.append((page.requested_url, "mixed-language"))
             continue
         result.pages.append(PreprocessedPage(url=page.final_url,
@@ -84,8 +113,7 @@ def preprocess_crawl(crawl: CrawlResult) -> PreprocessResult:
     return result
 
 
-def _drop_reason(page: PageRecord, seen_urls: set[str],
-                 seen_hashes: set[str]) -> str | None:
+def _drop_reason(page: PageRecord, seen_urls: set[str]) -> str | None:
     if page.is_pdf:
         return "pdf-unsupported"
     if not page.content_type.startswith("text/html"):

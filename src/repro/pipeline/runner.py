@@ -24,6 +24,7 @@ from repro.pipeline.annotate import (
     annotate_rights,
     annotate_types,
 )
+from repro.lang import LanguageDetector
 from repro.pipeline.docindex import DocumentIndex, bind_model_index
 from repro.pipeline.preprocess import preprocess_crawl
 from repro.pipeline.records import DomainAnnotations
@@ -239,13 +240,15 @@ def run_pipeline(corpus: SyntheticCorpus,
     records: list[DomainAnnotations] = []
     traces: dict[str, DomainTrace] = {}
     timings = StageTimings()
+    detector = LanguageDetector()
     prompt_tokens = 0
     completion_tokens = 0
     with corpus.internet.record_stats() as fetch_stats:
         for index, domain in enumerate(domains):
             if cache is not None:
                 record, trace, ptok, ctok = process_domain_cached(
-                    corpus, crawler, domain, options, timings, cache, keys)
+                    corpus, crawler, domain, options, timings, cache, keys,
+                    detector=detector)
                 prompt_tokens += ptok
                 completion_tokens += ctok
             else:
@@ -254,7 +257,8 @@ def run_pipeline(corpus: SyntheticCorpus,
                 with timings.stage("crawl"):
                     crawl = crawler.crawl_domain(domain)
                 record, trace = process_crawl(corpus, crawl, domain_model,
-                                              options, timings=timings)
+                                              options, timings=timings,
+                                              detector=detector)
                 if model is None:
                     prompt_tokens += domain_model.usage.prompt_tokens
                     completion_tokens += domain_model.usage.completion_tokens
@@ -280,15 +284,18 @@ def process_crawl(corpus: SyntheticCorpus, crawl: CrawlResult,
                   model: ChatModel,
                   options: PipelineOptions,
                   timings: StageTimings | None = None,
+                  detector: LanguageDetector | None = None,
                   ) -> tuple[DomainAnnotations, DomainTrace]:
     """Process one domain's crawl into an annotation record + trace.
 
     ``timings`` (optional) accumulates per-stage wall clock for the
-    preprocess/segment/annotate stages.
+    preprocess/segment/annotate stages. ``detector`` (optional) shares
+    memoized language-detection state across a run or shard.
     """
     domain = crawl.domain
     sector = corpus.sector_of.get(domain, "??")
-    trace, document, early = preprocess_domain(corpus, crawl, timings=timings)
+    trace, document, early = preprocess_domain(corpus, crawl, timings=timings,
+                                               detector=detector)
     if early is not None:
         return early, trace
     record = annotate_document(domain, sector, document, model, options,
@@ -298,6 +305,7 @@ def process_crawl(corpus: SyntheticCorpus, crawl: CrawlResult,
 
 def preprocess_domain(corpus: SyntheticCorpus, crawl: CrawlResult,
                       timings: StageTimings | None = None,
+                      detector: LanguageDetector | None = None,
                       ) -> tuple[DomainTrace, "TextDocument | None",
                                  DomainAnnotations | None]:
     """The lexicon-independent front half of :func:`process_crawl`.
@@ -325,7 +333,7 @@ def preprocess_domain(corpus: SyntheticCorpus, crawl: CrawlResult,
                                               status="crawl-failed")
 
     with stage_scope(timings, "preprocess"):
-        pre = preprocess_crawl(crawl)
+        pre = preprocess_crawl(crawl, detector=detector)
     trace.retained_pages = pre.page_count()
     trace.drop_reasons = [reason for _, reason in pre.dropped]
     if not pre.ok:

@@ -84,6 +84,21 @@ class SimulatedInternet:
     # sink is merged into the enclosing sink — or, at the outermost level,
     # into ``stats`` under a lock — when the context exits.
 
+    def __getstate__(self) -> dict:
+        """Pickle support: locks and thread-local sink stacks are
+        per-process runtime state, not data — drop them and rebuild fresh
+        on unpickle (the shard-task protocol ships corpora to worker
+        processes, see ``repro.pipeline.parallel``)."""
+        state = self.__dict__.copy()
+        state.pop("_stats_lock", None)
+        state.pop("_local", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
+        self._local = threading.local()
+
     @contextmanager
     def record_stats(self) -> Iterator[FetchStats]:
         """Collect this thread's fetch counters into a private sink.

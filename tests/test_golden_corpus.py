@@ -72,6 +72,8 @@ def _write_golden(snap: dict) -> None:
         "domains": GOLDEN_DOMAINS,
         "configurations_checked": [
             "serial", "parallel(workers=3, shard_size=4)",
+            "backend matrix: {serial,thread,process} x workers {1,2,4}",
+            "cached cold+warm per backend",
             "cached cold", "cached warm", "use_docindex=False",
         ],
     }
@@ -145,6 +147,33 @@ def test_parallel_matches_golden(small_corpus, golden):
     result = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS,
                           executor=ExecutorOptions(workers=3, shard_size=4))
     _assert_matches(_snapshot(result), golden, "parallel w3/s4")
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_backend_matrix_matches_golden(small_corpus, golden, backend,
+                                       workers):
+    """Acceptance bar for the executor backends: byte-identical records
+    for every backend × worker count."""
+    result = run_pipeline(
+        small_corpus, OPTIONS, domains=GOLDEN_DOMAINS,
+        executor=ExecutorOptions(workers=workers, shard_size=4,
+                                 backend=backend))
+    _assert_matches(_snapshot(result), golden, f"{backend} w{workers}")
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_cached_warm_matches_golden_per_backend(small_corpus, golden,
+                                                tmp_path, backend):
+    executor = ExecutorOptions(workers=2, shard_size=4, backend=backend)
+    cold = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS,
+                        executor=executor, cache_dir=tmp_path / "c")
+    _assert_matches(_snapshot(cold), golden, f"{backend} cached cold")
+    warm = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS,
+                        executor=executor, cache_dir=tmp_path / "c")
+    _assert_matches(_snapshot(warm), golden, f"{backend} cached warm")
+    assert warm.stage_timings.counts()["cache.record.hit"] == \
+        len(GOLDEN_DOMAINS)
 
 
 def test_cached_cold_and_warm_match_golden(small_corpus, golden, tmp_path):

@@ -106,6 +106,7 @@ class TestSharding:
     @pytest.mark.parametrize("kwargs", [
         {"workers": 0}, {"shard_size": 0},
         {"max_retries": -1}, {"retry_backoff": -0.1},
+        {"backend": "greenlet"}, {"backend": ""},
     ])
     def test_executor_options_validated(self, kwargs):
         with pytest.raises(ValueError):
@@ -139,6 +140,129 @@ class TestProgressAndGuards:
         assert domain_model_seed(3, "a.com") == domain_model_seed(3, "a.com")
         assert domain_model_seed(3, "a.com") != domain_model_seed(3, "b.com")
         assert domain_model_seed(3, "a.com") != domain_model_seed(4, "a.com")
+
+
+class TestCrawlDomainsDedupe:
+    """Duplicate input domains must not collapse the progress/result
+    accounting (the result dict is keyed by domain, so a second occurrence
+    could only ever shadow the first)."""
+
+    def test_duplicates_crawled_once_keeping_first_occurrence_order(self,
+                                                                    corpus):
+        from repro.pipeline import crawl_domains
+
+        unique = corpus.domains[:4]
+        doubled = unique + unique[::-1] + unique[:2]
+        calls = []
+        results = crawl_domains(
+            corpus.internet, doubled,
+            executor=ExecutorOptions(workers=2, shard_size=2),
+            progress=lambda done, total, domain:
+            calls.append((done, total, domain)))
+        assert list(results) == unique
+        # Progress totals reflect the unique count, not the raw input.
+        assert all(total == len(unique) for _, total, _ in calls)
+        assert sorted(done for done, _, _ in calls) == \
+            list(range(1, len(unique) + 1))
+        assert {domain for _, _, domain in calls} == set(unique)
+
+    def test_duplicated_input_matches_unique_input(self, corpus):
+        from repro.pipeline import crawl_domains
+
+        unique = corpus.domains[:4]
+        plain = crawl_domains(corpus.internet, unique,
+                              executor=ExecutorOptions(workers=2,
+                                                       shard_size=2))
+        doubled = crawl_domains(corpus.internet, unique * 3,
+                                executor=ExecutorOptions(workers=2,
+                                                         shard_size=2))
+        assert list(doubled) == list(plain)
+        for domain in unique:
+            assert doubled[domain].navigations == plain[domain].navigations
+            assert [p.requested_url for p in doubled[domain].pages] == \
+                [p.requested_url for p in plain[domain].pages]
+
+    def test_duplicates_issue_no_extra_requests(self, corpus):
+        from repro.pipeline import crawl_domains
+
+        unique = corpus.domains[4:8]
+        before = corpus.internet.stats.requests
+        crawl_domains(corpus.internet, unique,
+                      executor=ExecutorOptions(workers=2, shard_size=2))
+        after_unique = corpus.internet.stats.requests
+        crawl_domains(corpus.internet, unique * 4,
+                      executor=ExecutorOptions(workers=2, shard_size=2))
+        after_doubled = corpus.internet.stats.requests
+        assert after_doubled - after_unique == after_unique - before
+
+
+class TestRetryBackoff:
+    def test_zero_backoff_never_blocks_a_worker_slot(self, corpus,
+                                                     monkeypatch):
+        """A crashing-then-succeeding shard with retry_backoff=0 must retry
+        immediately: any call to the backoff sleep would park the worker
+        slot (serializing the pool), so the test makes sleeping fatal."""
+        import repro.pipeline.parallel as par
+
+        real_run_shard = par.run_shard
+        crashed = []
+
+        def flaky(corpus_, index, domains, options, progress=None,
+                  cache=None, keys=None):
+            if index == 0 and not crashed:
+                crashed.append(index)
+                raise RuntimeError("transient shard crash")
+            return real_run_shard(corpus_, index, domains, options, progress,
+                                  cache=cache, keys=keys)
+
+        def no_sleep(seconds):
+            raise AssertionError(
+                f"retry slept {seconds}s despite retry_backoff=0")
+
+        monkeypatch.setattr(par, "run_shard", flaky)
+        monkeypatch.setattr(par, "_sleep", no_sleep)
+        result = run_pipeline(
+            corpus, PipelineOptions(model_seed=3),
+            executor=ExecutorOptions(workers=2, max_retries=2,
+                                     retry_backoff=0.0))
+        assert crashed == [0], "the injected crash never fired"
+        assert [r.domain for r in result.records] == corpus.domains
+
+    def test_backoff_schedule_doubles_per_retry(self, monkeypatch):
+        import repro.pipeline.parallel as par
+
+        delays = []
+        monkeypatch.setattr(par, "_sleep", delays.append)
+        calls = []
+
+        def run():
+            calls.append(None)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return par.ShardOutcome(index=0, domains=[])
+
+        outcome = par._run_with_retries(run, max_retries=2,
+                                        retry_backoff=0.2)
+        assert outcome.attempts == 3
+        assert delays == [0.2, 0.4]
+
+    def test_zero_backoff_schedule_skips_sleep_entirely(self, monkeypatch):
+        import repro.pipeline.parallel as par
+
+        delays = []
+        monkeypatch.setattr(par, "_sleep", delays.append)
+        calls = []
+
+        def run():
+            calls.append(None)
+            if len(calls) < 2:
+                raise RuntimeError("transient")
+            return par.ShardOutcome(index=0, domains=[])
+
+        outcome = par._run_with_retries(run, max_retries=1,
+                                        retry_backoff=0.0)
+        assert outcome.attempts == 2
+        assert delays == []
 
 
 class TestBatchApi:
