@@ -30,7 +30,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import re
 import time
 import unicodedata
@@ -41,6 +40,7 @@ import repro.chatbot.aspects as aspects_mod
 import repro.chatbot.engine as engine_mod
 import repro.chatbot.practices as practices_mod
 import repro.pipeline.verify as verify_mod
+from repro._util import write_json_atomic
 from repro.corpus import CorpusConfig, build_corpus
 from repro.pipeline import PipelineOptions, run_pipeline
 from repro.pipeline.verify import HallucinationVerifier
@@ -285,8 +285,7 @@ def main(argv=None) -> int:
             for name, seconds in indexed.stage_timings.as_dict().items()
         },
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n",
-                        encoding="utf-8")
+    write_json_atomic(args.out, payload)
 
     print(f"annotation stage: serial {serial_s:.2f}s -> "
           f"indexed {indexed_s:.2f}s ({speedup:.2f}x)")

@@ -32,11 +32,11 @@ from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import tempfile
 import time
 from pathlib import Path
 
+from repro._util import write_json_atomic
 from repro.corpus import CorpusConfig, build_corpus
 from repro.pipeline import PipelineOptions, run_pipeline
 
@@ -152,8 +152,7 @@ def main(argv=None) -> int:
                           if name.startswith("cache.")},
         "records_sha256": warm_sha,
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n",
-                        encoding="utf-8")
+    write_json_atomic(args.out, payload)
 
     print(f"cold {cold_s:.2f}s -> warm {warm_s:.2f}s ({speedup:.1f}x)")
     print(f"wrote {args.out}")

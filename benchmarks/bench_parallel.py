@@ -33,11 +33,11 @@ from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import os
 import time
 from pathlib import Path
 
+from repro._util import write_json_atomic
 import repro.pipeline.runner as runner_mod
 from repro.corpus import CorpusConfig, build_corpus
 from repro.lang.detect import _MIN_TOKENS, _STOPWORDS, LanguageGuess
@@ -254,8 +254,7 @@ def main(argv=None) -> int:
             for name, seconds in serial.stage_timings.as_dict().items()
         },
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n",
-                        encoding="utf-8")
+    write_json_atomic(args.out, payload)
 
     print(f"preprocess stage: legacy {preprocess_legacy_s:.2f}s -> "
           f"shipped {preprocess_s:.2f}s ({pre_speedup:.2f}x)")

@@ -1,5 +1,10 @@
 """Internal utilities shared across repro subsystems."""
 
+from repro._util.artifacts import (
+    canonical_json,
+    content_digest,
+    write_json_atomic,
+)
 from repro._util.profiling import StageTimings, stage_scope
 from repro._util.rng import SeedSequence, derive_rng, stable_hash
 from repro._util.textproc import (
@@ -11,6 +16,9 @@ from repro._util.textproc import (
 )
 
 __all__ = [
+    "canonical_json",
+    "content_digest",
+    "write_json_atomic",
     "StageTimings",
     "stage_scope",
     "SeedSequence",

@@ -1,0 +1,67 @@
+"""Canonical JSON rendering, content digests, and atomic artifact writes.
+
+Three primitives shared by the pipeline cache, the serving snapshot
+format, and every benchmark script that leaves a ``BENCH_*.json``
+artifact behind:
+
+- :func:`canonical_json` — a byte-stable JSON rendering (sorted keys, no
+  whitespace), so two structurally equal payloads always serialize to the
+  same bytes regardless of dict insertion order.
+- :func:`content_digest` — SHA-256 over the canonical rendering; the
+  fingerprint primitive behind cache keys, snapshot ids, and query cache
+  keys.
+- :func:`write_json_atomic` — temp-file + ``os.replace`` JSON writes, so
+  a reader (or a crashed writer) never observes a torn artifact. This is
+  the same durability pattern the pipeline cache store uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+
+def canonical_json(payload) -> str:
+    """Render ``payload`` as byte-stable canonical JSON.
+
+    Keys are sorted and separators carry no whitespace, so the output is
+    independent of dict insertion order and safe to hash or byte-compare.
+    """
+    return json.dumps(payload, ensure_ascii=False, sort_keys=True,
+                      separators=(",", ":"))
+
+
+def content_digest(payload) -> str:
+    """SHA-256 hex digest of ``payload``'s canonical JSON rendering."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def write_json_atomic(path: str | Path, payload, *, indent: int | None = 2,
+                      sort_keys: bool = False) -> Path:
+    """Write ``payload`` as JSON to ``path`` atomically.
+
+    The document goes to a same-directory temp file first and is moved
+    into place with ``os.replace`` (atomic on POSIX), so concurrent
+    readers only ever see either the old artifact or the complete new
+    one. Parent directories are created as needed. Returns ``path``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f"{path.name}.tmp{os.getpid()}-{threading.get_ident()}")
+    try:
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, ensure_ascii=False, indent=indent,
+                      sort_keys=sort_keys)
+            fh.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # a failed dump must not leave debris behind
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    return path

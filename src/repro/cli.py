@@ -6,6 +6,12 @@ Examples::
     repro-pipeline tables --fraction 0.1
     repro-pipeline validate --fraction 0.1
     repro-pipeline crawl-stats --fraction 0.2
+    repro-pipeline serve-snapshot --fraction 0.1 --out corpus.snap.json
+    repro-pipeline query --snapshot corpus.snap.json --domain acme.com
+    repro-pipeline bench-serve --snapshot corpus.snap.json --requests 2000
+
+Errors are diagnosed, never dumped as tracebacks: unknown subcommands and
+invalid flag combinations exit with status 2 and a one-line usage hint.
 """
 
 from __future__ import annotations
@@ -35,6 +41,16 @@ from repro.pipeline import PipelineOptions, run_pipeline, write_jsonl
 from repro.validation import audit_failures, compare_models, sampled_precision
 
 
+class CLIUsageError(Exception):
+    """A bad flag combination; rendered as `error + usage hint`, exit 2."""
+
+
+#: One-line usage hint appended to every usage error.
+_USAGE_HINT = ("usage: repro-pipeline [options] "
+               "{run,tables,validate,models,crawl-stats,serve-snapshot,"
+               "query,bench-serve} ... (see repro-pipeline --help)")
+
+
 def _progress(done: int, total: int, domain: str) -> None:
     if done % 100 == 0 or done == total:
         print(f"  ... {done}/{total} domains", file=sys.stderr)
@@ -52,11 +68,9 @@ def _resolve_cache(args):
     invalidate = getattr(args, "invalidate", None)
     if cache_dir is None:
         if resume:
-            raise SystemExit("repro-pipeline: error: --resume requires "
-                             "--cache-dir")
+            raise CLIUsageError("--resume requires --cache-dir")
         if invalidate:
-            raise SystemExit("repro-pipeline: error: --invalidate requires "
-                             "--cache-dir")
+            raise CLIUsageError("--invalidate requires --cache-dir")
         return None
 
     from repro.pipeline import PipelineCache
@@ -70,10 +84,9 @@ def _resolve_cache(args):
     if resume:
         entries = cache.entry_count()
         if entries == 0:
-            raise SystemExit(
-                f"repro-pipeline: error: --resume: no cache entries found "
-                f"under {cache_dir}; run once with --cache-dir first "
-                f"(or drop --resume)")
+            raise CLIUsageError(
+                f"--resume: no cache entries found under {cache_dir}; run "
+                f"once with --cache-dir first (or drop --resume)")
         print(f"cache: resuming from {entries} checkpointed entries",
               file=sys.stderr)
     return cache
@@ -231,6 +244,129 @@ def cmd_crawl_stats(args) -> int:
     return 0
 
 
+def cmd_serve_snapshot(args) -> int:
+    from repro.serve import snapshot_from_cache, snapshot_from_result, \
+        write_snapshot
+
+    if args.from_cache:
+        if getattr(args, "cache_dir", None) is None:
+            raise CLIUsageError("serve-snapshot --from-cache requires "
+                                "--cache-dir")
+        from repro.pipeline import PipelineCache
+
+        corpus = build_corpus(CorpusConfig(seed=args.seed,
+                                           fraction=args.fraction))
+        snapshot = snapshot_from_cache(corpus,
+                                       PipelineOptions(model_name=args.model),
+                                       PipelineCache(args.cache_dir))
+    else:
+        _, result = _build_and_run(args)
+        snapshot = snapshot_from_result(result, provenance={
+            "corpus_seed": args.seed, "corpus_fraction": args.fraction})
+    path = write_snapshot(snapshot, args.out)
+    print(f"snapshot: {snapshot.domain_count()} domains, "
+          f"fingerprint {snapshot.fingerprint[:16]}…, written to {path}")
+    return 0
+
+
+def _snapshot_query(args):
+    """Translate `repro-pipeline query` flags into exactly one typed query."""
+    from repro.serve import (
+        AspectMentions,
+        DomainLookup,
+        FacetFilter,
+        SectorAggregate,
+        TableAggregate,
+        TopDescriptors,
+    )
+
+    modes = [name for name in ("domain", "sector", "table", "top", "aspect",
+                               "filter") if getattr(args, name) is not None]
+    if len(modes) != 1:
+        raise CLIUsageError(
+            "query needs exactly one of --domain/--sector/--table/--top/"
+            f"--aspect/--filter (got {len(modes)})")
+    mode = modes[0]
+    if mode == "domain":
+        return DomainLookup(domain=args.domain)
+    if mode == "sector":
+        return SectorAggregate(sector=args.sector)
+    if mode == "table":
+        return TableAggregate(table=args.table)
+    if mode == "top":
+        return TopDescriptors(facet=args.top, k=args.k,
+                              sector=args.in_sector)
+    if mode == "aspect":
+        return AspectMentions(aspect=args.aspect, limit=args.limit)
+    return FacetFilter(facet=args.filter, category=args.category,
+                       descriptor=args.descriptor, sector=args.in_sector,
+                       status=args.status)
+
+
+def cmd_query(args) -> int:
+    from repro.errors import QueryError, SnapshotError
+    from repro.serve import CorpusIndex, QueryEngine, load_snapshot
+
+    query = _snapshot_query(args)
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except SnapshotError as exc:
+        raise CLIUsageError(str(exc))
+    engine = QueryEngine(CorpusIndex.build(snapshot))
+    try:
+        print(engine.execute(query).to_json())
+    except QueryError as exc:
+        raise CLIUsageError(str(exc))
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    import json
+
+    from repro._util import write_json_atomic
+    from repro.errors import SnapshotError
+    from repro.serve import (
+        AnnotationServer,
+        ServerConfig,
+        WorkloadConfig,
+        generate_workload,
+        load_snapshot,
+        run_load,
+    )
+
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except SnapshotError as exc:
+        raise CLIUsageError(str(exc))
+    config = ServerConfig(workers=args.serve_workers,
+                          queue_depth=args.queue_depth,
+                          cache_entries=args.cache_entries)
+    server = AnnotationServer(snapshot, config)
+    workload_config = WorkloadConfig(seed=args.load_seed,
+                                     requests=args.requests,
+                                     clients=args.clients)
+    workload = generate_workload(server.index, workload_config)
+    with server:
+        report = run_load(server, workload, clients=args.clients)
+    payload = {
+        "snapshot_fingerprint": snapshot.fingerprint,
+        "snapshot_domains": snapshot.domain_count(),
+        "config": {"serve_workers": config.workers,
+                   "queue_depth": config.queue_depth,
+                   "cache_entries": config.cache_entries,
+                   "clients": args.clients,
+                   "requests": args.requests,
+                   "load_seed": args.load_seed},
+        "load": report.as_dict(),
+        "server_metrics": server.metrics.as_dict(),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        write_json_atomic(args.out, payload, sort_keys=True)
+        print(f"benchmark artifact written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
@@ -300,13 +436,83 @@ def build_parser() -> argparse.ArgumentParser:
 
     crawl_parser = sub.add_parser("crawl-stats", help="crawl statistics")
     crawl_parser.set_defaults(func=cmd_crawl_stats)
+
+    snap_parser = sub.add_parser(
+        "serve-snapshot",
+        help="freeze a pipeline run into a servable corpus snapshot")
+    snap_parser.add_argument("--out", required=True, metavar="PATH",
+                             help="snapshot file to write (atomic)")
+    snap_parser.add_argument("--from-cache", action="store_true",
+                             help="build straight from a warm --cache-dir "
+                             "without running any pipeline stage")
+    snap_parser.set_defaults(func=cmd_serve_snapshot)
+
+    query_parser = sub.add_parser(
+        "query", help="run one typed query against a corpus snapshot")
+    query_parser.add_argument("--snapshot", required=True, metavar="PATH")
+    query_parser.add_argument("--domain", help="point lookup: one domain")
+    query_parser.add_argument("--sector", help="sector aggregate")
+    query_parser.add_argument("--table",
+                              choices=["table1", "table2a", "table2b",
+                                       "table3", "summary"],
+                              help="precomputed aggregate table")
+    query_parser.add_argument("--top", metavar="FACET",
+                              choices=["types", "purposes", "labels"],
+                              help="top-k descriptors for a facet")
+    query_parser.add_argument("--k", type=_positive_int, default=10,
+                              help="result size for --top (default: 10)")
+    query_parser.add_argument("--aspect",
+                              choices=["types", "purposes", "handling",
+                                       "rights"],
+                              help="verbatim mention segments for an aspect")
+    query_parser.add_argument("--limit", type=_positive_int, default=50,
+                              help="mention cap for --aspect (default: 50)")
+    query_parser.add_argument("--filter", metavar="FACET",
+                              choices=["types", "purposes", "labels"],
+                              help="faceted domain filter")
+    query_parser.add_argument("--category",
+                              help="with --filter: taxonomy category")
+    query_parser.add_argument("--descriptor",
+                              help="with --filter: normalized descriptor")
+    query_parser.add_argument("--status",
+                              help="with --filter: record status")
+    query_parser.add_argument("--in-sector", metavar="SECTOR",
+                              help="restrict --top/--filter to one sector")
+    query_parser.set_defaults(func=cmd_query)
+
+    bench_parser = sub.add_parser(
+        "bench-serve",
+        help="closed-loop load benchmark against a corpus snapshot")
+    bench_parser.add_argument("--snapshot", required=True, metavar="PATH")
+    bench_parser.add_argument("--requests", type=_positive_int, default=2000)
+    bench_parser.add_argument("--clients", type=_positive_int, default=8)
+    bench_parser.add_argument("--serve-workers", type=_positive_int,
+                              default=2)
+    bench_parser.add_argument("--queue-depth", type=_positive_int,
+                              default=64)
+    bench_parser.add_argument("--cache-entries", type=int, default=256)
+    bench_parser.add_argument("--load-seed", type=int, default=0)
+    bench_parser.add_argument("--out", metavar="PATH",
+                              help="write the JSON report here as well")
+    bench_parser.set_defaults(func=cmd_bench_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse already printed its usage + error line (or the full
+        # --help text); surface the exit code instead of re-raising so
+        # callers get a status, never a traceback.
+        return int(exc.code or 0)
+    try:
+        return args.func(args)
+    except CLIUsageError as exc:
+        print(f"repro-pipeline: error: {exc}", file=sys.stderr)
+        print(_USAGE_HINT, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -68,3 +68,15 @@ class PipelineError(ReproError):
 
 class CorpusError(ReproError):
     """Raised on invalid corpus/calibration configuration."""
+
+
+class ServeError(ReproError):
+    """Raised on snapshot/serving failures (corrupt snapshot, bad query)."""
+
+
+class SnapshotError(ServeError):
+    """Raised when a corpus snapshot cannot be built, read, or verified."""
+
+
+class QueryError(ServeError):
+    """Raised when a query is malformed (unknown facet, bad parameters)."""

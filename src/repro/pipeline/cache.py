@@ -43,13 +43,13 @@ jobs prove a warm run recomputed nothing.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro._util.artifacts import content_digest
 from repro.htmlkit import TextDocument, TextLine
 from repro.pipeline.records import DomainAnnotations
 from repro.pipeline.runner import (
@@ -87,11 +87,12 @@ def _digest(payload) -> str:
     """SHA-256 of a JSON-canonical rendering (sorted keys, no whitespace).
 
     Sorting makes the fingerprint independent of dict insertion order —
-    two option mappings with permuted keys hash identically.
+    two option mappings with permuted keys hash identically. Delegates to
+    the shared :func:`repro._util.artifacts.content_digest`; the rendering
+    is byte-for-byte what this module historically produced, so existing
+    cache entries stay addressable.
     """
-    blob = json.dumps(payload, ensure_ascii=False, sort_keys=True,
-                      separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return content_digest(payload)
 
 
 def options_fingerprint(options: PipelineOptions) -> str:

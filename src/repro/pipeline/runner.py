@@ -136,13 +136,33 @@ class PipelineResult:
         )
         return words[len(words) // 2] if words else 0
 
-    def record_for(self, domain: str) -> DomainAnnotations | None:
+    def record_for(self, domain: str) -> DomainAnnotations:
         """O(1) record lookup by domain.
 
         Backed by a dict rebuilt whenever ``records`` changed length since
         the last lookup; for duplicate domains the *first* record wins,
-        matching the linear scan this replaced.
+        matching the linear scan this replaced. An unknown domain raises a
+        ``KeyError`` that names the domain and suggests the nearest
+        matches present in the run — a typo'd lookup should read like a
+        diagnosis, not a stack trace puzzle. Use :meth:`get_record` for a
+        non-raising variant.
         """
+        record = self.get_record(domain)
+        if record is None:
+            import difflib
+
+            close = difflib.get_close_matches(domain,
+                                              self._record_index[1], n=3)
+            hint = (f"; nearest matches: {', '.join(close)}" if close
+                    else "; this run holds no records at all"
+                    if not self.records else "")
+            raise KeyError(
+                f"no record for domain {domain!r} in this pipeline run "
+                f"({len(self.records)} records){hint}")
+        return record
+
+    def get_record(self, domain: str) -> DomainAnnotations | None:
+        """Like :meth:`record_for`, but ``None`` for unknown domains."""
         cached = self._record_index
         if cached is None or cached[0] != len(self.records):
             index: dict[str, DomainAnnotations] = {}

@@ -1,0 +1,105 @@
+"""Indexed query/serving layer over the annotation corpus.
+
+The pipeline produces records; this package makes them *consumable* at
+interactive latency, offline-benchmarkable at production shape:
+
+1. :mod:`repro.serve.snapshot` — immutable, content-fingerprinted corpus
+   snapshots (from a :class:`PipelineResult`, a record list, or a warm
+   pipeline cache).
+2. :mod:`repro.serve.index` — inverted indexes + precomputed aggregates,
+   built once at load.
+3. :mod:`repro.serve.query` — typed, deterministic query API with
+   canonical fingerprints.
+4. :mod:`repro.serve.server` — bounded-queue serving loop with
+   load-shedding, a TTL+LRU hot-result cache, and latency metrics.
+5. :mod:`repro.serve.loadgen` — seeded closed-loop load generation
+   (zipfian popularity, mixed query classes).
+"""
+
+from repro.serve.index import FACETS, TABLES, CorpusIndex
+from repro.serve.loadgen import (
+    DEFAULT_MIX,
+    LoadReport,
+    WorkloadConfig,
+    generate_workload,
+    run_load,
+    zipf_weights,
+)
+from repro.serve.query import (
+    AspectMentions,
+    DomainLookup,
+    FacetFilter,
+    Query,
+    QueryEngine,
+    QueryResult,
+    SectorAggregate,
+    TableAggregate,
+    TopDescriptors,
+    query_fingerprint,
+    query_kind,
+    query_payload,
+    validate_query,
+)
+from repro.serve.server import (
+    ERROR,
+    OK,
+    OVERLOADED,
+    AnnotationServer,
+    ResultCache,
+    ServeMetrics,
+    ServeResponse,
+    ServerConfig,
+    percentile,
+)
+from repro.serve.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    CorpusSnapshot,
+    build_snapshot,
+    load_snapshot,
+    snapshot_fingerprint,
+    snapshot_from_cache,
+    snapshot_from_result,
+    write_snapshot,
+)
+
+__all__ = [
+    "FACETS",
+    "TABLES",
+    "CorpusIndex",
+    "DEFAULT_MIX",
+    "LoadReport",
+    "WorkloadConfig",
+    "generate_workload",
+    "run_load",
+    "zipf_weights",
+    "AspectMentions",
+    "DomainLookup",
+    "FacetFilter",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "SectorAggregate",
+    "TableAggregate",
+    "TopDescriptors",
+    "query_fingerprint",
+    "query_kind",
+    "query_payload",
+    "validate_query",
+    "ERROR",
+    "OK",
+    "OVERLOADED",
+    "AnnotationServer",
+    "ResultCache",
+    "ServeMetrics",
+    "ServeResponse",
+    "ServerConfig",
+    "percentile",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "CorpusSnapshot",
+    "build_snapshot",
+    "load_snapshot",
+    "snapshot_fingerprint",
+    "snapshot_from_cache",
+    "snapshot_from_result",
+    "write_snapshot",
+]

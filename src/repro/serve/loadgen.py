@@ -1,0 +1,220 @@
+"""Seeded closed-loop load generator for the serving layer.
+
+Models the traffic shape the ROADMAP's north star implies: a large
+population of readers whose interest in domains is heavily skewed
+(zipfian — a few companies get most of the lookups, PrivaSeer-style) and
+whose requests mix cheap point lookups with heavier aggregates.
+
+The generator is a pure function of ``(snapshot, WorkloadConfig)``: the
+same seed always produces the same request sequence, and requests are
+dealt to client threads round-robin, so a load run is reproducible
+end-to-end. Clients are *closed-loop* — each waits for its response
+before sending the next request — which is what makes the measured
+latency distribution meaningful under admission control (an open-loop
+generator would just measure its own backlog).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.index import FACETS, TABLES, CorpusIndex
+from repro.serve.query import (
+    AspectMentions,
+    DomainLookup,
+    FacetFilter,
+    Query,
+    SectorAggregate,
+    TableAggregate,
+    TopDescriptors,
+)
+from repro.serve.server import AnnotationServer, percentile
+
+_ASPECTS = ("types", "purposes", "handling", "rights")
+
+#: Default query-class mix: mostly point lookups (the Polisis-style UI
+#: pattern), a steady trickle of faceted and aggregate traffic.
+DEFAULT_MIX: tuple[tuple[str, float], ...] = (
+    ("domain", 0.45),
+    ("filter", 0.15),
+    ("top-descriptors", 0.12),
+    ("sector", 0.12),
+    ("aspect", 0.06),
+    ("table", 0.10),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of one generated workload."""
+
+    seed: int = 0
+    requests: int = 1000
+    clients: int = 4
+    #: Zipf exponent for domain popularity (1.0–1.3 matches web traffic).
+    zipf_s: float = 1.1
+    mix: tuple[tuple[str, float], ...] = DEFAULT_MIX
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Unnormalized zipf weights for ranks 1..n."""
+    return [1.0 / (rank ** s) for rank in range(1, n + 1)]
+
+
+def generate_workload(index: CorpusIndex,
+                      config: WorkloadConfig) -> list[Query]:
+    """Deterministically generate the request sequence for one load run."""
+    rng = random.Random(config.seed)
+    domains = sorted(index.by_domain)
+    # Popularity rank is a seeded shuffle of the domain list, so the hot
+    # set is stable per seed but not simply "alphabetically first".
+    ranked = list(domains)
+    rng.shuffle(ranked)
+    weights = zipf_weights(len(ranked), config.zipf_s)
+    sectors = sorted(index.domains_by_sector) or ["--"]
+    kinds = [kind for kind, _ in config.mix]
+    shares = [share for _, share in config.mix]
+
+    def hot_domain() -> str:
+        if not ranked:
+            return "empty.invalid"
+        return rng.choices(ranked, weights=weights, k=1)[0]
+
+    def pick(pool: list[str], fallback: str) -> str:
+        return rng.choice(pool) if pool else fallback
+
+    workload: list[Query] = []
+    for _ in range(config.requests):
+        kind = rng.choices(kinds, weights=shares, k=1)[0]
+        if kind == "domain":
+            workload.append(DomainLookup(domain=hot_domain()))
+        elif kind == "filter":
+            facet = rng.choice(FACETS)
+            categories = sorted(index.domains_by_category[facet])
+            query = FacetFilter(
+                facet=facet,
+                category=pick(categories, "none"),
+                sector=rng.choice(sectors) if rng.random() < 0.3 else None,
+            )
+            workload.append(query)
+        elif kind == "top-descriptors":
+            workload.append(TopDescriptors(
+                facet=rng.choice(FACETS),
+                k=rng.choice((5, 10, 25)),
+                sector=rng.choice(sectors) if rng.random() < 0.25 else None,
+            ))
+        elif kind == "sector":
+            workload.append(SectorAggregate(sector=rng.choice(sectors)))
+        elif kind == "aspect":
+            workload.append(AspectMentions(aspect=rng.choice(_ASPECTS),
+                                           limit=rng.choice((10, 25, 50))))
+        else:  # table
+            workload.append(TableAggregate(table=rng.choice(TABLES)))
+    return workload
+
+
+@dataclass
+class LoadReport:
+    """What one closed-loop run measured."""
+
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    cached: int = 0
+    wall_s: float = 0.0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    #: client-observed latencies per endpoint, seconds.
+    latencies: dict[str, list[float]] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def all_latencies(self) -> list[float]:
+        return [s for bucket in self.latencies.values() for s in bucket]
+
+    def percentiles_ms(self, kind: str | None = None) -> dict[str, float]:
+        samples = (self.all_latencies() if kind is None
+                   else self.latencies.get(kind, []))
+        return {name: round(percentile(samples, pct) * 1000.0, 4)
+                for name, pct in (("p50", 50.0), ("p95", 95.0),
+                                  ("p99", 99.0))}
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "cached": self.cached,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "latency_ms": self.percentiles_ms(),
+            "latency_ms_by_kind": {
+                kind: self.percentiles_ms(kind)
+                for kind in sorted(self.latencies)
+            },
+        }
+
+
+def run_load(server: AnnotationServer, workload: list[Query],
+             clients: int = 4) -> LoadReport:
+    """Drive a started server with ``clients`` closed-loop threads.
+
+    The workload is dealt round-robin, so request ``i`` always belongs to
+    client ``i % clients`` regardless of timing.
+    """
+    report = LoadReport()
+    lock = threading.Lock()
+
+    def client(worker_id: int) -> None:
+        for query in workload[worker_id::clients]:
+            start = time.perf_counter()
+            response = server.request(query)
+            elapsed = time.perf_counter() - start
+            with lock:
+                report.requests += 1
+                report.by_kind[response.kind] = \
+                    report.by_kind.get(response.kind, 0) + 1
+                if response.status == "ok":
+                    report.ok += 1
+                    if response.cached:
+                        report.cached += 1
+                elif response.status == "overloaded":
+                    report.shed += 1
+                else:
+                    report.errors += 1
+                report.latencies.setdefault(response.kind,
+                                            []).append(elapsed)
+
+    threads = [threading.Thread(target=client, args=(n,),
+                                name=f"loadgen-client-{n}")
+               for n in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_s = time.perf_counter() - start
+    return report
+
+
+__all__ = [
+    "DEFAULT_MIX",
+    "LoadReport",
+    "WorkloadConfig",
+    "generate_workload",
+    "run_load",
+    "zipf_weights",
+]

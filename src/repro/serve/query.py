@@ -1,0 +1,282 @@
+"""Typed queries over an indexed corpus snapshot.
+
+Six query classes cover the ways downstream consumers read the corpus
+(the Polisis-style interface surface):
+
+- :class:`DomainLookup` — one domain's full annotation record.
+- :class:`FacetFilter` — domains matching category/descriptor/sector/
+  status filters (set intersection over the inverted indexes).
+- :class:`SectorAggregate` — one sector's coverage profile.
+- :class:`TopDescriptors` — top-k descriptors by mention count, corpus
+  wide or within a sector.
+- :class:`AspectMentions` — the verbatim evidence segments behind an
+  aspect, with their domains and source lines.
+- :class:`TableAggregate` — the precomputed Table-1/2a/2b/3 payloads and
+  the corpus summary.
+
+Every query is a frozen dataclass with a canonical dict rendering
+(:func:`query_payload`); :func:`query_fingerprint` hashes that rendering,
+giving the server's hot-result cache a key that is independent of how the
+query object was constructed. Execution is pure and deterministic: the
+same query against the same snapshot always yields the same
+:class:`QueryResult`, whose :meth:`QueryResult.to_json` is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Union
+
+from repro._util.artifacts import canonical_json, content_digest
+from repro.errors import QueryError
+from repro.serve.index import FACETS, TABLES, CorpusIndex
+
+#: Aspect values accepted by :class:`AspectMentions`.
+_ASPECTS = ("types", "purposes", "handling", "rights")
+
+
+@dataclass(frozen=True)
+class DomainLookup:
+    """Point lookup: one domain's full record (or ``found: false``)."""
+
+    domain: str
+
+
+@dataclass(frozen=True)
+class FacetFilter:
+    """Faceted domain filter; all given constraints must hold at once."""
+
+    facet: str = "types"
+    category: str | None = None
+    descriptor: str | None = None
+    sector: str | None = None
+    status: str | None = None
+
+
+@dataclass(frozen=True)
+class SectorAggregate:
+    """One sector's status mix, annotation totals, and top descriptors."""
+
+    sector: str
+
+
+@dataclass(frozen=True)
+class TopDescriptors:
+    """Top-k descriptors for a facet, corpus-wide or within one sector."""
+
+    facet: str = "types"
+    k: int = 10
+    sector: str | None = None
+
+
+@dataclass(frozen=True)
+class AspectMentions:
+    """Verbatim mention segments for one aspect (bounded by ``limit``)."""
+
+    aspect: str
+    limit: int = 50
+
+
+@dataclass(frozen=True)
+class TableAggregate:
+    """A precomputed aggregate table (``table1``/``2a``/``2b``/``3``/
+    ``summary``)."""
+
+    table: str = "summary"
+
+
+Query = Union[DomainLookup, FacetFilter, SectorAggregate, TopDescriptors,
+              AspectMentions, TableAggregate]
+
+#: Stable endpoint names, used for cache keys and per-endpoint metrics.
+_KINDS = {
+    DomainLookup: "domain",
+    FacetFilter: "filter",
+    SectorAggregate: "sector",
+    TopDescriptors: "top-descriptors",
+    AspectMentions: "aspect",
+    TableAggregate: "table",
+}
+
+
+def query_kind(query: Query) -> str:
+    """The endpoint name a query belongs to."""
+    try:
+        return _KINDS[type(query)]
+    except KeyError:
+        raise QueryError(f"unknown query type {type(query).__name__}")
+
+
+def validate_query(query: Query) -> None:
+    """Reject malformed queries before they reach the execution path."""
+    kind = query_kind(query)
+    if isinstance(query, (FacetFilter, TopDescriptors)) \
+            and query.facet not in FACETS:
+        raise QueryError(f"{kind}: unknown facet {query.facet!r}; "
+                         f"expected one of {FACETS}")
+    if isinstance(query, TopDescriptors) and query.k < 1:
+        raise QueryError(f"top-descriptors: k must be >= 1, got {query.k}")
+    if isinstance(query, AspectMentions):
+        if query.aspect not in _ASPECTS:
+            raise QueryError(f"aspect: unknown aspect {query.aspect!r}; "
+                             f"expected one of {_ASPECTS}")
+        if query.limit < 1:
+            raise QueryError(f"aspect: limit must be >= 1, got {query.limit}")
+    if isinstance(query, TableAggregate) and query.table not in TABLES:
+        raise QueryError(f"table: unknown table {query.table!r}; "
+                         f"expected one of {TABLES}")
+    if isinstance(query, DomainLookup) and not query.domain:
+        raise QueryError("domain: empty domain name")
+    if isinstance(query, SectorAggregate) and not query.sector:
+        raise QueryError("sector: empty sector name")
+
+
+def query_payload(query: Query) -> dict:
+    """Canonical dict rendering of a query (``None`` fields dropped)."""
+    payload = {"kind": query_kind(query)}
+    for name, value in vars(query).items():
+        if value is not None:
+            payload[name] = value
+    return payload
+
+
+def query_fingerprint(query: Query) -> str:
+    """Content-addressed cache key for a query.
+
+    Two structurally equal queries always fingerprint identically, and
+    any parameter change moves the key — the same contract the pipeline
+    cache keys obey.
+    """
+    return content_digest(query_payload(query))
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One deterministic query answer.
+
+    ``payload`` is a JSON-ready dict built exclusively from sorted index
+    structures; ``to_json`` renders it canonically, so equal results are
+    byte-equal.
+    """
+
+    kind: str
+    payload: dict
+
+    def to_json(self) -> str:
+        return canonical_json({"kind": self.kind, "payload": self.payload})
+
+
+class QueryEngine:
+    """Executes typed queries against a built :class:`CorpusIndex`."""
+
+    def __init__(self, index: CorpusIndex):
+        self.index = index
+
+    def execute(self, query: Query) -> QueryResult:
+        validate_query(query)
+        kind = query_kind(query)
+        handler = getattr(self, "_run_" + kind.replace("-", "_"))
+        return QueryResult(kind=kind, payload=handler(query))
+
+    # -- handlers --------------------------------------------------------
+
+    def _run_domain(self, query: DomainLookup) -> dict:
+        record = self.index.by_domain.get(query.domain)
+        if record is None:
+            return {"domain": query.domain, "found": False}
+        return {"domain": query.domain, "found": True,
+                "record": json.loads(record.to_json())}
+
+    def _run_filter(self, query: FacetFilter) -> dict:
+        candidates: set[str] | None = None
+
+        def narrow(domains: list[str] | None) -> None:
+            nonlocal candidates
+            pool = set(domains or ())
+            candidates = pool if candidates is None else candidates & pool
+
+        if query.category is not None:
+            narrow(self.index.domains_by_category[query.facet]
+                   .get(query.category))
+        if query.descriptor is not None:
+            narrow(self.index.domains_by_descriptor[query.facet]
+                   .get(query.descriptor))
+        if query.sector is not None:
+            narrow(self.index.domains_by_sector.get(query.sector))
+        if query.status is not None:
+            narrow(self.index.domains_by_status.get(query.status))
+        if candidates is None:  # no constraints: the whole corpus
+            candidates = set(self.index.by_domain)
+        domains = sorted(candidates)
+        return {"facet": query.facet, "count": len(domains),
+                "domains": domains}
+
+    def _run_sector(self, query: SectorAggregate) -> dict:
+        domains = self.index.domains_by_sector.get(query.sector, [])
+        records = [self.index.by_domain[d] for d in domains]
+        statuses: dict[str, int] = {}
+        for record in records:
+            statuses[record.status] = statuses.get(record.status, 0) + 1
+        return {
+            "sector": query.sector,
+            "found": bool(domains),
+            "domains": len(domains),
+            "statuses": dict(sorted(statuses.items())),
+            "annotations": {
+                "types": sum(len(r.types) for r in records),
+                "purposes": sum(len(r.purposes) for r in records),
+                "handling": sum(len(r.handling) for r in records),
+                "rights": sum(len(r.rights) for r in records),
+            },
+            "top_types": [
+                {"descriptor": name, "count": count}
+                for name, count in self.index.top_descriptors(
+                    "types", 5, sector=query.sector)
+            ],
+        }
+
+    def _run_top_descriptors(self, query: TopDescriptors) -> dict:
+        top = self.index.top_descriptors(query.facet, query.k,
+                                         sector=query.sector)
+        payload = {
+            "facet": query.facet,
+            "k": query.k,
+            "descriptors": [{"descriptor": name, "count": count}
+                            for name, count in top],
+        }
+        if query.sector is not None:
+            payload["sector"] = query.sector
+        return payload
+
+    def _run_aspect(self, query: AspectMentions) -> dict:
+        segments = self.index.segments_by_aspect.get(query.aspect, [])
+        return {
+            "aspect": query.aspect,
+            "total": len(segments),
+            "mentions": [
+                {"domain": domain, "line": line, "verbatim": verbatim}
+                for domain, line, verbatim in segments[:query.limit]
+            ],
+        }
+
+    def _run_table(self, query: TableAggregate) -> dict:
+        return {"table": query.table,
+                "data": self.index.aggregates[query.table]}
+
+
+__all__ = [
+    "AspectMentions",
+    "DomainLookup",
+    "FacetFilter",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "SectorAggregate",
+    "TableAggregate",
+    "TopDescriptors",
+    "query_fingerprint",
+    "query_kind",
+    "query_payload",
+    "validate_query",
+]

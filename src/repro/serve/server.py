@@ -1,0 +1,331 @@
+"""Thread-safe serving loop: admission control, result cache, metrics.
+
+:class:`AnnotationServer` turns a :class:`~repro.serve.query.QueryEngine`
+into a bounded-concurrency service:
+
+- **Admission control.** Requests enter a bounded queue
+  (``ServerConfig.queue_depth``). When the queue is full the request is
+  *shed immediately* — the caller gets an explicit
+  :data:`OVERLOADED` response (never an unbounded backlog, never a
+  silent drop) and the shed is counted in the metrics. This is the
+  standard load-shedding posture for a latency-sensitive read path:
+  fail fast at the front door rather than queue into timeout territory.
+- **Hot-result cache.** A TTL+LRU cache keyed by the canonical query
+  fingerprint (:func:`~repro.serve.query.query_fingerprint`). Because
+  queries are pure functions of the immutable snapshot, a cache hit is
+  byte-identical to recomputation by construction; the TTL exists so a
+  future hot-reload path can bound staleness, and the LRU bound caps
+  memory.
+- **Metrics.** Per-endpoint request/cache/shed counters ride on the same
+  :class:`~repro._util.profiling.StageTimings` machinery the pipeline
+  uses, plus per-endpoint latency reservoirs for p50/p95/p99. Latencies
+  are measured submit→response, so queue wait is included — that is the
+  latency a client actually observes.
+
+Responses are plain frozen dataclasses; worker threads never share
+mutable query state, and the index itself is read-only after build, so
+any worker count serves byte-identical bodies.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro._util.profiling import StageTimings
+from repro.errors import QueryError, ServeError
+from repro.serve.index import CorpusIndex
+from repro.serve.query import (
+    Query,
+    QueryEngine,
+    query_fingerprint,
+    query_kind,
+)
+from repro.serve.snapshot import CorpusSnapshot
+
+#: Response statuses.
+OK = "ok"
+OVERLOADED = "overloaded"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs; the defaults suit tests and small corpora."""
+
+    #: Worker threads draining the request queue.
+    workers: int = 2
+    #: Bounded queue depth; submissions beyond it are shed.
+    queue_depth: int = 64
+    #: Hot-result cache capacity (entries); 0 disables the cache.
+    cache_entries: int = 256
+    #: Seconds a cached result stays servable.
+    cache_ttl_s: float = 300.0
+    #: Per-endpoint latency samples kept for percentile computation;
+    #: beyond this the counters still advance but samples are dropped,
+    #: keeping long-running servers at bounded memory.
+    max_latency_samples: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}")
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """What a caller gets back for one query."""
+
+    status: str  # OK | OVERLOADED | ERROR
+    kind: str    # endpoint name ("domain", "filter", ...)
+    body: str    # canonical JSON result (OK) or a one-line error message
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+class ResultCache:
+    """Thread-safe TTL+LRU cache of serialized query results.
+
+    ``clock`` is injectable so tests can advance time deterministically.
+    Entries expire ``ttl_s`` after being stored; reads refresh LRU order
+    but never the TTL (a hot entry still ages out, bounding staleness).
+    """
+
+    def __init__(self, entries: int, ttl_s: float, clock=time.monotonic):
+        self.entries = entries
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._data: OrderedDict[str, tuple[float, str]] = OrderedDict()
+
+    def get(self, key: str) -> str | None:
+        if self.entries <= 0:
+            return None
+        with self._lock:
+            item = self._data.get(key)
+            if item is None:
+                return None
+            stored_at, body = item
+            if self._clock() - stored_at >= self.ttl_s:
+                del self._data[key]
+                return None
+            self._data.move_to_end(key)
+            return body
+
+    def put(self, key: str, body: str) -> None:
+        if self.entries <= 0:
+            return
+        with self._lock:
+            self._data[key] = (self._clock(), body)
+            self._data.move_to_end(key)
+            while len(self._data) > self.entries:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+class ServeMetrics:
+    """Per-endpoint counters + latency reservoirs, thread-safe."""
+
+    def __init__(self, max_samples: int = 100_000):
+        self.counters = StageTimings()
+        self._max_samples = max_samples
+        self._lock = threading.Lock()
+        self._latencies: dict[str, list[float]] = {}
+
+    def record(self, kind: str, status: str, cached: bool,
+               latency_s: float) -> None:
+        with self._lock:
+            self.counters.increment(f"serve.{kind}.requests")
+            self.counters.increment(f"serve.{kind}.{status}")
+            if status == OK:
+                self.counters.increment(
+                    f"serve.{kind}.cache.{'hit' if cached else 'miss'}")
+            bucket = self._latencies.setdefault(kind, [])
+            if len(bucket) < self._max_samples:
+                bucket.append(latency_s)
+
+    def record_shed(self, kind: str) -> None:
+        with self._lock:
+            self.counters.increment(f"serve.{kind}.requests")
+            self.counters.increment(f"serve.{kind}.shed")
+            self.counters.increment("serve.shed")
+
+    # -- reads -----------------------------------------------------------
+
+    def shed_count(self) -> int:
+        return self.counters.count("serve.shed")
+
+    def request_count(self, kind: str | None = None) -> int:
+        counts = self.counters.counts()
+        if kind is not None:
+            return counts.get(f"serve.{kind}.requests", 0)
+        return sum(count for name, count in counts.items()
+                   if name.endswith(".requests"))
+
+    def cache_hit_rate(self) -> float:
+        counts = self.counters.counts()
+        hits = sum(c for n, c in counts.items() if n.endswith("cache.hit"))
+        misses = sum(c for n, c in counts.items()
+                     if n.endswith("cache.miss"))
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def latency_percentiles(self, kind: str | None = None
+                            ) -> dict[str, float]:
+        """p50/p95/p99 (seconds) for one endpoint or all traffic."""
+        with self._lock:
+            if kind is not None:
+                samples = list(self._latencies.get(kind, ()))
+            else:
+                samples = [s for bucket in self._latencies.values()
+                           for s in bucket]
+        return {"p50": percentile(samples, 50.0),
+                "p95": percentile(samples, 95.0),
+                "p99": percentile(samples, 99.0)}
+
+    def as_dict(self) -> dict:
+        """JSON-ready metrics dump (counters + overall percentiles)."""
+        return {
+            "counters": dict(sorted(self.counters.counts().items())),
+            "cache_hit_rate": round(self.cache_hit_rate(), 6),
+            "shed": self.shed_count(),
+            "latency_s": {name: round(value, 6) for name, value
+                          in self.latency_percentiles().items()},
+        }
+
+
+def percentile(samples: list[float], pct: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample set."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+_STOP = object()
+
+
+class AnnotationServer:
+    """A closed-loop, thread-pooled query server over one snapshot."""
+
+    def __init__(self, snapshot: CorpusSnapshot,
+                 config: ServerConfig | None = None,
+                 clock=time.monotonic):
+        self.config = config or ServerConfig()
+        self.snapshot = snapshot
+        self.index = CorpusIndex.build(snapshot)
+        self.engine = QueryEngine(self.index)
+        self.metrics = ServeMetrics(
+            max_samples=self.config.max_latency_samples)
+        self.cache = ResultCache(self.config.cache_entries,
+                                 self.config.cache_ttl_s, clock=clock)
+        self._clock = clock
+        self._queue: queue.Queue = queue.Queue(
+            maxsize=self.config.queue_depth)
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "AnnotationServer":
+        if self._started:
+            raise ServeError("server already started")
+        self._started = True
+        for n in range(self.config.workers):
+            thread = threading.Thread(target=self._worker,
+                                      name=f"serve-worker-{n}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)  # sentinels bypass admission control
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "AnnotationServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path ----------------------------------------------------
+
+    def submit(self, query: Query) -> "Future[ServeResponse]":
+        """Admit a query (or shed it); never blocks the caller."""
+        if not self._started:
+            raise ServeError("server not started; use `with server:` or "
+                             "call start()")
+        kind = query_kind(query)
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((query, kind, future, self._clock()))
+        except queue.Full:
+            self.metrics.record_shed(kind)
+            future.set_result(ServeResponse(
+                status=OVERLOADED, kind=kind,
+                body="ServiceOverloaded: request queue full, retry later"))
+        return future
+
+    def request(self, query: Query) -> ServeResponse:
+        """Submit and wait — the closed-loop client call."""
+        return self.submit(query).result()
+
+    # -- worker loop -----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            query, kind, future, submitted_at = item
+            response = self._serve_one(query, kind)
+            latency = self._clock() - submitted_at
+            self.metrics.record(kind, response.status, response.cached,
+                                latency)
+            future.set_result(response)
+
+    def _serve_one(self, query: Query, kind: str) -> ServeResponse:
+        key = query_fingerprint(query)
+        body = self.cache.get(key)
+        if body is not None:
+            return ServeResponse(status=OK, kind=kind, body=body,
+                                 cached=True)
+        try:
+            body = self.engine.execute(query).to_json()
+        except QueryError as exc:
+            return ServeResponse(status=ERROR, kind=kind, body=str(exc))
+        self.cache.put(key, body)
+        return ServeResponse(status=OK, kind=kind, body=body)
+
+
+__all__ = [
+    "ERROR",
+    "OK",
+    "OVERLOADED",
+    "AnnotationServer",
+    "ResultCache",
+    "ServeMetrics",
+    "ServeResponse",
+    "ServerConfig",
+    "percentile",
+]

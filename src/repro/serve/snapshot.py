@@ -1,0 +1,207 @@
+"""Immutable, versioned corpus snapshots — the serving layer's input.
+
+A :class:`CorpusSnapshot` freezes a pipeline run's annotation records into
+a single self-describing artifact that the query/serving layer can load
+without re-running any pipeline stage. Design points:
+
+- **Canonical layout.** Records are stored sorted by domain (first record
+  wins for duplicate domains), so the snapshot's bytes are independent of
+  corpus order, worker count, executor backend, and cache state — the
+  same annotated corpus always snapshots to the same file.
+- **Content fingerprinting.** ``fingerprint`` is the SHA-256 of the
+  canonical record payloads (the PR-3 fingerprint machinery via
+  :func:`repro._util.artifacts.content_digest`). :func:`load_snapshot`
+  recomputes and verifies it, so a truncated or hand-edited snapshot is
+  rejected instead of silently serving wrong answers.
+- **Atomic writes.** :func:`write_snapshot` goes through temp-file +
+  ``os.replace``; a crash mid-write never leaves a torn snapshot where a
+  server could pick it up.
+- **Three sources.** Build from a live :class:`PipelineResult`, from a
+  plain record list (e.g. ``tests/golden/records.jsonl``), or straight
+  out of a warm PR-3 ``--cache-dir`` without touching crawl/annotate code
+  paths at all (:func:`snapshot_from_cache`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro._util.artifacts import content_digest, write_json_atomic
+from repro.errors import SnapshotError
+from repro.pipeline.records import DomainAnnotations
+
+#: Bump when the snapshot payload layout changes; old snapshots are then
+#: rejected at load with an explicit error instead of misparsed.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def _record_payloads(records: list[DomainAnnotations]) -> list[dict]:
+    """Canonical JSON-ready payloads: sorted by domain, first dup wins."""
+    by_domain: dict[str, DomainAnnotations] = {}
+    for record in records:
+        by_domain.setdefault(record.domain, record)
+    return [json.loads(by_domain[domain].to_json())
+            for domain in sorted(by_domain)]
+
+
+def snapshot_fingerprint(records: list[DomainAnnotations]) -> str:
+    """Content fingerprint of a record set's canonical snapshot payload."""
+    return content_digest(_record_payloads(records))
+
+
+@dataclass(frozen=True)
+class CorpusSnapshot:
+    """An immutable, content-fingerprinted view of an annotation corpus."""
+
+    #: Records in canonical (domain-sorted, deduplicated) order.
+    records: tuple[DomainAnnotations, ...]
+    #: SHA-256 over the canonical record payloads.
+    fingerprint: str
+    #: Where the records came from (``pipeline-result`` / ``cache`` /
+    #: ``records`` / the loaded file's recorded source).
+    source: str = "records"
+    #: Free-form provenance (corpus seed, fraction, options fingerprint).
+    provenance: dict = field(default_factory=dict)
+
+    def domain_count(self) -> int:
+        return len(self.records)
+
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "provenance": self.provenance,
+            "domains": self.domain_count(),
+            "statuses": self.status_counts(),
+            "records": [json.loads(r.to_json()) for r in self.records],
+        }
+
+
+def build_snapshot(records: list[DomainAnnotations], *,
+                   source: str = "records",
+                   provenance: dict | None = None) -> CorpusSnapshot:
+    """Freeze a record list into a canonical snapshot."""
+    payloads = _record_payloads(records)
+    canonical = tuple(
+        DomainAnnotations.from_json(json.dumps(p)) for p in payloads)
+    return CorpusSnapshot(records=canonical,
+                          fingerprint=content_digest(payloads),
+                          source=source,
+                          provenance=dict(provenance or {}))
+
+
+def snapshot_from_result(result, *, provenance: dict | None = None
+                         ) -> CorpusSnapshot:
+    """Snapshot a live :class:`~repro.pipeline.runner.PipelineResult`."""
+    extra = {
+        "prompt_tokens": result.prompt_tokens,
+        "completion_tokens": result.completion_tokens,
+    }
+    extra.update(provenance or {})
+    return build_snapshot(result.records, source="pipeline-result",
+                          provenance=extra)
+
+
+def snapshot_from_cache(corpus, options, cache, *,
+                        domains: list[str] | None = None) -> CorpusSnapshot:
+    """Snapshot straight out of a warm PR-3 cache, no pipeline run.
+
+    Every domain must have a checkpointed records-layer entry for the
+    exact ``(corpus, options)`` fingerprints; otherwise the cache is not
+    warm for this configuration and the error lists the missing domains
+    rather than silently serving a partial corpus.
+    """
+    from repro.pipeline.cache import CacheKeys
+
+    keys = CacheKeys(corpus, options)
+    wanted = list(dict.fromkeys(domains if domains is not None
+                                else corpus.domains))
+    records: list[DomainAnnotations] = []
+    missing: list[str] = []
+    for domain in wanted:
+        entry = cache.load_record(keys.record_key(domain))
+        if entry is None:
+            missing.append(domain)
+        else:
+            records.append(entry.record)
+    if missing:
+        shown = ", ".join(missing[:5])
+        more = f" (+{len(missing) - 5} more)" if len(missing) > 5 else ""
+        raise SnapshotError(
+            f"cache holds no records-layer entry for {len(missing)} of "
+            f"{len(wanted)} domains: {shown}{more}; run the pipeline with "
+            f"this cache directory first (same corpus seed/fraction and "
+            f"options)")
+    return build_snapshot(records, source="cache", provenance={
+        "options_fingerprint": keys.options_fp,
+        "lexicon_fingerprint": keys.lexicon_fp,
+    })
+
+
+def write_snapshot(snapshot: CorpusSnapshot, path: str | Path) -> Path:
+    """Write a snapshot atomically (compact JSON; safe for live readers)."""
+    return write_json_atomic(path, snapshot.to_payload(), indent=None,
+                             sort_keys=True)
+
+
+def load_snapshot(path: str | Path) -> CorpusSnapshot:
+    """Load and verify a snapshot written by :func:`write_snapshot`.
+
+    Raises :class:`~repro.errors.SnapshotError` on unreadable files,
+    schema mismatches, and — crucially — on any fingerprint mismatch
+    between the stored records and the stored fingerprint.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotError(
+            f"snapshot {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SnapshotError(f"snapshot {path} is not a JSON object")
+    if payload.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has schema {payload.get('schema')!r}, "
+            f"expected {SNAPSHOT_SCHEMA_VERSION}")
+    raw_records = payload.get("records")
+    if not isinstance(raw_records, list):
+        raise SnapshotError(f"snapshot {path} carries no record list")
+    try:
+        records = tuple(DomainAnnotations.from_json(json.dumps(r))
+                        for r in raw_records)
+    except (KeyError, TypeError) as exc:
+        raise SnapshotError(
+            f"snapshot {path} holds a malformed record: {exc}") from exc
+    actual = content_digest(raw_records)
+    stored = payload.get("fingerprint")
+    if actual != stored:
+        raise SnapshotError(
+            f"snapshot {path} failed fingerprint verification: stored "
+            f"{str(stored)[:12]}…, recomputed {actual[:12]}… — the file "
+            f"was truncated or modified after writing")
+    return CorpusSnapshot(records=records, fingerprint=actual,
+                          source=str(payload.get("source", "records")),
+                          provenance=dict(payload.get("provenance") or {}))
+
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "CorpusSnapshot",
+    "build_snapshot",
+    "load_snapshot",
+    "snapshot_fingerprint",
+    "snapshot_from_cache",
+    "snapshot_from_result",
+    "write_snapshot",
+]

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _USAGE_HINT, build_parser, main
 
 
 class TestParser:
@@ -67,18 +69,21 @@ class TestCacheFlags:
         assert warm.out == cold_out  # identical stats either way
         assert "0 recomputed" in warm.err
 
-    def test_resume_without_cache_dir_errors(self):
-        with pytest.raises(SystemExit, match="requires --cache-dir"):
-            main(["--fraction", "0.02", "--resume", "run"])
+    def test_resume_without_cache_dir_errors(self, capsys):
+        assert main(["--fraction", "0.02", "--resume", "run"]) == 2
+        assert "requires --cache-dir" in capsys.readouterr().err
 
-    def test_resume_with_empty_cache_errors(self, tmp_path):
-        with pytest.raises(SystemExit, match="no cache entries"):
-            main(["--fraction", "0.02",
-                  "--cache-dir", str(tmp_path / "empty"), "--resume", "run"])
+    def test_resume_with_empty_cache_errors(self, capsys, tmp_path):
+        code = main(["--fraction", "0.02",
+                     "--cache-dir", str(tmp_path / "empty"), "--resume",
+                     "run"])
+        assert code == 2
+        assert "no cache entries" in capsys.readouterr().err
 
-    def test_invalidate_without_cache_dir_errors(self):
-        with pytest.raises(SystemExit, match="requires --cache-dir"):
-            main(["--fraction", "0.02", "--invalidate", "all", "run"])
+    def test_invalidate_without_cache_dir_errors(self, capsys):
+        assert main(["--fraction", "0.02", "--invalidate", "all",
+                     "run"]) == 2
+        assert "requires --cache-dir" in capsys.readouterr().err
 
     def test_invalidate_records_then_rerun(self, capsys, tmp_path):
         base = ["--fraction", "0.02", "--seed", "3",
@@ -90,3 +95,129 @@ class TestCacheFlags:
         assert "invalidated" in err
         # Re-annotated from stored crawls, not re-crawled.
         assert "reused a cached crawl" in err
+
+
+class TestUsageErrors:
+    """Every malformed invocation exits 2 with a usage line, no traceback."""
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_unknown_flag_exits_2(self, capsys):
+        assert main(["--no-such-flag", "run"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_missing_command_exits_2(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_help_exits_0(self, capsys):
+        assert main(["--help"]) == 0
+        assert "repro-pipeline" in capsys.readouterr().out
+
+    def test_bad_flag_combo_prints_one_line_hint(self, capsys):
+        assert main(["--resume", "run"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-pipeline: error:" in err
+        assert _USAGE_HINT in err
+        assert err.count(_USAGE_HINT) == 1
+        assert "Traceback" not in err
+
+    def test_query_without_mode_exits_2(self, capsys, tmp_path):
+        code = main(["query", "--snapshot", str(tmp_path / "s.json")])
+        assert code == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_query_with_two_modes_exits_2(self, capsys, tmp_path):
+        code = main(["query", "--snapshot", str(tmp_path / "s.json"),
+                     "--domain", "a.com", "--table", "summary"])
+        assert code == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_query_missing_snapshot_file_exits_2(self, capsys, tmp_path):
+        code = main(["query", "--snapshot", str(tmp_path / "nope.json"),
+                     "--table", "summary"])
+        assert code == 2
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+    def test_snapshot_from_cache_without_cache_dir_exits_2(self, capsys,
+                                                           tmp_path):
+        code = main(["serve-snapshot", "--from-cache",
+                     "--out", str(tmp_path / "s.json")])
+        assert code == 2
+        assert "requires --cache-dir" in capsys.readouterr().err
+
+
+class TestServeCommands:
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-serve") / "corpus.snap.json"
+        code = main(["--fraction", "0.02", "--seed", "3",
+                     "serve-snapshot", "--out", str(path)])
+        assert code == 0
+        return path
+
+    def test_serve_snapshot_reports_fingerprint(self, capsys,
+                                                tmp_path):
+        out = tmp_path / "snap.json"
+        assert main(["--fraction", "0.02", "--seed", "3",
+                     "serve-snapshot", "--out", str(out)]) == 0
+        assert "fingerprint" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_serve_snapshot_from_cache_round_trip(self, capsys, tmp_path):
+        base = ["--fraction", "0.02", "--seed", "3",
+                "--cache-dir", str(tmp_path / "c")]
+        assert main(base + ["run"]) == 0
+        capsys.readouterr()
+        out = tmp_path / "snap.json"
+        code = main(base + ["serve-snapshot", "--from-cache",
+                            "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+
+    def test_query_table_summary(self, capsys, snapshot_path):
+        capsys.readouterr()
+        assert main(["query", "--snapshot", str(snapshot_path),
+                     "--table", "summary"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["kind"] == "table"
+        assert body["payload"]["data"]["domains"] > 0
+
+    def test_query_domain_lookup(self, capsys, snapshot_path):
+        capsys.readouterr()
+        assert main(["query", "--snapshot", str(snapshot_path),
+                     "--domain", "definitely-missing.invalid"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["payload"] == {"domain": "definitely-missing.invalid",
+                                   "found": False}
+
+    def test_query_top_descriptors(self, capsys, snapshot_path):
+        capsys.readouterr()
+        assert main(["query", "--snapshot", str(snapshot_path),
+                     "--top", "types", "--k", "3"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["kind"] == "top-descriptors"
+        assert len(body["payload"]["descriptors"]) <= 3
+
+    def test_bench_serve_smoke(self, capsys, snapshot_path, tmp_path):
+        capsys.readouterr()
+        out = tmp_path / "bench.json"
+        code = main(["bench-serve", "--snapshot", str(snapshot_path),
+                     "--requests", "120", "--clients", "4",
+                     "--out", str(out)])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        written = json.loads(out.read_text())
+        assert written == printed
+        assert printed["load"]["requests"] == 120
+        assert printed["load"]["errors"] == 0
+        assert printed["load"]["throughput_rps"] > 0
+
+    def test_bench_serve_parses_defaults(self):
+        args = build_parser().parse_args(["bench-serve",
+                                          "--snapshot", "s.json"])
+        assert args.requests == 2000
+        assert args.serve_workers == 2
+        assert args.queue_depth == 64

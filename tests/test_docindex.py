@@ -1,5 +1,7 @@
 """Tests for the per-document analysis index and its pipeline wiring."""
 
+import pytest
+
 from repro.chatbot.aspects import classify_line
 from repro.chatbot.lexicon import tokenize_with_spans
 from repro.chatbot.models import make_model
@@ -159,7 +161,25 @@ class TestRecordForIndex:
         result = PipelineResult(records=[_record("a.com"), _record("b.com")],
                                 traces={}, options=PipelineOptions())
         assert result.record_for("b.com").domain == "b.com"
-        assert result.record_for("missing.com") is None
+        assert result.get_record("missing.com") is None
+
+    def test_miss_raises_keyerror_naming_domain_and_suggestions(self):
+        # Regression: the error must name the missing domain and suggest
+        # the nearest domains actually present in the run.
+        result = PipelineResult(
+            records=[_record("acme-corp.com"), _record("zenith.com")],
+            traces={}, options=PipelineOptions())
+        with pytest.raises(KeyError) as excinfo:
+            result.record_for("acme-crop.com")
+        message = str(excinfo.value)
+        assert "acme-crop.com" in message
+        assert "acme-corp.com" in message  # nearest match listed
+
+    def test_miss_on_empty_run_mentions_no_records(self):
+        result = PipelineResult(records=[], traces={},
+                                options=PipelineOptions())
+        with pytest.raises(KeyError, match="no records at all"):
+            result.record_for("anything.com")
 
     def test_first_record_wins_for_duplicates(self):
         first = _record("dup.com")

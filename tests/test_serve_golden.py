@@ -1,0 +1,95 @@
+"""Golden regression for the serving layer.
+
+Serving a snapshot built from ``tests/golden/records.jsonl`` must
+reproduce ``tests/golden/serve_aggregates.json`` — every aggregate table
+byte-for-byte. Regenerate after an *intentional* aggregate change with::
+
+    PYTHONPATH=src python -m pytest tests/test_serve_golden.py \
+        --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline.records import read_jsonl
+from repro.serve import (
+    AnnotationServer,
+    TableAggregate,
+    build_snapshot,
+    snapshot_fingerprint,
+)
+from repro.serve.index import TABLES
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_AGGREGATES = GOLDEN_DIR / "serve_aggregates.json"
+
+
+@pytest.fixture(scope="module")
+def golden_snapshot():
+    records_path = GOLDEN_DIR / "records.jsonl"
+    if not records_path.exists():
+        pytest.fail("tests/golden/records.jsonl missing; regenerate with "
+                    "`pytest tests/test_golden_corpus.py --update-golden`")
+    return build_snapshot(read_jsonl(records_path), source="golden")
+
+
+@pytest.fixture(scope="module")
+def served_tables(golden_snapshot):
+    """Every aggregate table as served, keyed by table name."""
+    with AnnotationServer(golden_snapshot) as server:
+        responses = {table: server.request(TableAggregate(table=table))
+                     for table in TABLES}
+    assert all(r.ok for r in responses.values())
+    return {table: json.loads(r.body) for table, r in responses.items()}
+
+
+@pytest.fixture(scope="module")
+def golden_tables(request, served_tables, golden_snapshot):
+    if request.config.getoption("--update-golden"):
+        payload = {"fingerprint": golden_snapshot.fingerprint,
+                   "tables": served_tables}
+        GOLDEN_AGGREGATES.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    if not GOLDEN_AGGREGATES.exists():
+        pytest.fail("tests/golden/serve_aggregates.json missing; "
+                    "regenerate with `pytest tests/test_serve_golden.py "
+                    "--update-golden`")
+    return json.loads(GOLDEN_AGGREGATES.read_text(encoding="utf-8"))
+
+
+def test_snapshot_fingerprint_matches_golden(golden_snapshot,
+                                             golden_tables):
+    assert golden_snapshot.fingerprint == golden_tables["fingerprint"]
+
+
+@pytest.mark.parametrize("table", TABLES)
+def test_served_aggregate_matches_golden(served_tables, golden_tables,
+                                         table):
+    assert served_tables[table] == golden_tables["tables"][table], (
+        f"served {table} drifted from tests/golden/serve_aggregates.json")
+
+
+def test_summary_statuses_agree_with_golden_summary(served_tables):
+    # Cross-check against the pipeline-level golden snapshot: the served
+    # summary must count exactly the statuses the golden run recorded.
+    pipeline_summary = json.loads(
+        (GOLDEN_DIR / "summary.json").read_text(encoding="utf-8"))
+    expected: dict[str, int] = {}
+    for status in pipeline_summary["statuses"].values():
+        expected[status] = expected.get(status, 0) + 1
+    served = served_tables["summary"]["payload"]["data"]
+    assert served["statuses"] == dict(sorted(expected.items()))
+    assert served["domains"] == len(pipeline_summary["statuses"])
+    assert served["hallucinations_filtered"] == \
+        pipeline_summary["hallucinations_filtered"]
+
+
+def test_golden_snapshot_is_order_insensitive(golden_snapshot):
+    records = list(read_jsonl(GOLDEN_DIR / "records.jsonl"))
+    assert snapshot_fingerprint(list(reversed(records))) == \
+        golden_snapshot.fingerprint

@@ -1,0 +1,263 @@
+"""Query engine behavior: each query class, validation, byte stability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QueryError
+from repro.pipeline.records import (
+    DomainAnnotations,
+    HandlingAnnotation,
+    PurposeAnnotation,
+    RightsAnnotation,
+    TypeAnnotation,
+)
+from repro.serve import (
+    AspectMentions,
+    CorpusIndex,
+    DomainLookup,
+    FacetFilter,
+    QueryEngine,
+    SectorAggregate,
+    TableAggregate,
+    TopDescriptors,
+    build_snapshot,
+    query_fingerprint,
+    query_kind,
+    query_payload,
+)
+
+
+def _type(descriptor, line=1, category="Contact information"):
+    return TypeAnnotation(category=category,
+                          meta_category="Personal identifiers",
+                          descriptor=descriptor, verbatim=f"v:{descriptor}",
+                          line=line)
+
+
+def _records():
+    return [
+        DomainAnnotations(
+            domain="alpha.com", sector="FI", status="annotated",
+            types=[_type("email address", line=3),
+                   _type("ip address", line=7, category="Device data")],
+            purposes=[PurposeAnnotation(category="Marketing",
+                                        meta_category="Business",
+                                        descriptor="targeted ads",
+                                        verbatim="ads", line=9)],
+            handling=[HandlingAnnotation(group="Data retention",
+                                         label="retention period stated",
+                                         verbatim="two years", line=12,
+                                         period_text="two years",
+                                         period_days=730)],
+            extracted_aspects=["types", "purposes"]),
+        DomainAnnotations(
+            domain="beta.com", sector="FI", status="annotated",
+            types=[_type("email address", line=2)],
+            rights=[RightsAnnotation(group="User choices",
+                                     label="opt out", verbatim="opt out",
+                                     line=4)]),
+        DomainAnnotations(
+            domain="gamma.com", sector="HC", status="annotated",
+            types=[_type("health data", line=5,
+                         category="Health information")]),
+        DomainAnnotations(domain="omega.com", sector="HC",
+                          status="crawl-failed"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(CorpusIndex.build(build_snapshot(_records())))
+
+
+class TestDomainLookup:
+    def test_hit_returns_full_record(self, engine):
+        body = engine.execute(DomainLookup(domain="alpha.com")).payload
+        assert body["found"] is True
+        assert body["record"]["sector"] == "FI"
+        assert [t["descriptor"] for t in body["record"]["types"]] == \
+            ["email address", "ip address"]
+
+    def test_miss_is_explicit_not_error(self, engine):
+        result = engine.execute(DomainLookup(domain="nowhere.com"))
+        assert result.payload == {"domain": "nowhere.com", "found": False}
+
+
+class TestFacetFilter:
+    def test_descriptor_filter(self, engine):
+        body = engine.execute(FacetFilter(
+            facet="types", descriptor="email address")).payload
+        assert body["domains"] == ["alpha.com", "beta.com"]
+        assert body["count"] == 2
+
+    def test_conjunction_of_constraints(self, engine):
+        body = engine.execute(FacetFilter(
+            facet="types", descriptor="email address",
+            sector="FI", status="annotated")).payload
+        assert body["domains"] == ["alpha.com", "beta.com"]
+        body = engine.execute(FacetFilter(
+            facet="types", descriptor="email address",
+            sector="HC")).payload
+        assert body["domains"] == []
+
+    def test_labels_facet_spans_handling_and_rights(self, engine):
+        by_label = engine.index.domains_by_descriptor["labels"]
+        assert by_label["retention period stated"] == ["alpha.com"]
+        assert by_label["opt out"] == ["beta.com"]
+
+    def test_unconstrained_filter_returns_whole_corpus(self, engine):
+        body = engine.execute(FacetFilter(facet="types")).payload
+        assert body["count"] == 4  # crawl-failed domains included
+
+    def test_unknown_value_yields_empty_not_error(self, engine):
+        body = engine.execute(FacetFilter(
+            facet="purposes", category="No Such Category")).payload
+        assert body == {"facet": "purposes", "count": 0, "domains": []}
+
+
+class TestSectorAggregate:
+    def test_sector_profile(self, engine):
+        body = engine.execute(SectorAggregate(sector="FI")).payload
+        assert body["found"] is True
+        assert body["domains"] == 2
+        assert body["statuses"] == {"annotated": 2}
+        assert body["annotations"] == {"types": 3, "purposes": 1,
+                                       "handling": 1, "rights": 1}
+        assert body["top_types"][0] == {"descriptor": "email address",
+                                        "count": 2}
+
+    def test_unknown_sector_reports_not_found(self, engine):
+        body = engine.execute(SectorAggregate(sector="XX")).payload
+        assert body["found"] is False
+        assert body["domains"] == 0
+
+
+class TestTopDescriptors:
+    def test_count_desc_then_name_asc(self, engine):
+        body = engine.execute(TopDescriptors(facet="types", k=10)).payload
+        assert body["descriptors"] == [
+            {"descriptor": "email address", "count": 2},
+            # ties broken lexicographically
+            {"descriptor": "health data", "count": 1},
+            {"descriptor": "ip address", "count": 1},
+        ]
+
+    def test_k_truncates(self, engine):
+        body = engine.execute(TopDescriptors(facet="types", k=1)).payload
+        assert len(body["descriptors"]) == 1
+
+    def test_sector_scoping(self, engine):
+        body = engine.execute(TopDescriptors(facet="types", k=10,
+                                             sector="HC")).payload
+        assert body["descriptors"] == [{"descriptor": "health data",
+                                        "count": 1}]
+        assert body["sector"] == "HC"
+
+
+class TestAspectMentions:
+    def test_segments_carry_domain_line_verbatim(self, engine):
+        body = engine.execute(AspectMentions(aspect="types")).payload
+        assert body["total"] == 4
+        assert body["mentions"][0] == {"domain": "alpha.com", "line": 3,
+                                       "verbatim": "v:email address"}
+
+    def test_limit_bounds_payload_not_total(self, engine):
+        body = engine.execute(AspectMentions(aspect="types",
+                                             limit=2)).payload
+        assert body["total"] == 4
+        assert len(body["mentions"]) == 2
+
+    def test_rights_aspect_routes_to_rights_annotations(self, engine):
+        body = engine.execute(AspectMentions(aspect="rights")).payload
+        assert body["mentions"] == [{"domain": "beta.com", "line": 4,
+                                     "verbatim": "opt out"}]
+
+
+class TestTableAggregate:
+    def test_summary_counts(self, engine):
+        data = engine.execute(TableAggregate(table="summary")).payload["data"]
+        assert data["domains"] == 4
+        assert data["annotated"] == 3
+        assert data["statuses"] == {"annotated": 3, "crawl-failed": 1}
+        assert data["sectors"] == {"FI": 2, "HC": 2}
+
+    @pytest.mark.parametrize("table", ["table1", "table2a", "table2b",
+                                       "table3"])
+    def test_tables_are_precomputed_payloads(self, engine, table):
+        result = engine.execute(TableAggregate(table=table))
+        assert result.payload["data"] is engine.index.aggregates[table]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("query", [
+        FacetFilter(facet="bogus"),
+        TopDescriptors(facet="bogus"),
+        TopDescriptors(k=0),
+        AspectMentions(aspect="bogus"),
+        AspectMentions(aspect="types", limit=0),
+        TableAggregate(table="table9"),
+        DomainLookup(domain=""),
+        SectorAggregate(sector=""),
+    ])
+    def test_malformed_queries_raise_query_error(self, engine, query):
+        with pytest.raises(QueryError):
+            engine.execute(query)
+
+    def test_unknown_query_type_raises(self, engine):
+        with pytest.raises(QueryError, match="unknown query type"):
+            engine.execute(object())
+
+
+class TestDeterminism:
+    def test_results_are_byte_stable_across_rebuilds(self):
+        probes = [DomainLookup(domain="alpha.com"),
+                  FacetFilter(facet="types", descriptor="email address"),
+                  SectorAggregate(sector="FI"),
+                  TopDescriptors(facet="labels", k=5),
+                  AspectMentions(aspect="handling"),
+                  TableAggregate(table="table1")]
+        runs = []
+        for records in (_records(), list(reversed(_records()))):
+            engine = QueryEngine(CorpusIndex.build(build_snapshot(records)))
+            runs.append([engine.execute(q).to_json() for q in probes])
+        assert runs[0] == runs[1]
+
+    def test_to_json_is_canonical(self, engine):
+        body = engine.execute(TableAggregate(table="summary")).to_json()
+        assert body == json.dumps(json.loads(body), ensure_ascii=False,
+                                  sort_keys=True, separators=(",", ":"))
+
+
+class TestQueryFingerprints:
+    def test_kind_and_payload_round_trip(self):
+        query = TopDescriptors(facet="labels", k=3, sector="FI")
+        assert query_kind(query) == "top-descriptors"
+        assert query_payload(query) == {"kind": "top-descriptors",
+                                        "facet": "labels", "k": 3,
+                                        "sector": "FI"}
+
+    def test_none_fields_do_not_leak_into_key(self):
+        assert query_payload(FacetFilter(facet="types")) == \
+            {"kind": "filter", "facet": "types"}
+
+    @given(facet=st.sampled_from(["types", "purposes", "labels"]),
+           k=st.integers(min_value=1, max_value=50),
+           sector=st.none() | st.text(min_size=1, max_size=8))
+    def test_equal_queries_share_fingerprints(self, facet, k, sector):
+        a = TopDescriptors(facet=facet, k=k, sector=sector)
+        b = TopDescriptors(facet=facet, k=k, sector=sector)
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_parameter_change_moves_fingerprint(self):
+        base = query_fingerprint(TopDescriptors(facet="types", k=10))
+        assert query_fingerprint(TopDescriptors(facet="types", k=11)) != base
+        assert query_fingerprint(TopDescriptors(facet="labels", k=10)) != base
+
+    def test_kinds_do_not_collide(self):
+        # Same field values under different query types must key apart.
+        assert query_fingerprint(DomainLookup(domain="FI")) != \
+            query_fingerprint(SectorAggregate(sector="FI"))

@@ -1,0 +1,257 @@
+"""Snapshot round-trip tests: serialize → load → query equality.
+
+Hypothesis drives arbitrary record sets through the full snapshot cycle;
+explicit cases pin the edge corpora the ISSUE calls out (empty,
+single-domain, crawl-failure-only) and the failure modes (corruption,
+schema drift, cold cache).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.errors import SnapshotError
+from repro.pipeline import PipelineCache, PipelineOptions, run_pipeline
+from repro.pipeline.records import (
+    DomainAnnotations,
+    HandlingAnnotation,
+    PurposeAnnotation,
+    RightsAnnotation,
+    TypeAnnotation,
+)
+from repro.serve import (
+    CorpusIndex,
+    DomainLookup,
+    QueryEngine,
+    TableAggregate,
+    TopDescriptors,
+    build_snapshot,
+    load_snapshot,
+    snapshot_fingerprint,
+    snapshot_from_cache,
+    snapshot_from_result,
+    write_snapshot,
+)
+
+_words = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)),
+    min_size=1, max_size=24)
+_domains = st.from_regex(r"[a-z]{2,8}\.(com|net|org)", fullmatch=True)
+_lines = st.integers(min_value=1, max_value=400)
+
+_types = st.builds(
+    TypeAnnotation,
+    category=st.sampled_from(["Contact information", "Location",
+                              "Device data"]),
+    meta_category=st.sampled_from(["Personal identifiers",
+                                   "Technical data"]),
+    descriptor=_words, verbatim=_words, line=_lines, novel=st.booleans())
+_purposes = st.builds(
+    PurposeAnnotation,
+    category=st.sampled_from(["Marketing", "Analytics", "Security"]),
+    meta_category=st.sampled_from(["Business", "Operations"]),
+    descriptor=_words, verbatim=_words, line=_lines, novel=st.booleans())
+_handling = st.builds(
+    HandlingAnnotation,
+    group=st.sampled_from(["Data retention", "Data protection"]),
+    label=_words, verbatim=_words, line=_lines,
+    period_text=st.none() | _words,
+    period_days=st.none() | st.integers(min_value=1, max_value=3650))
+_rights = st.builds(
+    RightsAnnotation,
+    group=st.sampled_from(["User choices", "User access"]),
+    label=_words, verbatim=_words, line=_lines)
+
+_records = st.builds(
+    DomainAnnotations,
+    domain=_domains,
+    sector=st.sampled_from(["FI", "HC", "IT", "--"]),
+    status=st.sampled_from(["annotated", "no-annotations",
+                            "extract-failed", "crawl-failed"]),
+    types=st.lists(_types, max_size=4),
+    purposes=st.lists(_purposes, max_size=3),
+    handling=st.lists(_handling, max_size=3),
+    rights=st.lists(_rights, max_size=3),
+    fallback_aspects=st.lists(st.sampled_from(["types", "rights"]),
+                              max_size=2),
+    extracted_aspects=st.lists(st.sampled_from(["types", "purposes",
+                                                "handling", "rights"]),
+                               max_size=4),
+    policy_words=st.integers(min_value=0, max_value=20000),
+    hallucinations_filtered=st.integers(min_value=0, max_value=40))
+
+
+def _probe_bodies(snapshot) -> list[str]:
+    """Deterministic probe answers covering point, top-k, and aggregates."""
+    engine = QueryEngine(CorpusIndex.build(snapshot))
+    probes = [DomainLookup(domain=r.domain) for r in snapshot.records]
+    probes += [DomainLookup(domain="missing.invalid"),
+               TopDescriptors(facet="types", k=5),
+               TopDescriptors(facet="labels", k=3),
+               TableAggregate(table="summary"),
+               TableAggregate(table="table1"),
+               TableAggregate(table="table3")]
+    return [engine.execute(q).to_json() for q in probes]
+
+
+class TestRoundTripProperties:
+    @given(records=st.lists(_records, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_serialize_load_query_equality(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("snap") / "s.json"
+        snap = build_snapshot(records)
+        write_snapshot(snap, path)
+        loaded = load_snapshot(path)
+        assert loaded.fingerprint == snap.fingerprint
+        assert loaded.records == snap.records
+        assert _probe_bodies(loaded) == _probe_bodies(snap)
+
+    @given(st.lists(_records, min_size=2, max_size=6,
+                    unique_by=lambda r: r.domain))
+    @settings(max_examples=25, deadline=None)
+    def test_fingerprint_ignores_record_order(self, records):
+        assert snapshot_fingerprint(records) == \
+            snapshot_fingerprint(list(reversed(records)))
+
+    @given(st.lists(_records, min_size=1, max_size=5), _records)
+    @settings(max_examples=25, deadline=None)
+    def test_fingerprint_moves_with_new_domain(self, records, extra):
+        domains = {r.domain for r in records}
+        base = snapshot_fingerprint(records)
+        if extra.domain in domains:
+            # Duplicate domains are dropped (first record wins).
+            assert snapshot_fingerprint(records + [extra]) == base
+        else:
+            assert snapshot_fingerprint(records + [extra]) != base
+
+
+class TestEdgeCorpora:
+    def test_empty_corpus_round_trips_and_serves(self, tmp_path):
+        snap = build_snapshot([])
+        path = tmp_path / "empty.json"
+        write_snapshot(snap, path)
+        loaded = load_snapshot(path)
+        assert loaded.records == ()
+        engine = QueryEngine(CorpusIndex.build(loaded))
+        summary = engine.execute(TableAggregate(table="summary")).payload
+        assert summary["data"]["domains"] == 0
+        lookup = engine.execute(DomainLookup(domain="any.com")).payload
+        assert lookup == {"domain": "any.com", "found": False}
+
+    def test_single_domain_corpus(self, tmp_path):
+        record = DomainAnnotations(
+            domain="solo.com", sector="IT", status="annotated",
+            types=[TypeAnnotation(category="Contact information",
+                                  meta_category="Personal identifiers",
+                                  descriptor="email address",
+                                  verbatim="email address", line=3)])
+        snap = build_snapshot([record])
+        write_snapshot(snap, tmp_path / "one.json")
+        loaded = load_snapshot(tmp_path / "one.json")
+        engine = QueryEngine(CorpusIndex.build(loaded))
+        body = engine.execute(DomainLookup(domain="solo.com")).payload
+        assert body["found"] is True
+        assert body["record"]["types"][0]["descriptor"] == "email address"
+
+    def test_crawl_failure_only_corpus(self, tmp_path):
+        records = [DomainAnnotations(domain=f"dead{n}.com", sector="--",
+                                     status="crawl-failed")
+                   for n in range(3)]
+        snap = build_snapshot(records)
+        write_snapshot(snap, tmp_path / "dead.json")
+        loaded = load_snapshot(tmp_path / "dead.json")
+        engine = QueryEngine(CorpusIndex.build(loaded))
+        summary = engine.execute(TableAggregate(table="summary")).payload
+        assert summary["data"]["statuses"] == {"crawl-failed": 3}
+        assert summary["data"]["annotated"] == 0
+        top = engine.execute(TopDescriptors(facet="types", k=5)).payload
+        assert top["descriptors"] == []
+
+    def test_canonical_order_and_duplicate_dedup(self):
+        first = DomainAnnotations(domain="dup.com", sector="A",
+                                  status="annotated")
+        snap = build_snapshot([
+            DomainAnnotations(domain="zz.com", sector="B",
+                              status="annotated"),
+            first,
+            DomainAnnotations(domain="dup.com", sector="C",
+                              status="crawl-failed"),
+            DomainAnnotations(domain="aa.com", sector="B",
+                              status="annotated"),
+        ])
+        assert [r.domain for r in snap.records] == \
+            ["aa.com", "dup.com", "zz.com"]
+        assert snap.records[1].sector == "A"  # first duplicate won
+
+
+class TestVerification:
+    def test_truncated_snapshot_is_rejected(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_snapshot(build_snapshot([]), path)
+        path.write_text(path.read_text()[:-10])
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_tampered_record_fails_fingerprint_check(self, tmp_path):
+        record = DomainAnnotations(domain="a.com", sector="IT",
+                                   status="annotated")
+        path = tmp_path / "s.json"
+        write_snapshot(build_snapshot([record]), path)
+        payload = json.loads(path.read_text())
+        payload["records"][0]["sector"] = "XX"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            load_snapshot(path)
+
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_snapshot(build_snapshot([]), path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="schema"):
+            load_snapshot(path)
+
+    def test_missing_file_is_diagnosed(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(tmp_path / "nope.json")
+
+
+class TestFromCacheAndResult:
+    @pytest.fixture(scope="class")
+    def cached_run(self, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("snap-cache")
+        corpus = build_corpus(CorpusConfig(seed=3, fraction=0.02))
+        options = PipelineOptions()
+        result = run_pipeline(corpus, options, cache_dir=cache_dir)
+        return corpus, options, cache_dir, result
+
+    def test_cache_snapshot_equals_result_snapshot(self, cached_run):
+        corpus, options, cache_dir, result = cached_run
+        from_result = snapshot_from_result(result)
+        from_cache = snapshot_from_cache(corpus, options,
+                                         PipelineCache(cache_dir))
+        assert from_cache.fingerprint == from_result.fingerprint
+        assert from_cache.records == from_result.records
+        assert from_cache.source == "cache"
+
+    def test_cold_cache_error_names_missing_domains(self, cached_run,
+                                                    tmp_path):
+        corpus, options, _, _ = cached_run
+        with pytest.raises(SnapshotError) as excinfo:
+            snapshot_from_cache(corpus, options,
+                                PipelineCache(tmp_path / "cold"))
+        message = str(excinfo.value)
+        assert corpus.domains[0] in message
+        assert "run the pipeline" in message
+
+    def test_result_snapshot_carries_provenance(self, cached_run):
+        _, _, _, result = cached_run
+        snap = snapshot_from_result(result, provenance={"corpus_seed": 3})
+        assert snap.source == "pipeline-result"
+        assert snap.provenance["corpus_seed"] == 3
+        assert snap.provenance["prompt_tokens"] == result.prompt_tokens

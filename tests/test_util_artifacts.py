@@ -1,0 +1,83 @@
+"""Tests for canonical JSON, content digests, and atomic artifact writes."""
+
+import json
+import threading
+
+import pytest
+
+from repro._util import canonical_json, content_digest, write_json_atomic
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == \
+            canonical_json({"a": 2, "b": 1})
+
+    def test_rendering_is_compact_and_sorted(self):
+        assert canonical_json({"b": [1, 2], "a": "x"}) == '{"a":"x","b":[1,2]}'
+
+    def test_digest_moves_with_any_value_change(self):
+        base = content_digest({"a": 1, "b": [1, 2]})
+        assert content_digest({"a": 1, "b": [1, 3]}) != base
+        assert content_digest({"a": 1, "b": [2, 1]}) != base
+        assert content_digest({"a": 1, "b": [1, 2]}) == base
+
+    def test_digest_matches_cache_layer(self):
+        # The pipeline cache's key digests delegate here; the two must
+        # never diverge or existing cache entries go unreachable.
+        from repro.pipeline.cache import _digest
+
+        payload = {"domain": "a.com", "options": {"x": 1}}
+        assert _digest(payload) == content_digest(payload)
+
+
+class TestWriteJsonAtomic:
+    def test_writes_readable_json_and_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "artifact.json"
+        returned = write_json_atomic(path, {"k": [1, 2]})
+        assert returned == path
+        assert json.loads(path.read_text()) == {"k": [1, 2]}
+        assert path.read_text().endswith("\n")
+
+    def test_replaces_existing_artifact(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_json_atomic(path, {"v": 1})
+        write_json_atomic(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+
+    def test_no_temp_debris_after_write(self, tmp_path):
+        write_json_atomic(tmp_path / "a.json", {"v": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["a.json"]
+
+    def test_failed_serialization_leaves_target_intact(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_json_atomic(path, {"v": 1})
+        with pytest.raises(TypeError):
+            write_json_atomic(path, {"v": object()})
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["a.json"]
+
+    def test_concurrent_writers_leave_one_whole_artifact(self, tmp_path):
+        path = tmp_path / "contended.json"
+        payloads = [{"writer": n, "data": list(range(200))}
+                    for n in range(8)]
+
+        def write(payload):
+            for _ in range(20):
+                write_json_atomic(path, payload)
+
+        threads = [threading.Thread(target=write, args=(p,))
+                   for p in payloads]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = json.loads(path.read_text())  # parses => never torn
+        assert final in payloads
+        assert [p.name for p in tmp_path.iterdir()] == ["contended.json"]
+
+    def test_sort_keys_and_compact_mode(self, tmp_path):
+        path = tmp_path / "compact.json"
+        write_json_atomic(path, {"b": 1, "a": 2}, indent=None,
+                          sort_keys=True)
+        assert path.read_text() == '{"a": 2, "b": 1}\n'
