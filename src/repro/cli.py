@@ -9,9 +9,12 @@ Examples::
     repro-pipeline serve-snapshot --fraction 0.1 --out corpus.snap.json
     repro-pipeline query --snapshot corpus.snap.json --domain acme.com
     repro-pipeline bench-serve --snapshot corpus.snap.json --requests 2000
+    repro-pipeline chaos --snapshot corpus.snap.json --chaos-seed 7 \\
+        --faults worker-death,cache-poison
 
 Errors are diagnosed, never dumped as tracebacks: unknown subcommands and
 invalid flag combinations exit with status 2 and a one-line usage hint.
+The ``chaos`` subcommand exits 1 when any invariant is violated.
 """
 
 from __future__ import annotations
@@ -48,7 +51,7 @@ class CLIUsageError(Exception):
 #: One-line usage hint appended to every usage error.
 _USAGE_HINT = ("usage: repro-pipeline [options] "
                "{run,tables,validate,models,crawl-stats,serve-snapshot,"
-               "query,bench-serve} ... (see repro-pipeline --help)")
+               "query,bench-serve,chaos} ... (see repro-pipeline --help)")
 
 
 def _progress(done: int, total: int, domain: str) -> None:
@@ -367,6 +370,69 @@ def cmd_bench_serve(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+    import tempfile
+
+    from repro._util import write_json_atomic
+    from repro.errors import ChaosError, SnapshotError
+    from repro.serve import (
+        SERVE_FAULT_CLASSES,
+        FaultPlan,
+        ServerConfig,
+        WorkloadConfig,
+        load_snapshot,
+        run_chaos,
+        snapshot_corruption_trials,
+    )
+
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except SnapshotError as exc:
+        raise CLIUsageError(str(exc))
+    if args.faults:
+        classes = tuple(name.strip() for name in args.faults.split(",")
+                        if name.strip())
+    else:
+        classes = SERVE_FAULT_CLASSES
+    try:
+        plan = FaultPlan.from_seed(args.chaos_seed, requests=args.requests,
+                                   classes=classes,
+                                   events_per_class=args.events_per_class)
+    except ChaosError as exc:
+        raise CLIUsageError(str(exc))
+    config = ServerConfig(workers=args.serve_workers,
+                          queue_depth=args.queue_depth)
+    report = run_chaos(
+        snapshot, plan,
+        workload_config=WorkloadConfig(seed=args.load_seed,
+                                       requests=args.requests,
+                                       clients=args.clients),
+        server_config=config, clients=args.clients,
+        deadline_s=args.deadline)
+    payload = {
+        "plan": plan.to_payload(),
+        "fault_classes": list(plan.classes()),
+        "report": report.as_dict(),
+    }
+    if args.snapshot_faults:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+            payload["snapshot_faults"] = snapshot_corruption_trials(
+                snapshot, seed=args.chaos_seed, workdir=workdir)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        write_json_atomic(args.out, payload, sort_keys=True)
+        print(f"chaos report written to {args.out}", file=sys.stderr)
+    violations = report.violations() \
+        + payload.get("snapshot_faults", {}).get("violations", 0)
+    if violations:
+        print(f"repro-pipeline: chaos: {violations} invariant "
+              f"violation{'s' if violations != 1 else ''} detected",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _positive_int(value: str) -> int:
     number = int(value)
     if number < 1:
@@ -495,6 +561,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--out", metavar="PATH",
                               help="write the JSON report here as well")
     bench_parser.set_defaults(func=cmd_bench_serve)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="fault-injection run with shed/wrong-byte/recovery invariants")
+    chaos_parser.add_argument("--snapshot", required=True, metavar="PATH")
+    chaos_parser.add_argument("--chaos-seed", type=int, default=0,
+                              help="fault-plan seed (default: 0)")
+    chaos_parser.add_argument("--faults", metavar="CLASS[,CLASS...]",
+                              help="comma-separated serve fault classes "
+                              "(default: all of slow-handler, worker-death, "
+                              "worker-hang, cache-poison, clock-skew)")
+    chaos_parser.add_argument("--requests", type=_positive_int, default=300)
+    chaos_parser.add_argument("--clients", type=_positive_int, default=4)
+    chaos_parser.add_argument("--serve-workers", type=_positive_int,
+                              default=2)
+    chaos_parser.add_argument("--queue-depth", type=_positive_int,
+                              default=16)
+    chaos_parser.add_argument("--events-per-class", type=_positive_int,
+                              default=3)
+    chaos_parser.add_argument("--deadline", type=float, default=30.0,
+                              help="per-request termination deadline, "
+                              "seconds (default: 30)")
+    chaos_parser.add_argument("--load-seed", type=int, default=0)
+    chaos_parser.add_argument("--snapshot-faults", action="store_true",
+                              help="also run seeded truncation/bit-flip "
+                              "trials against the snapshot file")
+    chaos_parser.add_argument("--out", metavar="PATH",
+                              help="write the JSON report here as well")
+    chaos_parser.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -75,8 +75,25 @@ class ServeError(ReproError):
 
 
 class SnapshotError(ServeError):
-    """Raised when a corpus snapshot cannot be built, read, or verified."""
+    """Raised when a corpus snapshot cannot be built, read, or verified.
+
+    Attributes:
+        reason: Machine-readable corruption/rejection class assigned at the
+            raise site (``"unreadable"``, ``"not-json"``, ``"not-object"``,
+            ``"schema-mismatch"``, ``"missing-records"``,
+            ``"malformed-record"``, ``"fingerprint-mismatch"``, or the
+            default ``"invalid"``). The chaos harness aggregates detected
+            corruptions by this code.
+    """
+
+    def __init__(self, message: str, *, reason: str = "invalid"):
+        super().__init__(message)
+        self.reason = reason
 
 
 class QueryError(ServeError):
     """Raised when a query is malformed (unknown facet, bad parameters)."""
+
+
+class ChaosError(ServeError):
+    """Raised on invalid fault plans or chaos-harness misuse."""

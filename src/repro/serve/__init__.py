@@ -14,8 +14,25 @@ interactive latency, offline-benchmarkable at production shape:
    load-shedding, a TTL+LRU hot-result cache, and latency metrics.
 5. :mod:`repro.serve.loadgen` — seeded closed-loop load generation
    (zipfian popularity, mixed query classes).
+6. :mod:`repro.serve.chaos` — deterministic fault injection with
+   shed-never-stall / never-a-wrong-byte / recover invariants checked
+   against a fault-free oracle.
 """
 
+from repro.serve.chaos import (
+    FAULT_CLASSES,
+    SERVE_FAULT_CLASSES,
+    SNAPSHOT_FAULT_CLASSES,
+    ChaosInjector,
+    ChaosReport,
+    FaultEvent,
+    FaultPlan,
+    SkewClock,
+    baseline_digest,
+    corrupt_snapshot_file,
+    run_chaos,
+    snapshot_corruption_trials,
+)
 from repro.serve.index import FACETS, TABLES, CorpusIndex
 from repro.serve.loadgen import (
     DEFAULT_MIX,
@@ -49,6 +66,7 @@ from repro.serve.server import (
     ServeMetrics,
     ServeResponse,
     ServerConfig,
+    WorkerCrash,
     percentile,
 )
 from repro.serve.snapshot import (
@@ -63,6 +81,19 @@ from repro.serve.snapshot import (
 )
 
 __all__ = [
+    "FAULT_CLASSES",
+    "SERVE_FAULT_CLASSES",
+    "SNAPSHOT_FAULT_CLASSES",
+    "ChaosInjector",
+    "ChaosReport",
+    "FaultEvent",
+    "FaultPlan",
+    "SkewClock",
+    "baseline_digest",
+    "corrupt_snapshot_file",
+    "run_chaos",
+    "snapshot_corruption_trials",
+    "WorkerCrash",
     "FACETS",
     "TABLES",
     "CorpusIndex",

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
 from repro.serve.index import FACETS, TABLES, CorpusIndex
@@ -30,6 +31,7 @@ from repro.serve.query import (
     SectorAggregate,
     TableAggregate,
     TopDescriptors,
+    query_kind,
 )
 from repro.serve.server import AnnotationServer, percentile
 
@@ -130,6 +132,9 @@ class LoadReport:
     ok: int = 0
     shed: int = 0
     errors: int = 0
+    #: Requests whose future missed the client deadline (``deadline_s``) —
+    #: a stall the serving layer promised never to produce.
+    timeouts: int = 0
     cached: int = 0
     wall_s: float = 0.0
     by_kind: dict[str, int] = field(default_factory=dict)
@@ -156,6 +161,7 @@ class LoadReport:
             "ok": self.ok,
             "shed": self.shed,
             "errors": self.errors,
+            "timeouts": self.timeouts,
             "cached": self.cached,
             "wall_s": round(self.wall_s, 4),
             "throughput_rps": round(self.throughput_rps, 2),
@@ -169,11 +175,17 @@ class LoadReport:
 
 
 def run_load(server: AnnotationServer, workload: list[Query],
-             clients: int = 4) -> LoadReport:
+             clients: int = 4,
+             deadline_s: float | None = None) -> LoadReport:
     """Drive a started server with ``clients`` closed-loop threads.
 
     The workload is dealt round-robin, so request ``i`` always belongs to
     client ``i % clients`` regardless of timing.
+
+    ``deadline_s`` makes the run fault-plan-aware: each client waits at
+    most that long for a response and counts a miss in
+    ``LoadReport.timeouts`` instead of blocking forever — the measurement
+    the chaos harness's shed-never-stall invariant is checked against.
     """
     report = LoadReport()
     lock = threading.Lock()
@@ -181,7 +193,15 @@ def run_load(server: AnnotationServer, workload: list[Query],
     def client(worker_id: int) -> None:
         for query in workload[worker_id::clients]:
             start = time.perf_counter()
-            response = server.request(query)
+            try:
+                response = server.submit(query).result(timeout=deadline_s)
+            except FutureTimeoutError:
+                with lock:
+                    report.requests += 1
+                    report.timeouts += 1
+                    kind = query_kind(query)
+                    report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
+                continue
             elapsed = time.perf_counter() - start
             with lock:
                 report.requests += 1

@@ -25,10 +25,33 @@ into a bounded-concurrency service:
 Responses are plain frozen dataclasses; worker threads never share
 mutable query state, and the index itself is read-only after build, so
 any worker count serves byte-identical bodies.
+
+**Fault seams.** The server exposes explicit, documented seams for the
+chaos harness (:mod:`repro.serve.chaos`) rather than relying on
+monkeypatching: a ``fault_injector`` hook object consulted on submit and
+before each request is served (it may delay, corrupt the cache, skew the
+clock, block, or raise :class:`WorkerCrash` to kill the worker
+mid-request), a :meth:`ResultCache.corrupt` seam that poisons a stored
+entry in place, and an injectable ``clock``. The seams are inert when no
+injector is installed — the zero-fault path is byte-identical to a server
+built without them. Two hardening behaviours back the chaos invariants:
+
+- **Cache entries are digest-verified.** ``put`` stores a SHA-256 of the
+  body alongside it; ``get`` recomputes and treats any mismatch as a miss
+  (the entry is dropped and counted). A poisoned or partially-written
+  entry can therefore never be returned — corruption is detected, not
+  propagated.
+- **The worker pool self-heals.** A worker that dies mid-request first
+  resolves the in-flight future with an explicit ``InternalError``
+  response (counted — the request terminates, never stalls), then a
+  replacement worker is spawned so capacity recovers. ``stop()`` drains
+  any request left behind by dead workers with an explicit
+  ``ServerStopped`` error instead of abandoning its future.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import queue
 import threading
@@ -93,12 +116,21 @@ class ServeResponse:
         return self.status == OK
 
 
+def _body_digest(body: str) -> str:
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """Thread-safe TTL+LRU cache of serialized query results.
 
     ``clock`` is injectable so tests can advance time deterministically.
     Entries expire ``ttl_s`` after being stored; reads refresh LRU order
     but never the TTL (a hot entry still ages out, bounding staleness).
+
+    Every body is stored with its SHA-256; ``get`` verifies it and treats
+    a mismatch as a miss, dropping the entry and counting the rejection in
+    ``corruption_rejections``. A poisoned or partially-written entry is
+    therefore recomputed, never served.
     """
 
     def __init__(self, entries: int, ttl_s: float, clock=time.monotonic):
@@ -106,7 +138,9 @@ class ResultCache:
         self.ttl_s = ttl_s
         self._clock = clock
         self._lock = threading.Lock()
-        self._data: OrderedDict[str, tuple[float, str]] = OrderedDict()
+        self._data: OrderedDict[str, tuple[float, str, str]] = OrderedDict()
+        #: Entries dropped because their stored digest no longer matched.
+        self.corruption_rejections = 0
 
     def get(self, key: str) -> str | None:
         if self.entries <= 0:
@@ -115,9 +149,13 @@ class ResultCache:
             item = self._data.get(key)
             if item is None:
                 return None
-            stored_at, body = item
+            stored_at, body, digest = item
             if self._clock() - stored_at >= self.ttl_s:
                 del self._data[key]
+                return None
+            if _body_digest(body) != digest:
+                del self._data[key]
+                self.corruption_rejections += 1
                 return None
             self._data.move_to_end(key)
             return body
@@ -126,10 +164,38 @@ class ResultCache:
         if self.entries <= 0:
             return
         with self._lock:
-            self._data[key] = (self._clock(), body)
+            self._data[key] = (self._clock(), body, _body_digest(body))
             self._data.move_to_end(key)
             while len(self._data) > self.entries:
                 self._data.popitem(last=False)
+
+    def corrupt(self, key: str | None = None) -> str | None:
+        """Fault-injection seam: flip one character of a stored body.
+
+        The stored digest is deliberately left stale, modelling a poisoned
+        or torn entry. With no ``key`` the most-recently-used entry is
+        corrupted (the one a hot workload is most likely to re-read).
+        Returns the corrupted key, or ``None`` if the cache is empty.
+        Exists for :mod:`repro.serve.chaos`; the serving path never calls
+        it.
+        """
+        with self._lock:
+            if not self._data:
+                return None
+            if key is None:
+                key = next(reversed(self._data))
+            item = self._data.get(key)
+            if item is None:
+                return None
+            stored_at, body, digest = item
+            if not body:
+                return None
+            pos = len(body) // 2
+            flipped = "X" if body[pos] != "X" else "Y"
+            self._data[key] = (stored_at,
+                               body[:pos] + flipped + body[pos + 1:],
+                               digest)
+            return key
 
     def __len__(self) -> int:
         with self._lock:
@@ -162,6 +228,11 @@ class ServeMetrics:
             self.counters.increment(f"serve.{kind}.requests")
             self.counters.increment(f"serve.{kind}.shed")
             self.counters.increment("serve.shed")
+
+    def increment(self, name: str, count: int = 1) -> None:
+        """Thread-safe bump of an arbitrary counter (worker deaths etc.)."""
+        with self._lock:
+            self.counters.increment(name, count)
 
     # -- reads -----------------------------------------------------------
 
@@ -219,12 +290,32 @@ def percentile(samples: list[float], pct: float) -> float:
 _STOP = object()
 
 
+class WorkerCrash(Exception):
+    """Raised *by a fault injector* to kill a worker mid-request.
+
+    The seam contract: the worker resolves the in-flight request with an
+    explicit ``InternalError`` response (the request terminates, counted),
+    then the thread dies and the pool spawns a replacement. Not part of
+    the :class:`~repro.errors.ReproError` hierarchy on purpose — it is a
+    control-flow signal between the injector and the worker loop, never
+    an error surfaced to callers.
+    """
+
+
 class AnnotationServer:
-    """A closed-loop, thread-pooled query server over one snapshot."""
+    """A closed-loop, thread-pooled query server over one snapshot.
+
+    ``fault_injector`` is the chaos seam: an object with ``on_submit(kind)``
+    (called for every submission, admitted or shed) and
+    ``before_serve(query, kind)`` (called by a worker just before the
+    request is served; may sleep, skew the clock, poison the cache, block,
+    or raise :class:`WorkerCrash`). ``None`` — the default — keeps the
+    request path byte-identical to a seamless server.
+    """
 
     def __init__(self, snapshot: CorpusSnapshot,
                  config: ServerConfig | None = None,
-                 clock=time.monotonic):
+                 clock=time.monotonic, fault_injector=None):
         self.config = config or ServerConfig()
         self.snapshot = snapshot
         self.index = CorpusIndex.build(snapshot)
@@ -234,33 +325,71 @@ class AnnotationServer:
         self.cache = ResultCache(self.config.cache_entries,
                                  self.config.cache_ttl_s, clock=clock)
         self._clock = clock
+        self._injector = fault_injector
         self._queue: queue.Queue = queue.Queue(
             maxsize=self.config.queue_depth)
         self._threads: list[threading.Thread] = []
         self._started = False
+        self._lifecycle = threading.Lock()
+        self._worker_serial = 0
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "AnnotationServer":
-        if self._started:
-            raise ServeError("server already started")
-        self._started = True
-        for n in range(self.config.workers):
-            thread = threading.Thread(target=self._worker,
-                                      name=f"serve-worker-{n}", daemon=True)
-            thread.start()
-            self._threads.append(thread)
+        with self._lifecycle:
+            if self._started:
+                raise ServeError("server already started")
+            self._started = True
+            for _ in range(self.config.workers):
+                self._spawn_worker()
         return self
 
+    def _spawn_worker(self) -> None:
+        """Start one worker thread; caller holds ``_lifecycle``."""
+        thread = threading.Thread(
+            target=self._worker, daemon=True,
+            name=f"serve-worker-{self._worker_serial}")
+        self._worker_serial += 1
+        thread.start()
+        self._threads.append(thread)
+
     def stop(self) -> None:
-        if not self._started:
-            return
-        for _ in self._threads:
+        with self._lifecycle:
+            if not self._started:
+                return
+            self._started = False
+            threads = list(self._threads)
+        for _ in threads:
             self._queue.put(_STOP)  # sentinels bypass admission control
-        for thread in self._threads:
+        for thread in threads:
             thread.join()
-        self._threads.clear()
-        self._started = False
+        with self._lifecycle:
+            self._threads.clear()
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        """Resolve anything left in the queue after the workers exited.
+
+        Normally the queue is empty here: sentinels sit behind all
+        admitted requests, so live workers drain them first. But a worker
+        that died mid-shutdown leaves its sentinel (and possibly queued
+        requests) behind; every such request gets an explicit
+        ``ServerStopped`` error instead of a forever-pending future.
+        """
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            query, kind, future, submitted_at = item
+            response = ServeResponse(
+                status=ERROR, kind=kind,
+                body="ServerStopped: request abandoned at shutdown")
+            self.metrics.record(kind, ERROR, False,
+                                self._clock() - submitted_at)
+            future.set_result(response)
 
     def __enter__(self) -> "AnnotationServer":
         return self.start()
@@ -271,11 +400,18 @@ class AnnotationServer:
     # -- request path ----------------------------------------------------
 
     def submit(self, query: Query) -> "Future[ServeResponse]":
-        """Admit a query (or shed it); never blocks the caller."""
+        """Admit a query (or shed it); never blocks the caller.
+
+        Raises a typed :class:`~repro.errors.ServeError` when the server
+        is not running (never started, or already stopped) — a dead future
+        that would never resolve is worse than an immediate error.
+        """
         if not self._started:
             raise ServeError("server not started; use `with server:` or "
                              "call start()")
         kind = query_kind(query)
+        if self._injector is not None:
+            self._injector.on_submit(kind)
         future: Future = Future()
         try:
             self._queue.put_nowait((query, kind, future, self._clock()))
@@ -293,16 +429,52 @@ class AnnotationServer:
     # -- worker loop -----------------------------------------------------
 
     def _worker(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _STOP:
-                return
-            query, kind, future, submitted_at = item
-            response = self._serve_one(query, kind)
-            latency = self._clock() - submitted_at
-            self.metrics.record(kind, response.status, response.cached,
-                                latency)
-            future.set_result(response)
+        crashed = False
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _STOP:
+                    return
+                query, kind, future, submitted_at = item
+                try:
+                    if self._injector is not None:
+                        self._injector.before_serve(query, kind)
+                    response = self._serve_one(query, kind)
+                except WorkerCrash as exc:
+                    response = ServeResponse(
+                        status=ERROR, kind=kind,
+                        body=f"InternalError: {exc}")
+                    crashed = True
+                except Exception as exc:
+                    # Defensive: an engine/injector bug must answer the
+                    # request and keep the worker alive, not strand the
+                    # future.
+                    response = ServeResponse(
+                        status=ERROR, kind=kind,
+                        body=f"InternalError: "
+                             f"{type(exc).__name__}: {exc}")
+                latency = self._clock() - submitted_at
+                self.metrics.record(kind, response.status, response.cached,
+                                    latency)
+                future.set_result(response)
+                if crashed:
+                    return
+        finally:
+            if crashed:
+                self._respawn(threading.current_thread())
+
+    def _respawn(self, dead_thread: threading.Thread) -> None:
+        """Replace a worker that died mid-request (self-healing pool)."""
+        with self._lifecycle:
+            if not self._started:
+                return  # shutting down; stop() handles the leftovers
+            self.metrics.increment("serve.worker.deaths")
+            self.metrics.increment("serve.worker.respawns")
+            try:
+                self._threads.remove(dead_thread)
+            except ValueError:
+                pass
+            self._spawn_worker()
 
     def _serve_one(self, query: Query, kind: str) -> ServeResponse:
         key = query_fingerprint(query)
@@ -327,5 +499,6 @@ __all__ = [
     "ServeMetrics",
     "ServeResponse",
     "ServerConfig",
+    "WorkerCrash",
     "percentile",
 ]

@@ -158,38 +158,49 @@ def load_snapshot(path: str | Path) -> CorpusSnapshot:
 
     Raises :class:`~repro.errors.SnapshotError` on unreadable files,
     schema mismatches, and — crucially — on any fingerprint mismatch
-    between the stored records and the stored fingerprint.
+    between the stored records and the stored fingerprint. Each rejection
+    carries a machine-readable corruption class in ``SnapshotError.reason``
+    (``unreadable``, ``not-json``, ``not-object``, ``schema-mismatch``,
+    ``missing-records``, ``malformed-record``, ``fingerprint-mismatch``)
+    so the chaos harness can assert not just *that* a corrupted file was
+    rejected but *how* the corruption was classified.
     """
     path = Path(path)
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except OSError as exc:
-        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}",
+                            reason="unreadable") from exc
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise SnapshotError(
-            f"snapshot {path} is not valid JSON: {exc}") from exc
+            f"snapshot {path} is not valid JSON: {exc}",
+            reason="not-json") from exc
     if not isinstance(payload, dict):
-        raise SnapshotError(f"snapshot {path} is not a JSON object")
+        raise SnapshotError(f"snapshot {path} is not a JSON object",
+                            reason="not-object")
     if payload.get("schema") != SNAPSHOT_SCHEMA_VERSION:
         raise SnapshotError(
             f"snapshot {path} has schema {payload.get('schema')!r}, "
-            f"expected {SNAPSHOT_SCHEMA_VERSION}")
+            f"expected {SNAPSHOT_SCHEMA_VERSION}", reason="schema-mismatch")
     raw_records = payload.get("records")
     if not isinstance(raw_records, list):
-        raise SnapshotError(f"snapshot {path} carries no record list")
+        raise SnapshotError(f"snapshot {path} carries no record list",
+                            reason="missing-records")
     try:
         records = tuple(DomainAnnotations.from_json(json.dumps(r))
                         for r in raw_records)
     except (KeyError, TypeError) as exc:
         raise SnapshotError(
-            f"snapshot {path} holds a malformed record: {exc}") from exc
+            f"snapshot {path} holds a malformed record: {exc}",
+            reason="malformed-record") from exc
     actual = content_digest(raw_records)
     stored = payload.get("fingerprint")
     if actual != stored:
         raise SnapshotError(
             f"snapshot {path} failed fingerprint verification: stored "
             f"{str(stored)[:12]}…, recomputed {actual[:12]}… — the file "
-            f"was truncated or modified after writing")
+            f"was truncated or modified after writing",
+            reason="fingerprint-mismatch")
     return CorpusSnapshot(records=records, fingerprint=actual,
                           source=str(payload.get("source", "records")),
                           provenance=dict(payload.get("provenance") or {}))

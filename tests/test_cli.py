@@ -221,3 +221,61 @@ class TestServeCommands:
         assert args.requests == 2000
         assert args.serve_workers == 2
         assert args.queue_depth == 64
+
+
+class TestChaosCommand:
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-chaos") / "corpus.snap.json"
+        assert main(["--fraction", "0.02", "--seed", "3",
+                     "serve-snapshot", "--out", str(path)]) == 0
+        return path
+
+    def test_chaos_registered_with_defaults(self):
+        args = build_parser().parse_args(["chaos", "--snapshot", "s.json"])
+        assert args.command == "chaos"
+        assert args.chaos_seed == 0
+        assert args.requests == 300
+        assert args.events_per_class == 3
+        assert not args.snapshot_faults
+
+    def test_chaos_clean_run_exits_0(self, capsys, snapshot_path,
+                                     tmp_path):
+        capsys.readouterr()
+        out = tmp_path / "chaos.json"
+        code = main(["chaos", "--snapshot", str(snapshot_path),
+                     "--chaos-seed", "7", "--requests", "120",
+                     "--faults", "slow-handler,cache-poison",
+                     "--out", str(out)])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["fault_classes"] == ["cache-poison", "slow-handler"]
+        assert printed["report"]["violations"] == 0
+        assert printed["report"]["recovered"] is True
+        assert printed["report"]["requests"] == 120
+        assert json.loads(out.read_text()) == printed
+
+    def test_chaos_snapshot_faults_flag(self, capsys, snapshot_path):
+        capsys.readouterr()
+        code = main(["chaos", "--snapshot", str(snapshot_path),
+                     "--requests", "60", "--faults", "clock-skew",
+                     "--snapshot-faults"])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        disk = printed["snapshot_faults"]
+        assert disk["violations"] == 0
+        assert disk["detected"] > 0
+
+    def test_chaos_unknown_fault_class_exits_2(self, capsys,
+                                               snapshot_path):
+        code = main(["chaos", "--snapshot", str(snapshot_path),
+                     "--faults", "disk-on-fire"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "disk-on-fire" in err
+        assert _USAGE_HINT in err
+
+    def test_chaos_missing_snapshot_exits_2(self, capsys, tmp_path):
+        code = main(["chaos", "--snapshot", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err

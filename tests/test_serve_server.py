@@ -325,3 +325,96 @@ class TestLoadGenerator:
                                        "table": [0.003, 0.004]})
         assert report.percentiles_ms()["p50"] == 2.0
         assert report.percentiles_ms("table")["p99"] == 4.0
+
+
+class TestLifecycleRegressions:
+    """Hard edges of the start/stop contract the chaos harness leans on."""
+
+    def test_submit_after_stop_raises_typed_error(self):
+        server = AnnotationServer(_snapshot())
+        server.start()
+        server.stop()
+        with pytest.raises(ServeError, match="not started"):
+            server.submit(TableAggregate(table="summary"))
+
+    def test_stop_with_gated_in_flight_drains_never_hangs(self):
+        # Hold one request inside the engine, stop() from another thread,
+        # then release: stop must join, and every future must resolve.
+        server = AnnotationServer(
+            _snapshot(), ServerConfig(workers=1, cache_entries=0))
+        entered, release = threading.Event(), threading.Event()
+        original = server.engine.execute
+
+        def gated(query):
+            entered.set()
+            assert release.wait(timeout=10)
+            return original(query)
+
+        server.engine.execute = gated
+        server.start()
+        in_flight = server.submit(TableAggregate(table="summary"))
+        queued = server.submit(DomainLookup(domain="site0.com"))
+        assert entered.wait(timeout=10)
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        release.set()
+        stopper.join(timeout=10)
+        assert not stopper.is_alive()  # stop() returned, no hang
+        assert in_flight.result(timeout=5).ok
+        assert queued.result(timeout=5).ok
+
+    def test_drain_pending_errors_abandoned_requests(self):
+        # White-box: a worker that died mid-shutdown can leave admitted
+        # requests behind its sentinel. _drain_pending must resolve them
+        # with an explicit error, never strand the future.
+        from concurrent.futures import Future
+
+        from repro.serve.server import _STOP
+
+        server = AnnotationServer(_snapshot(), ServerConfig(workers=1))
+        abandoned: Future = Future()
+        server._queue.put(_STOP)
+        server._queue.put((DomainLookup(domain="site0.com"), "domain",
+                           abandoned, 0.0))
+        server._drain_pending()
+        response = abandoned.result(timeout=1)
+        assert response.status == ERROR
+        assert response.body.startswith("ServerStopped:")
+        assert server._queue.empty()  # sentinel was swallowed too
+
+
+class TestMetricsDictShape:
+    """Pin the as_dict() contract consumed by benchmarks and the CLI."""
+
+    EXPECTED_KEYS = {"counters", "cache_hit_rate", "shed", "latency_s"}
+
+    def test_empty_metrics_shape(self):
+        dump = ServeMetrics().as_dict()
+        assert set(dump) == self.EXPECTED_KEYS
+        assert dump["counters"] == {}
+        assert dump["cache_hit_rate"] == 0.0
+        assert dump["shed"] == 0
+        assert dump["latency_s"] == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_sample_shape_and_values(self):
+        metrics = ServeMetrics()
+        metrics.record("domain", OK, cached=False, latency_s=0.25)
+        dump = metrics.as_dict()
+        assert set(dump) == self.EXPECTED_KEYS
+        assert set(dump["latency_s"]) == {"p50", "p95", "p99"}
+        # One sample is every percentile.
+        assert all(v == 0.25 for v in dump["latency_s"].values())
+        assert dump["counters"]["serve.domain.requests"] == 1
+
+    def test_counters_are_sorted_and_json_ready(self):
+        import json
+
+        metrics = ServeMetrics()
+        metrics.record("table", OK, cached=False, latency_s=0.1)
+        metrics.record("domain", ERROR, cached=False, latency_s=0.2)
+        metrics.increment("serve.worker.respawns")
+        dump = metrics.as_dict()
+        names = list(dump["counters"])
+        assert names == sorted(names)
+        assert dump["counters"]["serve.worker.respawns"] == 1
+        json.dumps(dump)  # round-trips without custom encoders

@@ -255,3 +255,76 @@ class TestFromCacheAndResult:
         assert snap.source == "pipeline-result"
         assert snap.provenance["corpus_seed"] == 3
         assert snap.provenance["prompt_tokens"] == result.prompt_tokens
+
+
+class TestCorruptionReasonCodes:
+    """load_snapshot classifies every rejection with a machine-readable
+    ``SnapshotError.reason`` — the chaos harness's disk-fault ledger keys
+    on these codes."""
+
+    def _written(self, tmp_path, records=()):
+        path = tmp_path / "s.json"
+        write_snapshot(build_snapshot(list(records)), path)
+        return path
+
+    def test_truncation_reason_is_not_json(self, tmp_path):
+        path = self._written(tmp_path)
+        path.write_text(path.read_text()[:-10])
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(path)
+        assert excinfo.value.reason == "not-json"
+
+    def test_tampered_record_reason_is_fingerprint_mismatch(self, tmp_path):
+        record = DomainAnnotations(domain="a.com", sector="IT",
+                                   status="annotated")
+        path = self._written(tmp_path, [record])
+        payload = json.loads(path.read_text())
+        payload["records"][0]["sector"] = "XX"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(path)
+        assert excinfo.value.reason == "fingerprint-mismatch"
+
+    def test_schema_mismatch_reason(self, tmp_path):
+        path = self._written(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(path)
+        assert excinfo.value.reason == "schema-mismatch"
+
+    def test_missing_file_reason_is_unreadable(self, tmp_path):
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(tmp_path / "nope.json")
+        assert excinfo.value.reason == "unreadable"
+
+    def test_non_object_payload_reason(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(path)
+        assert excinfo.value.reason == "not-object"
+
+    def test_missing_records_reason(self, tmp_path):
+        path = self._written(tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["records"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(path)
+        assert excinfo.value.reason == "missing-records"
+
+    def test_malformed_record_reason(self, tmp_path):
+        record = DomainAnnotations(domain="a.com", sector="IT",
+                                   status="annotated")
+        path = self._written(tmp_path, [record])
+        payload = json.loads(path.read_text())
+        payload["records"][0] = "not-a-mapping"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError) as excinfo:
+            load_snapshot(path)
+        assert excinfo.value.reason == "malformed-record"
+
+    def test_default_reason_is_invalid(self):
+        assert SnapshotError("boom").reason == "invalid"
