@@ -134,6 +134,46 @@ def _trigger_sentence_ranges(text: str, trigger_re) -> list[tuple[int, int]]:
 
 def _in_ranges(ranges, start: int, end: int) -> bool:
     return any(r_start <= start and end <= r_end for r_start, r_end in ranges)
+
+
+def trigger_spans(analysis, taxonomy_name: str) -> tuple[tuple[int, int], ...]:
+    """Spans of trigger-phrase matches in the line (memoized per line).
+
+    Module-level so both the engine and the cascade fast path
+    (:mod:`repro.pipeline.cascade`) read/write the same
+    ``LineAnalysis.memo`` entry — whichever runs first pays the regex.
+    """
+    key = ("trigger-spans", taxonomy_name)
+    cached = analysis.memo.get(key)
+    if cached is None:
+        cached = tuple(
+            (m.start(), m.end())
+            for m in _TRIGGERS[taxonomy_name].finditer(analysis.text)
+        )
+        analysis.memo[key] = cached
+    return cached
+
+
+def trigger_contexts(analysis, taxonomy_name: str,
+                     ) -> tuple[tuple[int, int], ...]:
+    """Spans of whole sentences containing a trigger phrase (memoized)."""
+    key = ("trigger-contexts", taxonomy_name)
+    cached = analysis.memo.get(key)
+    if cached is None:
+        text = analysis.text
+        trigger_re = _TRIGGERS[taxonomy_name]
+        # The triggers are anchor-free, so a match inside any sentence
+        # slice is also a match on the whole line: one whole-line miss
+        # rules out every sentence without computing sentence spans.
+        if trigger_re.search(text) is None:
+            cached = ()
+        else:
+            cached = tuple(
+                span for span in analysis.sentence_spans
+                if trigger_re.search(text[span[0]:span[1]])
+            )
+        analysis.memo[key] = cached
+    return cached
 _DETERMINER_RE = re.compile(r"^(?:your|our|the|a|an|certain|specific|any|"
                             r"other|such as|including|e\.g\.|what is commonly "
                             r"described as)\s+", re.IGNORECASE)
@@ -284,37 +324,11 @@ class AnnotationEngine:
 
     def _trigger_spans(self, analysis, taxonomy_name: str,
                        ) -> tuple[tuple[int, int], ...]:
-        """Spans of trigger-phrase matches in the line."""
-        key = ("trigger-spans", taxonomy_name)
-        cached = analysis.memo.get(key)
-        if cached is None:
-            cached = tuple(
-                (m.start(), m.end())
-                for m in _TRIGGERS[taxonomy_name].finditer(analysis.text)
-            )
-            analysis.memo[key] = cached
-        return cached
+        return trigger_spans(analysis, taxonomy_name)
 
     def _trigger_contexts(self, analysis, taxonomy_name: str,
                           ) -> tuple[tuple[int, int], ...]:
-        """Spans of whole sentences containing a trigger phrase."""
-        key = ("trigger-contexts", taxonomy_name)
-        cached = analysis.memo.get(key)
-        if cached is None:
-            text = analysis.text
-            trigger_re = _TRIGGERS[taxonomy_name]
-            # The triggers are anchor-free, so a match inside any sentence
-            # slice is also a match on the whole line: one whole-line miss
-            # rules out every sentence without computing sentence spans.
-            if trigger_re.search(text) is None:
-                cached = ()
-            else:
-                cached = tuple(
-                    span for span in analysis.sentence_spans
-                    if trigger_re.search(text[span[0]:span[1]])
-                )
-            analysis.memo[key] = cached
-        return cached
+        return trigger_contexts(analysis, taxonomy_name)
 
     def _lexicon_matches(self, analysis, taxonomy_name: str):
         key = ("matches", taxonomy_name)

@@ -103,6 +103,11 @@ class ModelErrorProfile:
     json_malform_rate: float = 0.0
 
 
+#: Noise-free reference tier: the deterministic engine with no perturbation.
+#: Not a paper model — used by benchmarks as the ground-truth oracle when
+#: separating a method's accuracy from the simulated models' noise floor.
+ORACLE_PROFILE = ModelErrorProfile()
+
 GPT4_PROFILE = ModelErrorProfile(
     drop_rate=0.02,
     spurious_extract_rate=0.035,
@@ -396,6 +401,7 @@ def make_model(name: str, seed: int = 0) -> SimulatedChatModel:
         "sim-gpt-4-turbo": GPT4_PROFILE,
         "sim-gpt-3.5-turbo": GPT35_PROFILE,
         "sim-llama-3.1": LLAMA31_PROFILE,
+        "sim-oracle": ORACLE_PROFILE,
     }
     try:
         profile = profiles[name]

@@ -106,13 +106,25 @@ def _print_cache_stats(result) -> None:
           file=sys.stderr)
 
 
+def _pipeline_options(args) -> PipelineOptions:
+    kwargs = {"model_name": args.model}
+    if getattr(args, "annotator", None):
+        kwargs["annotator"] = args.annotator
+    if getattr(args, "escalation_threshold", None) is not None:
+        kwargs["escalation_threshold"] = args.escalation_threshold
+    if getattr(args, "practice_escalation_threshold", None) is not None:
+        kwargs["practice_escalation_threshold"] = \
+            args.practice_escalation_threshold
+    return PipelineOptions(**kwargs)
+
+
 def _build_and_run(args):
     cache = _resolve_cache(args)
     print(f"building corpus (seed={args.seed}, fraction={args.fraction})",
           file=sys.stderr)
     corpus = build_corpus(CorpusConfig(seed=args.seed,
                                        fraction=args.fraction))
-    options = PipelineOptions(model_name=args.model)
+    options = _pipeline_options(args)
     start = time.time()
     workers = getattr(args, "workers", 1)
     backend = getattr(args, "backend", "thread")
@@ -259,8 +271,7 @@ def cmd_serve_snapshot(args) -> int:
 
         corpus = build_corpus(CorpusConfig(seed=args.seed,
                                            fraction=args.fraction))
-        snapshot = snapshot_from_cache(corpus,
-                                       PipelineOptions(model_name=args.model),
+        snapshot = snapshot_from_cache(corpus, _pipeline_options(args),
                                        PipelineCache(args.cache_dir))
     else:
         _, result = _build_and_run(args)
@@ -440,6 +451,13 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _unit_float(value: str) -> float:
+    number = float(value)
+    if not 0.0 <= number <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pipeline",
@@ -449,6 +467,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fraction", type=float, default=0.1,
                         help="corpus scale; 1.0 = full 2,892 domains")
     parser.add_argument("--model", default="sim-gpt-4-turbo")
+    parser.add_argument("--annotator", choices=["chatbot", "cascade"],
+                        default="chatbot",
+                        help="'chatbot' sends every segment through the "
+                        "chat tasks (the paper's pipeline); 'cascade' runs "
+                        "the distilled fast path first and escalates only "
+                        "low-confidence segments (default: chatbot)")
+    parser.add_argument("--escalation-threshold", type=_unit_float,
+                        default=None, metavar="T",
+                        help="cascade: escalate segments whose fast-path "
+                        "confidence is below T; 1.0 escalates everything "
+                        "(byte-identical to --annotator chatbot)")
+    parser.add_argument("--practice-escalation-threshold", type=_unit_float,
+                        default=None, metavar="T",
+                        help="cascade: stricter threshold for practice "
+                        "aspects and negation-sensitive segments "
+                        "(default: escalation threshold + 0.3)")
     parser.add_argument("--workers", type=_positive_int, default=1,
                         help="parallel pipeline workers; results are "
                         "identical for any value (sharded executor)")

@@ -15,6 +15,15 @@ all** —
 The distilled annotator generalizes across policies because the chatbot's
 normalization already collapsed surface variation; its ceiling is the
 teacher's output (it cannot out-normalize what it never saw).
+
+Training is **order-invariant**: two record lists that differ only in
+order (of records or of annotations within a record) produce bitwise
+identical models — same :meth:`DistilledAnnotator.fingerprint`, same
+matcher tries, same profile vectors, same inference output. Every
+aggregation is commutative (integer counts), every tie is broken by
+sorted key, and every derived structure is built in sorted order. The
+cascade annotator (:mod:`repro.pipeline.cascade`) depends on this to key
+cached results by model content.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ import re
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
+from repro._util.artifacts import content_digest
 from repro.chatbot.lexicon import PhraseMatcher, stem_token
 from repro.chatbot.engine import _trigger_sentence_ranges, _in_ranges  # noqa: WPS450
 from repro.chatbot.engine import _COLLECT_TRIGGER_RE, _PURPOSE_TRIGGER_RE
@@ -69,9 +79,11 @@ class LabelProfile:
     def vector(self) -> dict[str, float]:
         if not self.documents:
             return {}
-        return {stem: count / self.documents
-                for stem, count in self.counts.items()
-                if count / self.documents >= 0.2}
+        # Sorted stems: cosine sums then run in a fixed order, keeping the
+        # floating-point result independent of training-record order.
+        return {stem: self.counts[stem] / self.documents
+                for stem in sorted(self.counts)
+                if self.counts[stem] / self.documents >= 0.2}
 
 
 def _cosine(a: dict[str, float], b: set[str]) -> float:
@@ -81,6 +93,30 @@ def _cosine(a: dict[str, float], b: set[str]) -> float:
     norm_a = math.sqrt(sum(w * w for w in a.values()))
     norm_b = math.sqrt(len(b))
     return dot / (norm_a * norm_b) if norm_a and norm_b else 0.0
+
+
+@dataclass(frozen=True)
+class LexiconEntry:
+    """One learned phrase → (category, descriptor) mapping with evidence."""
+
+    phrase: str
+    category: str
+    descriptor: str
+    #: Votes for the winning label.
+    support: int
+    #: Winning label's share of all votes for this phrase (majority ≥ 0.6).
+    share: float
+
+    @property
+    def confidence(self) -> float:
+        """Calibrated trust in this mapping, in (0, 1).
+
+        The majority share scaled by a support shrinkage factor
+        ``support / (support + 1)`` (a Laplace-style correction): a 2-vote
+        unanimous phrase scores 0.67, a 20-vote unanimous phrase 0.95. The
+        cascade compares this against the escalation threshold.
+        """
+        return self.share * (self.support / (self.support + 1.0))
 
 
 @dataclass(frozen=True)
@@ -117,9 +153,26 @@ class DistilledAnnotator:
     """A chat-model-free annotator trained from pipeline records."""
 
     def __init__(self) -> None:
-        self._type_matcher = PhraseMatcher()
-        self._purpose_matcher = PhraseMatcher()
+        self._matchers: dict[str, PhraseMatcher] = {
+            "data-types": PhraseMatcher(),
+            "purposes": PhraseMatcher(),
+        }
+        self._entries: dict[str, list[LexiconEntry]] = {
+            "data-types": [],
+            "purposes": [],
+        }
         self._profiles: list[LabelProfile] = []
+        #: ``(profile, vector, vector norm)`` triples in sorted
+        #: (group, label) order; norms precomputed once at train time.
+        self._profile_vectors: tuple[
+            tuple[LabelProfile, dict, float], ...] = ()
+        #: Inverted index stem → ((profile index, weight), ...), so scoring
+        #: a sentence costs one dict probe per stem instead of one vector
+        #: scan per profile.
+        self._practice_postings: dict[
+            str, tuple[tuple[int, float], ...]] = {}
+        #: Shared all-zero score row for sentences with no profile overlap.
+        self._zero_scores: tuple[tuple[LabelProfile, float], ...] = ()
         self._trained = False
         self.lexicon_size = 0
 
@@ -127,11 +180,15 @@ class DistilledAnnotator:
 
     @classmethod
     def train(cls, records: list[DomainAnnotations]) -> "DistilledAnnotator":
-        """Learn lexicon and practice profiles from annotation records."""
+        """Learn lexicon and practice profiles from annotation records.
+
+        Order-invariant: permuting ``records`` (or annotations within a
+        record) yields a bitwise identical model.
+        """
         annotator = cls()
         type_votes: dict[tuple[str, ...], Counter] = defaultdict(Counter)
         purpose_votes: dict[tuple[str, ...], Counter] = defaultdict(Counter)
-        phrase_text: dict[tuple[str, ...], str] = {}
+        phrase_texts: dict[tuple[str, ...], Counter] = defaultdict(Counter)
         novel_phrases: set[tuple[str, ...]] = set()
         profiles: dict[tuple[str, str], LabelProfile] = {}
 
@@ -141,7 +198,7 @@ class DistilledAnnotator:
                 if stems:
                     type_votes[stems][(annotation.category,
                                        annotation.descriptor)] += 1
-                    phrase_text.setdefault(stems, annotation.verbatim)
+                    phrase_texts[stems][annotation.verbatim] += 1
                     if annotation.novel:
                         novel_phrases.add(stems)
             for annotation in record.purposes:
@@ -149,7 +206,7 @@ class DistilledAnnotator:
                 if stems:
                     purpose_votes[stems][(annotation.category,
                                           annotation.descriptor)] += 1
-                    phrase_text.setdefault(stems, annotation.verbatim)
+                    phrase_texts[stems][annotation.verbatim] += 1
                     if annotation.novel:
                         novel_phrases.add(stems)
             for annotation in record.handling + record.rights:
@@ -161,44 +218,137 @@ class DistilledAnnotator:
                     profiles[key] = profile
                 profile.add_sentence(annotation.verbatim)
 
-        for votes, matcher in ((type_votes, annotator._type_matcher),
-                               (purpose_votes, annotator._purpose_matcher)):
-            for stems, counter in votes.items():
-                (category, descriptor), support = counter.most_common(1)[0]
+        for taxonomy_name, votes in (("data-types", type_votes),
+                                     ("purposes", purpose_votes)):
+            matcher = annotator._matchers[taxonomy_name]
+            entries = annotator._entries[taxonomy_name]
+            # Sorted stems: ties below and first-registration-wins trie
+            # paths resolve identically for every training order.
+            for stems in sorted(votes):
+                counter = votes[stems]
+                (category, descriptor), support = min(
+                    counter.items(), key=lambda kv: (-kv[1], kv[0]))
                 total = sum(counter.values())
                 threshold = (NOVEL_MIN_SUPPORT if stems in novel_phrases
                              else MIN_PHRASE_SUPPORT)
                 if total < threshold:
                     continue
                 # Require a clear majority — ambiguous phrases hurt precision.
-                if support / total < 0.6:
+                share = support / total
+                if share < 0.6:
                     continue
-                matcher.add(phrase_text[stems], (category, descriptor))
+                # Canonical surface form: most frequent verbatim, ties to
+                # the lexicographically smallest.
+                texts = phrase_texts[stems]
+                phrase = min(texts.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+                entry = LexiconEntry(phrase=phrase, category=category,
+                                     descriptor=descriptor, support=support,
+                                     share=share)
+                matcher.add(phrase, entry)
+                entries.append(entry)
                 annotator.lexicon_size += 1
 
-        annotator._profiles = [p for p in profiles.values() if p.documents >= 2]
+        annotator._profiles = [profiles[key] for key in sorted(profiles)
+                               if profiles[key].documents >= 2]
+        annotator._profile_vectors = tuple(
+            (p, vec, math.sqrt(sum(w * w for w in vec.values())))
+            for p in annotator._profiles
+            for vec in (p.vector(),)
+        )
+        postings: dict[str, list[tuple[int, float]]] = defaultdict(list)
+        for index, (_, vec, _) in enumerate(annotator._profile_vectors):
+            for stem, weight in vec.items():
+                postings[stem].append((index, weight))
+        annotator._practice_postings = {
+            stem: tuple(hits) for stem, hits in postings.items()
+        }
+        annotator._zero_scores = tuple(
+            (p, 0.0) for p, _, _ in annotator._profile_vectors)
         annotator._trained = True
         return annotator
 
+    # -- identity ----------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-safe rendering of the full learned state (sorted, stable)."""
+        return {
+            "version": 1,
+            "lexicon": {
+                name: [[e.phrase, e.category, e.descriptor, e.support,
+                        e.share]
+                       for e in entries]
+                for name, entries in self._entries.items()
+            },
+            "profiles": [
+                [p.group, p.label, p.documents,
+                 [[stem, count] for stem, count in sorted(p.counts.items())]]
+                for p in self._profiles
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        """Content digest of the learned state.
+
+        Stable across training-record order (the permutation property the
+        hypothesis suite checks) and across processes/platforms.
+        """
+        return content_digest(self.to_payload())
+
     # -- inference ---------------------------------------------------------------
+
+    def matcher_for(self, taxonomy_name: str) -> PhraseMatcher:
+        """The learned-lexicon matcher for ``"data-types"``/``"purposes"``."""
+        return self._matchers[taxonomy_name]
+
+    @property
+    def profile_vectors(self) -> tuple[tuple[LabelProfile, dict, float], ...]:
+        """``(profile, vector, norm)`` triples, sorted by (group, label)."""
+        return self._profile_vectors
+
+    def practice_scores(self, stems: set[str],
+                        ) -> tuple[tuple[LabelProfile, float], ...]:
+        """Cosine of every learned profile against one sentence's stems.
+
+        Bitwise identical to :func:`_cosine` per profile, with the vector
+        norms hoisted to training time (the annotation fast path scores
+        every sentence of every line against every profile).
+        """
+        if not stems:
+            return self._zero_scores
+        dots = [0.0] * len(self._profile_vectors)
+        postings = self._practice_postings
+        # Sorted stems keep each profile's partial sums in the same order
+        # as a sorted-vector scan, so the floats are bitwise identical.
+        hit = False
+        for stem in sorted(stems):
+            entry = postings.get(stem)
+            if entry:
+                hit = True
+                for index, weight in entry:
+                    dots[index] += weight
+        if not hit:
+            return self._zero_scores
+        norm_b = math.sqrt(len(stems))
+        return tuple(
+            (profile, dots[index] / (norm * norm_b) if norm else 0.0)
+            for index, (profile, _, norm) in enumerate(self._profile_vectors)
+        )
 
     def annotate_lines(self, lines: list[tuple[int, str]]) -> DistilledOutput:
         """Annotate numbered policy text lines."""
         if not self._trained:
             raise RuntimeError("annotator is not trained")
         output = DistilledOutput()
-        profile_vectors = [(p, p.vector()) for p in self._profiles]
         for number, text in lines:
-            self._extract(number, text, self._type_matcher,
+            self._extract(number, text, self._matchers["data-types"],
                           _COLLECT_TRIGGER_RE, output.types)
-            self._extract(number, text, self._purpose_matcher,
+            self._extract(number, text, self._matchers["purposes"],
                           _PURPOSE_TRIGGER_RE, output.purposes)
             for sentence in sentence_split(text):
-                stems = set(_stem_phrase(sentence))
                 best = None
                 best_score = PRACTICE_SIMILARITY_THRESHOLD
-                for profile, vector in profile_vectors:
-                    score = _cosine(vector, stems)
+                for profile, score in self.practice_scores(
+                        set(_stem_phrase(sentence))):
                     if score > best_score:
                         best, best_score = profile, score
                 if best is not None:
@@ -218,13 +368,13 @@ class DistilledAnnotator:
         for match in matcher.find_all(text):
             if not _in_ranges(contexts, match.char_start, match.char_end):
                 continue
-            category, descriptor = match.payload
+            entry = match.payload
             out.append(
                 DistilledMention(
                     line=number,
                     verbatim=match.verbatim(text),
-                    category=category,
-                    descriptor=descriptor,
+                    category=entry.category,
+                    descriptor=entry.descriptor,
                 )
             )
 

@@ -60,6 +60,36 @@ class AnnotateOptions:
     include_negation: bool = True
     #: §6 refinement: skip indefinite retention of anonymized data.
     refine_anonymized_retention: bool = False
+    #: ``"chatbot"`` sends every segment through the chat tasks (the
+    #: paper's pipeline, byte-identical to pre-cascade output);
+    #: ``"cascade"`` runs the distilled fast path first and escalates only
+    #: low-confidence segments (:mod:`repro.pipeline.cascade`).
+    annotator: str = "chatbot"
+    #: Cascade: escalate a segment to the chatbot when the fast path's
+    #: confidence falls below this. ``>= 1.0`` escalates everything
+    #: (byte-identical to ``"chatbot"``); the default ``0.0`` never
+    #: escalates taxonomy segments on confidence alone — only the
+    #: practice/negation-sensitive ones governed by the stricter
+    #: threshold below.
+    escalation_threshold: float = 0.0
+    #: Separate (stricter) threshold for practice aspects and
+    #: negation-sensitive segments; ``None`` derives
+    #: ``min(1.0, escalation_threshold + 0.3)``.
+    practice_escalation_threshold: float | None = None
+
+    def __post_init__(self):
+        if self.annotator not in ("chatbot", "cascade"):
+            raise ValueError(
+                f"annotator must be 'chatbot' or 'cascade', "
+                f"got {self.annotator!r}")
+        if not 0.0 <= self.escalation_threshold <= 1.0:
+            raise ValueError("escalation_threshold must be in [0, 1], "
+                             f"got {self.escalation_threshold!r}")
+        if (self.practice_escalation_threshold is not None
+                and not 0.0 <= self.practice_escalation_threshold <= 1.0):
+            raise ValueError(
+                "practice_escalation_threshold must be None or in [0, 1], "
+                f"got {self.practice_escalation_threshold!r}")
 
 
 @dataclass
@@ -144,6 +174,18 @@ def _annotate_taxonomy(model, segmented, verifier, options, index, aspect,
         normalized = normalize(phrases)
     except TaskOutputError:
         return outcome
+    finalize_taxonomy(outcome, normalized, taxonomy, record_type)
+    return outcome
+
+
+def finalize_taxonomy(outcome: AspectOutcome, normalized, taxonomy,
+                      record_type) -> None:
+    """Taxonomy-filter, dedup, and record normalized phrases.
+
+    The shared tail of the chatbot and cascade taxonomy paths: drop
+    out-of-taxonomy categories, collapse repeats of one
+    (category, descriptor) to the first mention, and build record rows.
+    """
     known_categories = {c.name for c in taxonomy.categories()}
     descriptor_names = {
         d.name for c in taxonomy.categories() for d in c.descriptors
@@ -166,7 +208,6 @@ def _annotate_taxonomy(model, segmented, verifier, options, index, aspect,
                 novel=item.descriptor not in descriptor_names,
             )
         )
-    return outcome
 
 
 def annotate_handling(model: ChatModel, segmented: SegmentedPolicy,
@@ -213,6 +254,13 @@ def _annotate_practices(model, segmented, verifier, options, index, aspect,
         kept = [r for r in results if verifier.contains(r.verbatim)]
         outcome.hallucinations = len(results) - len(kept)
         results = kept
+    finalize_practices(outcome, results, valid_groups, build)
+    return outcome
+
+
+def finalize_practices(outcome: AspectOutcome, results, valid_groups,
+                       build) -> None:
+    """Group-filter, dedup, and record practice results (shared tail)."""
     seen: set[tuple[str, str]] = set()
     for result in results:
         labels = valid_groups.get(result.group)
@@ -223,7 +271,6 @@ def _annotate_practices(model, segmented, verifier, options, index, aspect,
             continue
         seen.add(key)
         outcome.annotations.append(build(result))
-    return outcome
 
 
 def _build_handling(result) -> HandlingAnnotation:

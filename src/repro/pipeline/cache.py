@@ -164,12 +164,20 @@ class CacheKeys:
                        for name in ("crawl", "preprocess")},
         })
         #: Record-layer token: everything downstream depends on.
-        self.record_token = _digest({
+        record_payload = {
             "schema": SCHEMA_VERSION,
             "stages": dict(STAGE_VERSIONS),
             "lexicon": self.lexicon_fp,
             "options": self.options_fp,
-        })
+        }
+        if getattr(options, "annotator", "chatbot") == "cascade":
+            # Cascade records also depend on the distilled model the run
+            # would train; its provenance token keys them (thresholds are
+            # already in the options fingerprint).
+            from repro.pipeline.cascade import cascade_model_token
+
+            record_payload["cascade_model"] = cascade_model_token(options)
+        self.record_token = _digest(record_payload)
         self._domain_fps: dict[str, str] = {}
 
     def domain_fingerprint(self, domain: str) -> str:

@@ -107,6 +107,11 @@ class LineAnalysis:
         return self._sentences
 
     @property
+    def stem(self):
+        """The owning index's document-wide memoized stemmer."""
+        return self._index.stem
+
+    @property
     def aspect(self):
         """Dominant :class:`~repro.taxonomy.Aspect` of the line."""
         if self._aspect is LineAnalysis._UNSET:

@@ -421,6 +421,14 @@ def run_parallel_pipeline(corpus: SyntheticCorpus,
 
         cache = PipelineCache(cache_dir)
 
+    if options.annotator == "cascade":
+        # Train the distilled model once in the parent before any workers
+        # start: thread pools share the memo, forked process pools inherit
+        # it copy-on-write — either way no worker trains its own copy.
+        from repro.pipeline.cascade import get_cascade_model
+
+        get_cascade_model(options)
+
     if executor.backend == "process":
         outcomes = _run_shards_process(corpus, options, shards, executor,
                                        relay, cache=cache)

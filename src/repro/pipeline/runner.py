@@ -53,6 +53,21 @@ class PipelineOptions:
     #: perf switch — output is byte-identical either way; ``False`` exists
     #: for benchmarking and equivalence testing).
     use_docindex: bool = True
+    #: ``"chatbot"`` (paper pipeline, the byte-stable default) or
+    #: ``"cascade"`` (distilled fast path + confidence-gated escalation,
+    #: :mod:`repro.pipeline.cascade`).
+    annotator: str = "chatbot"
+    #: Cascade only: escalate segments whose fast-path confidence is below
+    #: this (``>= 1.0`` escalates everything — byte-identical to chatbot).
+    escalation_threshold: float = 0.0
+    #: Cascade only: stricter threshold for practice aspects and
+    #: negation-sensitive segments (``None`` → base + 0.3, capped at 1.0).
+    practice_escalation_threshold: float | None = None
+
+    def __post_init__(self):
+        # AnnotateOptions owns the validation; building one surfaces bad
+        # annotator names/thresholds at construction time.
+        self.annotate_options()
 
     def annotate_options(self) -> AnnotateOptions:
         return AnnotateOptions(
@@ -61,6 +76,9 @@ class PipelineOptions:
             include_glossary=self.include_glossary,
             include_negation=self.include_negation,
             refine_anonymized_retention=self.refine_anonymized_retention,
+            annotator=self.annotator,
+            escalation_threshold=self.escalation_threshold,
+            practice_escalation_threshold=self.practice_escalation_threshold,
         )
 
 
@@ -248,6 +266,14 @@ def run_pipeline(corpus: SyntheticCorpus,
                                      domains=domains, progress=progress,
                                      cache=cache)
 
+    if options.annotator == "cascade":
+        # Train (or fetch) the distilled model before the timed per-domain
+        # loop so setup cost never lands in one domain's annotate stage;
+        # training cost is reported on the CascadeModel itself.
+        from repro.pipeline.cascade import get_cascade_model
+
+        get_cascade_model(options)
+
     browser = Browser(internet=corpus.internet)
     crawler = PrivacyCrawler(browser)
     domains = domains if domains is not None else corpus.domains
@@ -393,7 +419,7 @@ def annotate_document(domain: str, sector: str, document,
 
     with stage_scope(timings, "annotate"):
         return _annotate_domain(domain, sector, segmented, model, options,
-                                index=index)
+                                index=index, timings=timings)
 
 
 def _unsegmented(segmented: SegmentedPolicy) -> SegmentedPolicy:
@@ -407,19 +433,36 @@ def _unsegmented(segmented: SegmentedPolicy) -> SegmentedPolicy:
 def _annotate_domain(domain: str, sector: str, segmented: SegmentedPolicy,
                      model: ChatModel,
                      options: PipelineOptions,
-                     index: DocumentIndex | None = None) -> DomainAnnotations:
+                     index: DocumentIndex | None = None,
+                     timings: StageTimings | None = None,
+                     ) -> DomainAnnotations:
     bind_model_index(model, index)
     verifier = HallucinationVerifier(segmented.document.text, index=index)
     annotate_options = options.annotate_options()
+    usage = getattr(model, "usage", None)
+    calls_before = usage.calls if usage is not None else None
 
-    types = annotate_types(model, segmented, verifier, annotate_options,
-                           index=index)
-    purposes = annotate_purposes(model, segmented, verifier, annotate_options,
-                                 index=index)
-    handling = annotate_handling(model, segmented, verifier, annotate_options,
-                                 index=index)
-    rights = annotate_rights(model, segmented, verifier, annotate_options,
-                             index=index)
+    if annotate_options.annotator == "cascade":
+        from repro.pipeline.cascade import cascade_aspects
+
+        types, purposes, handling, rights = cascade_aspects(
+            model, segmented, verifier, options, index, timings=timings)
+    else:
+        with stage_scope(timings, "annotate.types"):
+            types = annotate_types(model, segmented, verifier,
+                                   annotate_options, index=index)
+        with stage_scope(timings, "annotate.purposes"):
+            purposes = annotate_purposes(model, segmented, verifier,
+                                         annotate_options, index=index)
+        with stage_scope(timings, "annotate.handling"):
+            handling = annotate_handling(model, segmented, verifier,
+                                         annotate_options, index=index)
+        with stage_scope(timings, "annotate.rights"):
+            rights = annotate_rights(model, segmented, verifier,
+                                     annotate_options, index=index)
+    if timings is not None and calls_before is not None:
+        timings.increment("annotate.chatbot_calls",
+                          usage.calls - calls_before)
 
     fallback_aspects = [
         aspect.value

@@ -1,11 +1,14 @@
 """Tests for the distillation extension (§6 future work)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.distill import DistilledAnnotator, evaluate_distillation
 from repro.pipeline import (
     DomainAnnotations,
     HandlingAnnotation,
+    PurposeAnnotation,
     TypeAnnotation,
 )
 
@@ -77,6 +80,88 @@ class TestDistilledAnnotator:
     def test_untrained_annotator_rejected(self):
         with pytest.raises(RuntimeError):
             DistilledAnnotator().annotate_lines([(1, "x")])
+
+
+class TestTrainingEdgeCases:
+    def test_empty_training_set(self):
+        annotator = DistilledAnnotator.train([])
+        assert annotator.lexicon_size == 0
+        assert annotator.profile_count() == 0
+        output = annotator.annotate_lines(
+            [(1, "We collect your email address.")])
+        assert output.types == []
+        assert output.practices == []
+
+    def test_single_domain_training(self):
+        annotator = DistilledAnnotator.train(_TRAINING[:1])
+        # One domain cannot clear MIN_PHRASE_SUPPORT for taxonomy phrases,
+        # but training itself must succeed and stay usable.
+        output = annotator.annotate_lines(
+            [(1, "We collect your mailing address.")])
+        assert output.types == []
+
+    def test_labels_absent_from_training(self):
+        # No purpose annotations in the training set: the purposes matcher
+        # exists but never fires, and no practice profile invents labels.
+        annotator = DistilledAnnotator.train(_TRAINING)
+        output = annotator.annotate_lines(
+            [(1, "We use your data to provide and improve our services "
+                 "and for marketing purposes.")])
+        assert output.purposes == []
+        groups = {p.group for p in output.practices}
+        assert groups <= {"Data retention"}
+
+    def test_purpose_labels_learned_when_present(self):
+        records = []
+        for i in range(4):
+            record = _record(f"p{i}.com", [])
+            record.purposes = [
+                PurposeAnnotation(category="Marketing", meta_category="X",
+                                  descriptor="targeted advertising",
+                                  verbatim="personalized advertising",
+                                  line=3),
+            ]
+            records.append(record)
+        annotator = DistilledAnnotator.train(records)
+        output = annotator.annotate_lines(
+            [(1, "We use your information for personalized advertising.")])
+        assert [(m.category, m.descriptor) for m in output.purposes] == \
+            [("Marketing", "targeted advertising")]
+
+    def test_annotate_empty_and_whitespace_lines(self):
+        annotator = DistilledAnnotator.train(_TRAINING)
+        output = annotator.annotate_lines(
+            [(1, ""), (2, "   "), (3, "\t\n"), (4, "   ")])
+        assert output.types == []
+        assert output.purposes == []
+        assert output.practices == []
+
+    def test_annotate_no_lines(self):
+        annotator = DistilledAnnotator.train(_TRAINING)
+        output = annotator.annotate_lines([])
+        assert output.types == []
+        assert output.practices == []
+
+
+class TestOrderInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations(range(len(_TRAINING))))
+    def test_fingerprint_invariant_under_permutation(self, order):
+        """Training is a pure function of the record *set*: any input
+        order yields the same fingerprint (and therefore the same
+        serialized state)."""
+        baseline = DistilledAnnotator.train(_TRAINING)
+        shuffled = DistilledAnnotator.train([_TRAINING[i] for i in order])
+        assert shuffled.fingerprint() == baseline.fingerprint()
+        assert shuffled.to_payload() == baseline.to_payload()
+
+    def test_fingerprint_sensitive_to_content(self):
+        baseline = DistilledAnnotator.train(_TRAINING)
+        extra = _TRAINING + [_record("new.com", [
+            ("Contact info", "phone number", "telephone number"),
+        ])]
+        assert DistilledAnnotator.train(extra).fingerprint() != \
+            baseline.fingerprint()
 
 
 class TestEvaluation:

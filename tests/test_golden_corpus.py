@@ -27,6 +27,11 @@ from repro.pipeline import ExecutorOptions, PipelineOptions, run_pipeline
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 OPTIONS = PipelineOptions()
+#: Cascade column: distilled fast path at default thresholds. Its records
+#: are snapshotted separately (records_cascade.jsonl) — the cascade is
+#: *not* byte-identical to the chatbot path below threshold 1.0, but it
+#: must be byte-stable across backends, worker counts, and cache states.
+CASCADE_OPTIONS = PipelineOptions(annotator="cascade")
 
 #: 12 domains of the seed-1234 corpus (see ``small_corpus``), picked to
 #: cover every outcome class: 7 annotated (2 of which activate the
@@ -75,6 +80,9 @@ def _write_golden(snap: dict) -> None:
             "backend matrix: {serial,thread,process} x workers {1,2,4}",
             "cached cold+warm per backend",
             "cached cold", "cached warm", "use_docindex=False",
+            "cascade: serial + backend matrix + cached cold/warm "
+            "(records_cascade.jsonl)",
+            "cascade threshold>=1.0 == chatbot records byte-identically",
         ],
     }
     (GOLDEN_DIR / "meta.json").write_text(
@@ -124,10 +132,35 @@ def golden(request, small_corpus):
     if request.config.getoption("--update-golden"):
         result = run_pipeline(small_corpus, OPTIONS, domains=GOLDEN_DOMAINS)
         _write_golden(_snapshot(result))
+        cascade = run_pipeline(small_corpus, CASCADE_OPTIONS,
+                               domains=GOLDEN_DOMAINS)
+        (GOLDEN_DIR / "records_cascade.jsonl").write_text(
+            "".join(json.dumps(json.loads(r.to_json()), sort_keys=True) + "\n"
+                    for r in cascade.records), encoding="utf-8")
     if not (GOLDEN_DIR / "records.jsonl").exists():
         pytest.fail("tests/golden/ missing; regenerate with "
                     "`pytest tests/test_golden_corpus.py --update-golden`")
     return _load_golden()
+
+
+@pytest.fixture(scope="module")
+def golden_cascade(golden):
+    path = GOLDEN_DIR / "records_cascade.jsonl"
+    if not path.exists():
+        pytest.fail("tests/golden/records_cascade.jsonl missing; regenerate "
+                    "with `pytest tests/test_golden_corpus.py "
+                    "--update-golden`")
+    return [json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+            if line]
+
+
+def _assert_cascade_records(result, golden_cascade, config: str) -> None:
+    records = [json.loads(r.to_json()) for r in result.records]
+    for record, expected in zip(records, golden_cascade):
+        assert record == expected, (
+            f"[{config}] cascade record drifted for {expected.get('domain')}")
+    assert len(records) == len(golden_cascade)
 
 
 def test_golden_covers_every_outcome_class(golden):
@@ -192,3 +225,46 @@ def test_docindex_off_matches_golden(small_corpus, golden):
                           PipelineOptions(use_docindex=False),
                           domains=GOLDEN_DOMAINS)
     _assert_matches(_snapshot(result), golden, "use_docindex=False")
+
+
+# -- cascade column -----------------------------------------------------------
+
+
+def test_cascade_serial_matches_golden(small_corpus, golden_cascade):
+    result = run_pipeline(small_corpus, CASCADE_OPTIONS,
+                          domains=GOLDEN_DOMAINS)
+    _assert_cascade_records(result, golden_cascade, "cascade serial")
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_cascade_backend_matrix_matches_golden(small_corpus, golden_cascade,
+                                               backend):
+    """Cascade acceptance bar: byte-identical records for any backend and
+    worker count (the distilled model is trained once in the parent)."""
+    result = run_pipeline(
+        small_corpus, CASCADE_OPTIONS, domains=GOLDEN_DOMAINS,
+        executor=ExecutorOptions(workers=3, shard_size=4, backend=backend))
+    _assert_cascade_records(result, golden_cascade, f"cascade {backend} w3")
+
+
+def test_cascade_cached_cold_and_warm_match_golden(small_corpus,
+                                                   golden_cascade, tmp_path):
+    cold = run_pipeline(small_corpus, CASCADE_OPTIONS, domains=GOLDEN_DOMAINS,
+                        cache_dir=tmp_path / "c")
+    _assert_cascade_records(cold, golden_cascade, "cascade cached cold")
+    warm = run_pipeline(small_corpus, CASCADE_OPTIONS, domains=GOLDEN_DOMAINS,
+                        cache_dir=tmp_path / "c")
+    _assert_cascade_records(warm, golden_cascade, "cascade cached warm")
+    assert warm.stage_timings.counts()["cache.record.hit"] == \
+        len(GOLDEN_DOMAINS)
+
+
+def test_cascade_threshold_one_matches_chatbot_golden(small_corpus, golden):
+    """Escalating every segment reproduces the legacy chatbot records
+    byte-identically — the cascade's control flow mirrors the legacy path
+    exactly, so the chatbot golden column is also its parity oracle."""
+    result = run_pipeline(
+        small_corpus,
+        PipelineOptions(annotator="cascade", escalation_threshold=1.0),
+        domains=GOLDEN_DOMAINS)
+    _assert_matches(_snapshot(result), golden, "cascade threshold=1.0")
