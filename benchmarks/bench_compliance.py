@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Compliance-layer benchmark: differential equality smoke + throughput.
+
+Three phases, each with hard assertions (this doubles as the CI
+compliance job):
+
+1. **Compile determinism** — compile the bench corpus twice (once from a
+   shuffled record list) and require identical corpus fingerprints.
+2. **Differential sweep** — seeded random predicate queries plus every
+   pack/rule scan slice, served through a live :class:`AnnotationServer`
+   (cold cache, then warm) and compared *byte-for-byte* against the
+   brute-force :class:`ReferenceEvaluator`.
+3. **Throughput run** — the same query set timed through the indexed
+   engine and through the oracle; reports both rates and the indexed
+   speedup.
+
+Results land in ``BENCH_compliance.json`` at the repo root (written
+atomically)::
+
+    PYTHONPATH=src python benchmarks/bench_compliance.py
+    PYTHONPATH=src python benchmarks/bench_compliance.py --domains 12 \
+        --predicates 20 --out /tmp/smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from pathlib import Path
+
+from repro._util import write_json_atomic
+from repro._util.artifacts import canonical_json
+from repro.compliance import (
+    ReferenceEvaluator,
+    compile_corpus,
+    get_pack,
+    random_predicate,
+)
+from repro.corpus import CorpusConfig, build_corpus
+from repro.pipeline import PipelineOptions, run_pipeline
+from repro.serve import (
+    AnnotationServer,
+    ComplianceScan,
+    CorpusIndex,
+    PredicateQuery,
+    QueryEngine,
+    snapshot_from_result,
+)
+from repro.serve.index import COMPLIANCE_PACKS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Domain universe size at fraction=1.0 (see repro.corpus.build).
+FULL_UNIVERSE = 2892
+
+
+def _build(seed: int, n_domains: int):
+    fraction = min(1.0, n_domains / FULL_UNIVERSE * 1.5 + 0.005)
+    corpus = build_corpus(CorpusConfig(seed=seed, fraction=fraction))
+    if len(corpus.domains) < n_domains:
+        raise SystemExit(
+            f"corpus too small: {len(corpus.domains)} < {n_domains}")
+    return corpus, corpus.domains[:n_domains]
+
+
+def _queries(index: CorpusIndex, seed: int, n_predicates: int):
+    """Seeded probe set: random predicates + every pack/rule scan."""
+    pool = [atom for atoms in index.atoms_by_aspect.values()
+            for atom in atoms]
+    if not pool:
+        raise SystemExit("FAIL: bench corpus compiled to zero atoms")
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(n_predicates):
+        pred = random_predicate(rng, pool)
+        queries.append(("predicate",
+                        PredicateQuery.from_predicate(
+                            pred, evidence=rng.random() < 0.5), pred))
+    for pack_name in COMPLIANCE_PACKS:
+        queries.append(("compliance", ComplianceScan(pack=pack_name), None))
+        for rule_id in get_pack(pack_name).rule_ids():
+            queries.append(("compliance",
+                            ComplianceScan(pack=pack_name, rule=rule_id),
+                            None))
+    return queries
+
+
+def _oracle_bodies(oracle: ReferenceEvaluator, queries) -> list[str]:
+    bodies = []
+    for kind, query, pred in queries:
+        if kind == "predicate":
+            payload = oracle.predicate(pred, evidence=query.evidence)
+        else:
+            payload = oracle.scan(query.pack, rule_id=query.rule,
+                                  sector=query.sector)
+        bodies.append(canonical_json({"kind": kind, "payload": payload}))
+    return bodies
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--domains", type=int, default=60,
+                        help="corpus size to serve (default: 60)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="corpus seed (default: 7)")
+    parser.add_argument("--predicates", type=int, default=60,
+                        help="random predicate probes (default: 60)")
+    parser.add_argument("--query-seed", type=int, default=0,
+                        help="predicate generator seed (default: 0)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_compliance.json",
+                        help="JSON artifact path")
+    args = parser.parse_args(argv)
+
+    # -- 1. compile determinism -----------------------------------------
+    print(f"building corpus (seed={args.seed}, domains={args.domains})")
+    corpus, domains = _build(args.seed, args.domains)
+    result = run_pipeline(corpus, PipelineOptions(), domains=domains)
+    snapshot = snapshot_from_result(result)
+    t0 = time.perf_counter()
+    compiled = compile_corpus(list(result.records))
+    compile_s = time.perf_counter() - t0
+    shuffled = list(result.records)
+    random.Random(1).shuffle(shuffled)
+    if compile_corpus(shuffled).fingerprint != compiled.fingerprint:
+        raise SystemExit("FAIL: corpus compile is record-order sensitive")
+    atoms = sum(len(form.atoms()) for form in compiled.forms)
+    print(f"compiled {compiled.domain_count()} domains -> {atoms} atoms "
+          f"in {compile_s * 1000:.1f}ms, corpus fingerprint "
+          f"{compiled.fingerprint[:12]}… (order-invariant)")
+
+    # -- 2. differential sweep ------------------------------------------
+    index = CorpusIndex.build(snapshot)
+    queries = _queries(index, args.query_seed, args.predicates)
+    oracle = ReferenceEvaluator(list(result.records))
+    t0 = time.perf_counter()
+    expected = _oracle_bodies(oracle, queries)
+    oracle_s = time.perf_counter() - t0
+    mismatches = 0
+    with AnnotationServer(snapshot) as server:
+        for (kind, query, _), body in zip(queries, expected):
+            cold = server.request(query)
+            warm = server.request(query)
+            if not (cold.ok and warm.ok):
+                raise SystemExit(f"FAIL: serve error on {query!r}")
+            if cold.body != body or warm.body != body:
+                mismatches += 1
+    if mismatches:
+        raise SystemExit(
+            f"FAIL: {mismatches}/{len(queries)} indexed answers drifted "
+            f"from the brute-force oracle")
+    print(f"differential sweep ok: {len(queries)} queries "
+          f"({args.predicates} predicates + "
+          f"{len(queries) - args.predicates} scan slices) byte-identical "
+          f"to the oracle, cold and warm cache")
+
+    # -- 3. throughput run ----------------------------------------------
+    engine = QueryEngine(index)
+    t0 = time.perf_counter()
+    for kind, query, _ in queries:
+        engine.execute(query)
+    indexed_s = time.perf_counter() - t0
+    indexed_qps = len(queries) / indexed_s if indexed_s else float("inf")
+    oracle_qps = len(queries) / oracle_s if oracle_s else float("inf")
+    speedup = oracle_s / indexed_s if indexed_s else float("inf")
+    print(f"throughput: indexed {indexed_qps:.0f} q/s vs oracle "
+          f"{oracle_qps:.0f} q/s ({speedup:.1f}x)")
+
+    payload = {
+        "corpus_domains": len(domains),
+        "snapshot_fingerprint": snapshot.fingerprint,
+        "compiled_fingerprint": compiled.fingerprint,
+        "atoms": atoms,
+        "compile_s": round(compile_s, 4),
+        "queries": len(queries),
+        "predicates": args.predicates,
+        "indexed_qps": round(indexed_qps, 1),
+        "oracle_qps": round(oracle_qps, 1),
+        "speedup": round(speedup, 2),
+        "mismatches": mismatches,
+    }
+    write_json_atomic(args.out, payload)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,10 @@ Examples::
     repro-pipeline crawl-stats --fraction 0.2
     repro-pipeline serve-snapshot --fraction 0.1 --out corpus.snap.json
     repro-pipeline query --snapshot corpus.snap.json --domain acme.com
+    repro-pipeline compliance --snapshot corpus.snap.json --pack gdpr
+    repro-pipeline compliance --snapshot corpus.snap.json \\
+        --predicate '{"op": "atom", "aspect": "purposes", \\
+                      "category": "Data sharing"}' --engine check
     repro-pipeline bench-serve --snapshot corpus.snap.json --requests 2000
     repro-pipeline chaos --snapshot corpus.snap.json --chaos-seed 7 \\
         --faults worker-death,cache-poison
@@ -51,7 +55,8 @@ class CLIUsageError(Exception):
 #: One-line usage hint appended to every usage error.
 _USAGE_HINT = ("usage: repro-pipeline [options] "
                "{run,tables,validate,models,crawl-stats,serve-snapshot,"
-               "query,bench-serve,chaos} ... (see repro-pipeline --help)")
+               "query,compliance,bench-serve,chaos} ... "
+               "(see repro-pipeline --help)")
 
 
 def _progress(done: int, total: int, domain: str) -> None:
@@ -334,6 +339,87 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _compliance_query(args):
+    """Translate `compliance` flags into one typed query (or compile mode)."""
+    from repro.serve import ComplianceScan, PredicateQuery
+
+    modes = [name for name in ("predicate", "pack", "compile")
+             if getattr(args, name) is not None]
+    if len(modes) != 1:
+        raise CLIUsageError(
+            "compliance needs exactly one of --predicate/--pack/--compile "
+            f"(got {len(modes)})")
+    mode = modes[0]
+    if mode == "predicate":
+        if args.rule is not None:
+            raise CLIUsageError("--rule only applies with --pack")
+        if args.in_sector is not None:
+            raise CLIUsageError("--in-sector only applies with --pack")
+        return PredicateQuery(predicate=args.predicate,
+                              evidence=args.evidence)
+    if mode == "pack":
+        if args.evidence:
+            raise CLIUsageError("--evidence only applies with --predicate "
+                                "(scan verdicts always carry evidence)")
+        return ComplianceScan(pack=args.pack, rule=args.rule,
+                              sector=args.in_sector)
+    return None  # --compile handled by the caller
+
+
+def cmd_compliance(args) -> int:
+    from repro._util.artifacts import canonical_json
+    from repro.compliance import ReferenceEvaluator, compile_record, \
+        parse_predicate
+    from repro.errors import ComplianceError, PredicateError, QueryError, \
+        SnapshotError
+    from repro.serve import CorpusIndex, PredicateQuery, QueryEngine, \
+        load_snapshot, query_kind
+
+    query = _compliance_query(args)
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except SnapshotError as exc:
+        raise CLIUsageError(str(exc))
+
+    if query is None:  # --compile DOMAIN: print the canonical logical form
+        record = next((r for r in snapshot.records
+                       if r.domain == args.compile), None)
+        if record is None:
+            raise CLIUsageError(
+                f"--compile: domain {args.compile!r} not in snapshot")
+        print(compile_record(record).to_json())
+        return 0
+
+    try:
+        indexed_body = oracle_body = None
+        if args.engine in ("indexed", "check"):
+            engine = QueryEngine(CorpusIndex.build(snapshot))
+            indexed_body = engine.execute(query).to_json()
+        if args.engine in ("oracle", "check"):
+            oracle = ReferenceEvaluator(list(snapshot.records))
+            if isinstance(query, PredicateQuery):
+                payload = oracle.predicate(parse_predicate(query.predicate),
+                                           evidence=query.evidence)
+            else:
+                payload = oracle.scan(query.pack, rule_id=query.rule,
+                                      sector=query.sector)
+            oracle_body = canonical_json({"kind": query_kind(query),
+                                          "payload": payload})
+    except (ComplianceError, PredicateError, QueryError) as exc:
+        raise CLIUsageError(str(exc))
+
+    print(indexed_body if indexed_body is not None else oracle_body)
+    if args.engine == "check" and indexed_body != oracle_body:
+        print("repro-pipeline: compliance: indexed and oracle answers "
+              "differ (this is a bug — the paths must be byte-identical)",
+              file=sys.stderr)
+        return 1
+    if args.engine == "check":
+        print("check: indexed answer is byte-identical to the oracle",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_bench_serve(args) -> int:
     import json
 
@@ -579,6 +665,37 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--in-sector", metavar="SECTOR",
                               help="restrict --top/--filter to one sector")
     query_parser.set_defaults(func=cmd_query)
+
+    compliance_parser = sub.add_parser(
+        "compliance",
+        help="predicate queries and rule-pack scans over compiled "
+             "logical forms")
+    compliance_parser.add_argument("--snapshot", required=True,
+                                   metavar="PATH")
+    compliance_parser.add_argument("--predicate", metavar="JSON",
+                                   help="predicate AST as JSON (ops: atom, "
+                                   "all, any, not, segment)")
+    compliance_parser.add_argument("--pack", choices=["gdpr", "ccpa"],
+                                   help="scan a rule pack over the corpus")
+    compliance_parser.add_argument("--rule", metavar="ID",
+                                   help="with --pack: scan one rule only")
+    compliance_parser.add_argument("--compile", metavar="DOMAIN",
+                                   help="print one domain's compiled "
+                                   "logical form")
+    compliance_parser.add_argument("--in-sector", metavar="SECTOR",
+                                   help="restrict --pack to one sector")
+    compliance_parser.add_argument("--evidence", action="store_true",
+                                   help="with --predicate: attach verbatim "
+                                   "evidence spans per matched domain")
+    compliance_parser.add_argument("--engine",
+                                   choices=["indexed", "oracle", "check"],
+                                   default="indexed",
+                                   help="'indexed' serves from the corpus "
+                                   "index, 'oracle' brute-force rescans "
+                                   "records, 'check' runs both and exits 1 "
+                                   "unless byte-identical (default: "
+                                   "indexed)")
+    compliance_parser.set_defaults(func=cmd_compliance)
 
     bench_parser = sub.add_parser(
         "bench-serve",

@@ -1,0 +1,371 @@
+"""Declarative rule packs: GDPR/CCPA-style checks over logical forms.
+
+A :class:`ComplianceRule` pairs an optional applicability predicate with
+a requirement predicate, both expressed in the
+:mod:`repro.compliance.predicate` language. Scanning a rule against a
+domain's :class:`~repro.compliance.logic.LogicalForm` yields a
+three-valued verdict:
+
+- ``unknown`` — the record holds no evaluable policy (crawl/extract
+  failed, or no annotations survived); absence of evidence is not
+  evidence of absence.
+- ``satisfied`` — the requirement holds (or the rule does not apply,
+  flagged with ``"applicable": false``).
+- ``violated`` — the rule applies and the requirement fails.
+
+Each verdict carries evidence spans back to the verbatim policy
+segments: the atoms supporting a satisfied requirement, or the positive
+assertions refuting a violated one (plus the spans that made the rule
+applicable, so a violation report always shows *why* the rule fired).
+
+The packs are reproductions of the *shape* of GDPR/CCPA obligations as
+they project onto this corpus's annotation schema — storage limitation,
+security, access/erasure/portability rights, marketing consent, sale
+opt-outs — not legal advice. Packs and rules are content-fingerprinted
+like every other artifact, so editing a rule moves every downstream
+cache key and golden file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.artifacts import content_digest
+from repro.compliance.logic import LogicalForm
+from repro.compliance.predicate import (
+    OPT_OUT_CHOICE_LABELS,
+    AllOf,
+    AnyOf,
+    AtomTest,
+    Negate,
+    Predicate,
+    holds,
+    predicate_payload,
+    refute_spans,
+    support_spans,
+)
+from repro.errors import ComplianceError
+
+#: Verdict values, in payload order.
+VERDICTS = ("satisfied", "violated", "unknown")
+
+#: Evidence spans attached to one verdict are capped here (deterministic:
+#: spans are canonically sorted before the cut).
+MAX_EVIDENCE_SPANS = 8
+
+
+@dataclass(frozen=True)
+class ComplianceRule:
+    """One declarative check: *when* it applies and *what* must hold."""
+
+    id: str
+    title: str
+    severity: str  # "must" | "should"
+    requirement: Predicate
+    applies_when: Predicate | None = None
+
+    def to_payload(self) -> dict:
+        payload = {
+            "id": self.id,
+            "title": self.title,
+            "severity": self.severity,
+            "requirement": predicate_payload(self.requirement),
+        }
+        payload["applies_when"] = (
+            predicate_payload(self.applies_when)
+            if self.applies_when is not None else None)
+        return payload
+
+
+@dataclass(frozen=True)
+class RulePack:
+    """A named, ordered, content-fingerprinted collection of rules."""
+
+    name: str
+    title: str
+    rules: tuple[ComplianceRule, ...]
+
+    def __post_init__(self) -> None:
+        ids = [rule.id for rule in self.rules]
+        if len(set(ids)) != len(ids):
+            raise ComplianceError(
+                f"rule pack {self.name!r} has duplicate rule ids")
+
+    def rule(self, rule_id: str) -> ComplianceRule:
+        for rule in self.rules:
+            if rule.id == rule_id:
+                return rule
+        raise ComplianceError(
+            f"rule pack {self.name!r} has no rule {rule_id!r}")
+
+    def rule_ids(self) -> list[str]:
+        return [rule.id for rule in self.rules]
+
+    def to_payload(self) -> dict:
+        return {"name": self.name, "title": self.title,
+                "rules": [rule.to_payload() for rule in self.rules]}
+
+    def fingerprint(self) -> str:
+        return content_digest(self.to_payload())
+
+
+# -- verdict computation -------------------------------------------------
+
+
+def evaluate_rule(rule: ComplianceRule, form: LogicalForm) -> dict:
+    """One rule against one domain: verdict + evidence, JSON-ready."""
+    if form.status != "annotated":
+        return {"verdict": "unknown", "applicable": None,
+                "reason": form.status, "evidence": []}
+    if rule.applies_when is not None and not holds(rule.applies_when, form):
+        return {"verdict": "satisfied", "applicable": False,
+                "evidence": []}
+    applicability = (support_spans(rule.applies_when, form)
+                     if rule.applies_when is not None else [])
+    if holds(rule.requirement, form):
+        spans = support_spans(rule.requirement, form)
+        return {"verdict": "satisfied", "applicable": True,
+                "evidence": spans[:MAX_EVIDENCE_SPANS]}
+    spans = refute_spans(rule.requirement, form) or applicability
+    return {"verdict": "violated", "applicable": True,
+            "evidence": spans[:MAX_EVIDENCE_SPANS]}
+
+
+def pack_rows(pack: RulePack, forms: list[LogicalForm]
+              ) -> dict[str, dict[str, dict]]:
+    """``rule id → domain → verdict row`` for a compiled corpus slice."""
+    return {rule.id: {form.domain: evaluate_rule(rule, form)
+                      for form in forms}
+            for rule in pack.rules}
+
+
+def scan_payload(pack: RulePack, rows: dict[str, dict[str, dict]],
+                 forms: list[LogicalForm], *,
+                 rule_id: str | None = None,
+                 sector: str | None = None) -> dict:
+    """Shape one compliance-scan answer from precomputed verdict rows.
+
+    ``rows`` may cover the whole corpus; the payload is sliced down to
+    ``sector``/``rule_id`` here, and slicing then shaping is byte-equal
+    to computing the slice directly (the differential suite's bar).
+    """
+    selected = [form for form in forms
+                if sector is None or form.sector == sector]
+    domains = [form.domain for form in selected]
+    rules = ([pack.rule(rule_id)] if rule_id is not None
+             else list(pack.rules))
+    rule_payloads = []
+    for rule in rules:
+        verdicts = {domain: rows[rule.id][domain] for domain in domains}
+        counts = {verdict: 0 for verdict in VERDICTS}
+        for row in verdicts.values():
+            counts[row["verdict"]] += 1
+        rule_payloads.append({
+            "id": rule.id,
+            "title": rule.title,
+            "severity": rule.severity,
+            "counts": counts,
+            "verdicts": verdicts,
+        })
+    payload = {
+        "pack": pack.name,
+        "pack_fingerprint": pack.fingerprint(),
+        "domains": len(domains),
+        "rules": rule_payloads,
+    }
+    if sector is not None:
+        payload["sector"] = sector
+    return payload
+
+
+def scan_forms(pack: RulePack, forms: list[LogicalForm], *,
+               rule_id: str | None = None,
+               sector: str | None = None) -> dict:
+    """Scan a rule pack over logical forms in one pass (no precompute)."""
+    selected = [form for form in forms
+                if sector is None or form.sector == sector]
+    rules = ([pack.rule(rule_id)] if rule_id is not None
+             else list(pack.rules))
+    rows = {rule.id: {form.domain: evaluate_rule(rule, form)
+                      for form in selected}
+            for rule in rules}
+    return scan_payload(pack, rows, forms, rule_id=rule_id, sector=sector)
+
+
+# -- the packs -----------------------------------------------------------
+
+#: "The policy states data is collected" — the applicability trigger for
+#: most obligations.
+_COLLECTS_DATA = AtomTest(aspect="types")
+
+#: "The policy offers some user opt-out/consent control."
+_OFFERS_CHOICE = AnyOf(tuple(
+    AtomTest(aspect="rights", category="User choices", name=label)
+    for label in OPT_OUT_CHOICE_LABELS))
+
+_MENTIONS_SALE = AtomTest(aspect="purposes", category="Data sharing",
+                          name="data for sale")
+
+GDPR_PACK = RulePack(
+    name="gdpr",
+    title="GDPR-style obligations (storage, security, data-subject rights)",
+    rules=(
+        ComplianceRule(
+            id="gdpr.storage-limitation",
+            title="Retention is disclosed and not indefinite (Art. 5(1)(e))",
+            severity="must",
+            applies_when=_COLLECTS_DATA,
+            requirement=AllOf((
+                AtomTest(aspect="handling", category="Data retention"),
+                Negate(AtomTest(aspect="handling",
+                                category="Data retention",
+                                name="Indefinitely")),
+            )),
+        ),
+        ComplianceRule(
+            id="gdpr.security-measures",
+            title="Technical/organisational safeguards are stated (Art. 32)",
+            severity="must",
+            applies_when=_COLLECTS_DATA,
+            requirement=AtomTest(aspect="handling",
+                                 category="Data protection"),
+        ),
+        ComplianceRule(
+            id="gdpr.right-of-access",
+            title="Users can view or correct their data (Art. 15/16)",
+            severity="must",
+            applies_when=_COLLECTS_DATA,
+            requirement=AnyOf((
+                AtomTest(aspect="rights", category="User access",
+                         name="View"),
+                AtomTest(aspect="rights", category="User access",
+                         name="Edit"),
+            )),
+        ),
+        ComplianceRule(
+            id="gdpr.right-to-erasure",
+            title="Users can delete their data (Art. 17)",
+            severity="must",
+            applies_when=_COLLECTS_DATA,
+            requirement=AnyOf((
+                AtomTest(aspect="rights", category="User access",
+                         name="Full delete"),
+                AtomTest(aspect="rights", category="User access",
+                         name="Partial delete"),
+            )),
+        ),
+        ComplianceRule(
+            id="gdpr.data-portability",
+            title="Users can export their data (Art. 20)",
+            severity="should",
+            applies_when=_COLLECTS_DATA,
+            requirement=AtomTest(aspect="rights", category="User access",
+                                 name="Export"),
+        ),
+        ComplianceRule(
+            id="gdpr.marketing-consent",
+            title="Marketing/advertising use comes with a user choice "
+                  "(Art. 6/21)",
+            severity="must",
+            applies_when=AtomTest(aspect="purposes",
+                                  category="Advertising & sales"),
+            requirement=_OFFERS_CHOICE,
+        ),
+    ),
+)
+
+CCPA_PACK = RulePack(
+    name="ccpa",
+    title="CCPA-style obligations (notice, sale opt-out, know/delete)",
+    rules=(
+        ComplianceRule(
+            id="ccpa.notice-at-collection",
+            title="Collected categories come with stated purposes "
+                  "(§1798.100)",
+            severity="must",
+            applies_when=_COLLECTS_DATA,
+            requirement=AtomTest(aspect="purposes"),
+        ),
+        ComplianceRule(
+            id="ccpa.sale-opt-out",
+            title="Data sale is disclosed with an opt-out path "
+                  "(§1798.120)",
+            severity="must",
+            applies_when=_MENTIONS_SALE,
+            requirement=AnyOf((
+                AtomTest(aspect="rights", category="User choices",
+                         name="Opt-out via link"),
+                AtomTest(aspect="rights", category="User choices",
+                         name="Opt-out via contact"),
+            )),
+        ),
+        ComplianceRule(
+            id="ccpa.right-to-know",
+            title="Users can learn what is collected about them "
+                  "(§1798.110)",
+            severity="must",
+            applies_when=_COLLECTS_DATA,
+            requirement=AnyOf((
+                AtomTest(aspect="rights", category="User access",
+                         name="View"),
+                AtomTest(aspect="rights", category="User access",
+                         name="Export"),
+            )),
+        ),
+        ComplianceRule(
+            id="ccpa.right-to-delete",
+            title="Users can request deletion (§1798.105)",
+            severity="must",
+            applies_when=_COLLECTS_DATA,
+            requirement=AnyOf((
+                AtomTest(aspect="rights", category="User access",
+                         name="Full delete"),
+                AtomTest(aspect="rights", category="User access",
+                         name="Partial delete"),
+            )),
+        ),
+        ComplianceRule(
+            id="ccpa.no-sharing-without-choice",
+            title="Third-party sharing for advertising offers a choice "
+                  "(§1798.121)",
+            severity="should",
+            applies_when=AllOf((
+                AtomTest(aspect="purposes", category="Data sharing"),
+                AtomTest(aspect="purposes",
+                         category="Advertising & sales"),
+            )),
+            requirement=_OFFERS_CHOICE,
+        ),
+    ),
+)
+
+#: Registry served by the query layer and the CLI.
+RULE_PACKS: dict[str, RulePack] = {
+    GDPR_PACK.name: GDPR_PACK,
+    CCPA_PACK.name: CCPA_PACK,
+}
+
+
+def get_pack(name: str) -> RulePack:
+    try:
+        return RULE_PACKS[name]
+    except KeyError:
+        raise ComplianceError(
+            f"unknown rule pack {name!r}; available: "
+            f"{sorted(RULE_PACKS)}")
+
+
+__all__ = [
+    "CCPA_PACK",
+    "GDPR_PACK",
+    "MAX_EVIDENCE_SPANS",
+    "RULE_PACKS",
+    "VERDICTS",
+    "ComplianceRule",
+    "RulePack",
+    "evaluate_rule",
+    "get_pack",
+    "pack_rows",
+    "scan_forms",
+    "scan_payload",
+]

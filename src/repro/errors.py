@@ -95,5 +95,13 @@ class QueryError(ServeError):
     """Raised when a query is malformed (unknown facet, bad parameters)."""
 
 
+class ComplianceError(ReproError):
+    """Raised on malformed logical forms, rules, or compliance misuse."""
+
+
+class PredicateError(ComplianceError):
+    """Raised when a predicate expression cannot be parsed or validated."""
+
+
 class ChaosError(ServeError):
     """Raised on invalid fault plans or chaos-harness misuse."""

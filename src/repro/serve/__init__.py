@@ -33,7 +33,7 @@ from repro.serve.chaos import (
     run_chaos,
     snapshot_corruption_trials,
 )
-from repro.serve.index import FACETS, TABLES, CorpusIndex
+from repro.serve.index import COMPLIANCE_PACKS, FACETS, TABLES, CorpusIndex
 from repro.serve.loadgen import (
     DEFAULT_MIX,
     LoadReport,
@@ -44,8 +44,10 @@ from repro.serve.loadgen import (
 )
 from repro.serve.query import (
     AspectMentions,
+    ComplianceScan,
     DomainLookup,
     FacetFilter,
+    PredicateQuery,
     Query,
     QueryEngine,
     QueryResult,
@@ -94,6 +96,7 @@ __all__ = [
     "run_chaos",
     "snapshot_corruption_trials",
     "WorkerCrash",
+    "COMPLIANCE_PACKS",
     "FACETS",
     "TABLES",
     "CorpusIndex",
@@ -104,8 +107,10 @@ __all__ = [
     "run_load",
     "zipf_weights",
     "AspectMentions",
+    "ComplianceScan",
     "DomainLookup",
     "FacetFilter",
+    "PredicateQuery",
     "Query",
     "QueryEngine",
     "QueryResult",

@@ -9,9 +9,14 @@ every query class resolves from dict/list lookups:
   ``label → domains``) for types, purposes, and handling/rights labels,
 - ``aspect → mention segments`` (every annotation keeps its verbatim
   evidence and source line, so aspect queries can return the segment
-  stream without touching the records again), and
+  stream without touching the records again),
 - the paper's Table-1/2a/2b/3 aggregates plus a corpus summary, computed
-  eagerly so ``TableAggregate`` queries are O(1) payload fetches.
+  eagerly so ``TableAggregate`` queries are O(1) payload fetches, and
+- the **compliance layer**: every record's compiled
+  :class:`~repro.compliance.logic.LogicalForm`, posting lists over
+  compiled atoms (``atom token → sorted domains``) used to prune
+  predicate-query candidates, and precomputed rule-pack verdict rows so
+  a ``ComplianceScan`` is a slice, not a scan.
 
 Everything is stored sorted (domains lexicographically, counts descending
 with lexicographic tie-breaks), which is what makes query results
@@ -31,6 +36,17 @@ from repro.analysis.tables import (
     table2b_purposes,
     table3_practices,
 )
+from repro.compliance.logic import Atom, LogicalForm, compile_record
+from repro.compliance.predicate import (
+    AllOf,
+    AnyOf,
+    AtomTest,
+    Negate,
+    Predicate,
+    SameSegment,
+)
+from repro.compliance.rules import RULE_PACKS, pack_rows
+from repro.errors import QueryError
 from repro.pipeline.records import DomainAnnotations
 from repro.serve.snapshot import CorpusSnapshot
 from repro.taxonomy import Aspect
@@ -121,6 +137,16 @@ class CorpusIndex:
         field(default_factory=dict)
     #: table name → JSON-ready aggregate payload.
     aggregates: dict[str, dict] = field(default_factory=dict)
+    #: compiled logical forms, in canonical (domain-sorted) order.
+    logical_forms: tuple[LogicalForm, ...] = ()
+    #: atom token → sorted domains asserting that atom (posting lists).
+    domains_by_atom: dict[str, list[str]] = field(default_factory=dict)
+    #: aspect → sorted unique atoms seen in the corpus (the atom catalog
+    #: wildcard atom tests are matched against).
+    atoms_by_aspect: dict[str, list[Atom]] = field(default_factory=dict)
+    #: pack name → rule id → domain → precomputed verdict row.
+    compliance_rows: dict[str, dict[str, dict[str, dict]]] = \
+        field(default_factory=dict)
 
     # -- construction ----------------------------------------------------
 
@@ -182,7 +208,80 @@ class CorpusIndex:
         }
         index.domains_by_extracted_aspect = freeze(extracted_sets)
         index._build_aggregates()
+        index._build_compliance()
         return index
+
+    def _build_compliance(self) -> None:
+        """Compile every record; build atom postings + pack verdict rows."""
+        self.logical_forms = tuple(compile_record(record)
+                                   for record in self.snapshot.records)
+        atom_sets: dict[str, set[str]] = {}
+        catalog: dict[str, set[Atom]] = {}
+        for form in self.logical_forms:
+            for atom in form.atoms():
+                atom_sets.setdefault(atom.token(), set()).add(form.domain)
+                catalog.setdefault(atom.aspect, set()).add(atom)
+        self.domains_by_atom = {token: sorted(domains)
+                                for token, domains
+                                in sorted(atom_sets.items())}
+        self.atoms_by_aspect = {aspect: sorted(atoms,
+                                               key=lambda a: a.key())
+                                for aspect, atoms in sorted(catalog.items())}
+        forms = list(self.logical_forms)
+        self.compliance_rows = {name: pack_rows(pack, forms)
+                                for name, pack in RULE_PACKS.items()}
+
+    # -- compliance lookups ----------------------------------------------
+
+    def atom_candidates(self, test: AtomTest) -> set[str]:
+        """Domains that *might* satisfy one atom test (posting lookup).
+
+        Fully-constrained tests are one O(1) posting fetch; wildcard
+        tests union the postings of every catalog atom they match. The
+        result is exact for a lone test — pruning only ever loosens at
+        the boolean combinators.
+        """
+        if test.category is not None and test.name is not None \
+                and test.negated is not None:
+            token = Atom(test.aspect, test.category, test.name,
+                         test.negated).token()
+            return set(self.domains_by_atom.get(token, ()))
+        matched: set[str] = set()
+        for atom in self.atoms_by_aspect.get(test.aspect, ()):
+            if test.matches(atom):
+                matched.update(self.domains_by_atom[atom.token()])
+        return matched
+
+    def candidate_domains(self, pred: Predicate) -> set[str]:
+        """A superset of the domains satisfying ``pred``.
+
+        Set algebra over the atom posting lists: intersection for
+        conjunctions (including same-segment, whose co-occurrence
+        constraint only narrows further), union for disjunctions, and
+        the full corpus under negation (absence is invisible to posting
+        lists). Every candidate is then *verified* against its compiled
+        form, so pruning can never change an answer — only shrink the
+        verification set.
+        """
+        if isinstance(pred, AtomTest):
+            return self.atom_candidates(pred)
+        if isinstance(pred, (AllOf, SameSegment)):
+            candidates: set[str] | None = None
+            for test in pred.tests:
+                pool = self.candidate_domains(test)
+                candidates = pool if candidates is None \
+                    else candidates & pool
+            return candidates if candidates is not None \
+                else set(self.by_domain)
+        if isinstance(pred, AnyOf):
+            matched: set[str] = set()
+            for test in pred.tests:
+                matched |= self.candidate_domains(test)
+            return matched
+        if isinstance(pred, Negate):
+            return set(self.by_domain)
+        raise QueryError(
+            f"unknown predicate node {type(pred).__name__}")
 
     def _build_aggregates(self) -> None:
         records = list(self.snapshot.records)
@@ -232,3 +331,6 @@ __all__ = [
     "breakdown_payload",
     "table1_payload",
 ]
+
+# Re-exported for callers that treat the index as the compliance surface.
+COMPLIANCE_PACKS = tuple(sorted(RULE_PACKS))

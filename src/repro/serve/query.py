@@ -1,7 +1,8 @@
 """Typed queries over an indexed corpus snapshot.
 
-Six query classes cover the ways downstream consumers read the corpus
-(the Polisis-style interface surface):
+Eight query classes cover the ways downstream consumers read the corpus
+(the Polisis-style interface surface plus the PolicyLR-style compliance
+surface):
 
 - :class:`DomainLookup` — one domain's full annotation record.
 - :class:`FacetFilter` — domains matching category/descriptor/sector/
@@ -13,6 +14,12 @@ Six query classes cover the ways downstream consumers read the corpus
   aspect, with their domains and source lines.
 - :class:`TableAggregate` — the precomputed Table-1/2a/2b/3 payloads and
   the corpus summary.
+- :class:`PredicateQuery` — domains whose compiled logical form
+  satisfies a :mod:`repro.compliance.predicate` expression (candidates
+  pruned via atom posting lists, then verified form-by-form).
+- :class:`ComplianceScan` — GDPR/CCPA-style rule-pack verdicts
+  (``satisfied``/``violated``/``unknown`` with evidence spans), sliced
+  from precomputed verdict rows by pack/rule/sector.
 
 Every query is a frozen dataclass with a canonical dict rendering
 (:func:`query_payload`); :func:`query_fingerprint` hashes that rendering,
@@ -29,8 +36,16 @@ from dataclasses import dataclass
 from typing import Union
 
 from repro._util.artifacts import canonical_json, content_digest
-from repro.errors import QueryError
-from repro.serve.index import FACETS, TABLES, CorpusIndex
+from repro.compliance.oracle import predicate_answer_payload
+from repro.compliance.predicate import (
+    Predicate,
+    holds,
+    parse_predicate,
+    predicate_to_json,
+)
+from repro.compliance.rules import get_pack, scan_payload
+from repro.errors import PredicateError, QueryError
+from repro.serve.index import COMPLIANCE_PACKS, FACETS, TABLES, CorpusIndex
 
 #: Aspect values accepted by :class:`AspectMentions`.
 _ASPECTS = ("types", "purposes", "handling", "rights")
@@ -86,8 +101,38 @@ class TableAggregate:
     table: str = "summary"
 
 
+@dataclass(frozen=True)
+class PredicateQuery:
+    """Domains whose compiled logical form satisfies a predicate.
+
+    ``predicate`` is the canonical-JSON rendering of a
+    :data:`~repro.compliance.predicate.Predicate` AST (see
+    :func:`~repro.compliance.predicate.predicate_to_json`); keeping the
+    query field a string keeps the dataclass hashable and the payload a
+    plain dict. Build from an AST with :meth:`from_predicate`.
+    """
+
+    predicate: str
+    evidence: bool = False
+
+    @classmethod
+    def from_predicate(cls, pred: Predicate,
+                       evidence: bool = False) -> "PredicateQuery":
+        return cls(predicate=predicate_to_json(pred), evidence=evidence)
+
+
+@dataclass(frozen=True)
+class ComplianceScan:
+    """Rule-pack verdicts per domain, optionally one rule / one sector."""
+
+    pack: str = "gdpr"
+    rule: str | None = None
+    sector: str | None = None
+
+
 Query = Union[DomainLookup, FacetFilter, SectorAggregate, TopDescriptors,
-              AspectMentions, TableAggregate]
+              AspectMentions, TableAggregate, PredicateQuery,
+              ComplianceScan]
 
 #: Stable endpoint names, used for cache keys and per-endpoint metrics.
 _KINDS = {
@@ -97,6 +142,8 @@ _KINDS = {
     TopDescriptors: "top-descriptors",
     AspectMentions: "aspect",
     TableAggregate: "table",
+    PredicateQuery: "predicate",
+    ComplianceScan: "compliance",
 }
 
 
@@ -130,6 +177,21 @@ def validate_query(query: Query) -> None:
         raise QueryError("domain: empty domain name")
     if isinstance(query, SectorAggregate) and not query.sector:
         raise QueryError("sector: empty sector name")
+    if isinstance(query, PredicateQuery):
+        try:
+            parse_predicate(query.predicate)
+        except PredicateError as exc:
+            raise QueryError(f"predicate: {exc}")
+    if isinstance(query, ComplianceScan):
+        if query.pack not in COMPLIANCE_PACKS:
+            raise QueryError(f"compliance: unknown pack {query.pack!r}; "
+                             f"expected one of {COMPLIANCE_PACKS}")
+        if query.rule is not None \
+                and query.rule not in get_pack(query.pack).rule_ids():
+            raise QueryError(
+                f"compliance: pack {query.pack!r} has no rule "
+                f"{query.rule!r}; expected one of "
+                f"{get_pack(query.pack).rule_ids()}")
 
 
 def query_payload(query: Query) -> dict:
@@ -138,6 +200,14 @@ def query_payload(query: Query) -> dict:
     for name, value in vars(query).items():
         if value is not None:
             payload[name] = value
+    if isinstance(query, PredicateQuery):
+        # Normalise the predicate string through a parse/re-render pass so
+        # formatting variants of the same AST share one cache key.
+        try:
+            payload["predicate"] = predicate_to_json(
+                parse_predicate(query.predicate))
+        except PredicateError as exc:
+            raise QueryError(f"predicate: {exc}")
     return payload
 
 
@@ -264,11 +334,31 @@ class QueryEngine:
         return {"table": query.table,
                 "data": self.index.aggregates[query.table]}
 
+    def _run_predicate(self, query: PredicateQuery) -> dict:
+        pred = parse_predicate(query.predicate)
+        candidates = self.index.candidate_domains(pred)
+        # Candidate pruning only shrinks the scan; every candidate is
+        # still verified against its compiled form, so the answer is
+        # byte-identical to the brute-force oracle's.
+        matched = [form for form in self.index.logical_forms
+                   if form.domain in candidates and holds(pred, form)]
+        return predicate_answer_payload(
+            pred, matched, len(self.index.logical_forms),
+            evidence=query.evidence)
+
+    def _run_compliance(self, query: ComplianceScan) -> dict:
+        pack = get_pack(query.pack)
+        return scan_payload(pack, self.index.compliance_rows[pack.name],
+                            list(self.index.logical_forms),
+                            rule_id=query.rule, sector=query.sector)
+
 
 __all__ = [
     "AspectMentions",
+    "ComplianceScan",
     "DomainLookup",
     "FacetFilter",
+    "PredicateQuery",
     "Query",
     "QueryEngine",
     "QueryResult",

@@ -1,0 +1,192 @@
+"""Differential harness: indexed compliance serving vs brute-force oracle.
+
+The indexed path (posting-list pruning, precomputed verdict rows, the
+server's hot-result cache) must be *byte-identical* to
+:class:`repro.compliance.ReferenceEvaluator`, which recompiles every
+record on every query. Seeded random predicate queries and every
+pack/rule/sector scan are pushed through a live
+:class:`AnnotationServer` twice — cold cache, then warm — and each
+response body is compared against the oracle's canonical rendering.
+
+The slow lane additionally rebuilds the corpus through serial and
+process-parallel pipeline executions and checks both snapshots serve
+the same bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro._util.artifacts import canonical_json
+from repro.compliance import ReferenceEvaluator, random_predicate
+from repro.pipeline.records import read_jsonl
+from repro.serve import (
+    AnnotationServer,
+    ComplianceScan,
+    PredicateQuery,
+    build_snapshot,
+)
+from repro.serve.index import COMPLIANCE_PACKS, CorpusIndex
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: How many seeded random predicates the differential sweep runs.
+N_PREDICATES = 40
+
+
+@pytest.fixture(scope="module")
+def golden_records():
+    path = GOLDEN_DIR / "records.jsonl"
+    if not path.exists():
+        pytest.fail("tests/golden/records.jsonl missing; regenerate with "
+                    "`pytest tests/test_golden_corpus.py --update-golden`")
+    return read_jsonl(path)
+
+
+@pytest.fixture(scope="module")
+def golden_snapshot(golden_records):
+    return build_snapshot(list(golden_records), source="golden")
+
+
+@pytest.fixture(scope="module")
+def oracle(golden_records):
+    return ReferenceEvaluator(list(golden_records))
+
+
+@pytest.fixture(scope="module")
+def atom_pool(golden_snapshot):
+    """Real atoms from the compiled corpus, plus misses, for generators."""
+    index = CorpusIndex.build(golden_snapshot)
+    pool = [atom for atoms in index.atoms_by_aspect.values()
+            for atom in atoms]
+    assert pool, "golden corpus compiled to zero atoms"
+    return pool
+
+
+def oracle_body(kind: str, payload: dict) -> str:
+    """The byte-exact response body the server must produce."""
+    return canonical_json({"kind": kind, "payload": payload})
+
+
+def assert_served_matches(server, query, expected: str, label: str) -> None:
+    cold = server.request(query)
+    warm = server.request(query)
+    assert cold.ok and warm.ok, f"[{label}] serve failed"
+    assert cold.body == expected, f"[{label}] cold response drifted"
+    assert warm.body == expected, f"[{label}] warm (cached) drifted"
+
+
+def test_random_predicates_match_oracle_cold_and_warm(golden_snapshot,
+                                                      oracle, atom_pool):
+    rng = random.Random(20240807)
+    with AnnotationServer(golden_snapshot) as server:
+        hits = 0
+        for i in range(N_PREDICATES):
+            pred = random_predicate(rng, atom_pool)
+            for evidence in (False, True):
+                query = PredicateQuery.from_predicate(pred,
+                                                      evidence=evidence)
+                payload = oracle.predicate(pred, evidence=evidence)
+                assert_served_matches(
+                    server, query, oracle_body("predicate", payload),
+                    f"predicate #{i} evidence={evidence}")
+                hits += payload["count"]
+    assert hits > 0, "sweep never matched a domain — generator is too cold"
+
+
+def _sectors(golden_records):
+    return sorted({r.sector for r in golden_records})[:2]
+
+
+def test_every_scan_slice_matches_oracle_cold_and_warm(golden_snapshot,
+                                                       golden_records,
+                                                       oracle):
+    from repro.compliance import get_pack
+
+    with AnnotationServer(golden_snapshot) as server:
+        for pack_name in COMPLIANCE_PACKS:
+            rules = [None] + get_pack(pack_name).rule_ids()
+            sectors = [None] + _sectors(golden_records)
+            for rule in rules:
+                for sector in sectors:
+                    query = ComplianceScan(pack=pack_name, rule=rule,
+                                           sector=sector)
+                    expected = oracle_body(
+                        "compliance",
+                        oracle.scan(pack_name, rule_id=rule, sector=sector))
+                    assert_served_matches(
+                        server, query, expected,
+                        f"scan {pack_name}/{rule}/{sector}")
+
+
+def test_pruning_never_drops_a_match(golden_snapshot, oracle, atom_pool):
+    """Candidate pruning is a superset filter: verify directly against an
+    engine (no server cache in the loop)."""
+    from repro.compliance import holds
+    from repro.serve import QueryEngine
+
+    index = CorpusIndex.build(golden_snapshot)
+    engine = QueryEngine(index)
+    rng = random.Random(987654)
+    for i in range(N_PREDICATES):
+        pred = random_predicate(rng, atom_pool)
+        candidates = index.candidate_domains(pred)
+        brute = {form.domain for form in index.logical_forms
+                 if holds(pred, form)}
+        assert brute <= candidates, (
+            f"predicate #{i}: pruning dropped {sorted(brute - candidates)}")
+        result = engine.execute(PredicateQuery.from_predicate(pred))
+        assert result.payload["domains"] == sorted(brute)
+
+
+def test_shuffled_record_order_serves_identical_bytes(golden_records,
+                                                      oracle):
+    """Snapshot canonicalisation: build order cannot leak into answers."""
+    shuffled = list(golden_records)
+    random.Random(7).shuffle(shuffled)
+    snapshot = build_snapshot(shuffled, source="golden")
+    query = ComplianceScan(pack="gdpr")
+    expected = oracle_body("compliance", oracle.scan("gdpr"))
+    with AnnotationServer(snapshot) as server:
+        assert_served_matches(server, query, expected, "shuffled build")
+
+
+@pytest.mark.slow
+def test_serial_and_process_built_snapshots_serve_identical_bytes(
+        small_corpus):
+    """The acceptance bar end to end: snapshots built from a serial and a
+    process-parallel pipeline run serve byte-identical compliance answers,
+    and both match the oracle over the run's own records."""
+    from repro.pipeline import ExecutorOptions, PipelineOptions, run_pipeline
+    from tests.test_golden_corpus import GOLDEN_DOMAINS
+
+    serial = run_pipeline(small_corpus, PipelineOptions(),
+                          domains=GOLDEN_DOMAINS)
+    parallel = run_pipeline(
+        small_corpus, PipelineOptions(), domains=GOLDEN_DOMAINS,
+        executor=ExecutorOptions(workers=4, shard_size=4,
+                                 backend="process"))
+    snapshots = [build_snapshot(r.records, source="pipeline-result")
+                 for r in (serial, parallel)]
+    assert snapshots[0].fingerprint == snapshots[1].fingerprint
+    reference = ReferenceEvaluator(list(serial.records))
+    pool_index = CorpusIndex.build(snapshots[0])
+    pool = [atom for atoms in pool_index.atoms_by_aspect.values()
+            for atom in atoms]
+    rng = random.Random(13)
+    queries = [ComplianceScan(pack=name) for name in COMPLIANCE_PACKS]
+    expected = {id(q): oracle_body("compliance", reference.scan(q.pack))
+                for q in queries}
+    preds = [random_predicate(rng, pool) for _ in range(10)]
+    for pred in preds:
+        queries.append(PredicateQuery.from_predicate(pred))
+        expected[id(queries[-1])] = oracle_body(
+            "predicate", reference.predicate(pred))
+    for snapshot in snapshots:
+        with AnnotationServer(snapshot) as server:
+            for query in queries:
+                assert_served_matches(server, query, expected[id(query)],
+                                      f"{snapshot.source} {query}")

@@ -182,6 +182,7 @@ def test_parallel_matches_golden(small_corpus, golden):
     _assert_matches(_snapshot(result), golden, "parallel w3/s4")
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
 @pytest.mark.parametrize("workers", [1, 2, 4])
 def test_backend_matrix_matches_golden(small_corpus, golden, backend,
@@ -195,6 +196,7 @@ def test_backend_matrix_matches_golden(small_corpus, golden, backend,
     _assert_matches(_snapshot(result), golden, f"{backend} w{workers}")
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
 def test_cached_warm_matches_golden_per_backend(small_corpus, golden,
                                                 tmp_path, backend):
@@ -236,6 +238,7 @@ def test_cascade_serial_matches_golden(small_corpus, golden_cascade):
     _assert_cascade_records(result, golden_cascade, "cascade serial")
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
 def test_cascade_backend_matrix_matches_golden(small_corpus, golden_cascade,
                                                backend):
