@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import os
 import time
 from pathlib import Path
 
@@ -219,9 +220,14 @@ def main(argv=None) -> int:
 
     payload = {
         "corpus_domains": len(domains),
+        "cpus": os.cpu_count(),
         "snapshot_fingerprint": loaded.fingerprint,
         "snapshot_io_s": round(snapshot_io_s, 4),
         "probe_digest": cold,
+        "config": {"workers": config.workers,
+                   "queue_depth": config.queue_depth,
+                   "cache_entries": config.cache_entries,
+                   "clients": args.clients},
         "load": load,
         "throughput_rps": load["throughput_rps"],
         "latency_ms": load["latency_ms"],

@@ -265,8 +265,8 @@ def cmd_crawl_stats(args) -> int:
 
 
 def cmd_serve_snapshot(args) -> int:
-    from repro.serve import snapshot_from_cache, snapshot_from_result, \
-        write_snapshot
+    from repro.serve import partition_snapshot, snapshot_from_cache, \
+        snapshot_from_result, write_sharded_snapshot, write_snapshot
 
     if args.from_cache:
         if getattr(args, "cache_dir", None) is None:
@@ -282,10 +282,55 @@ def cmd_serve_snapshot(args) -> int:
         _, result = _build_and_run(args)
         snapshot = snapshot_from_result(result, provenance={
             "corpus_seed": args.seed, "corpus_fraction": args.fraction})
-    path = write_snapshot(snapshot, args.out)
-    print(f"snapshot: {snapshot.domain_count()} domains, "
-          f"fingerprint {snapshot.fingerprint[:16]}…, written to {path}")
+    if args.shards > 1:
+        sharded = partition_snapshot(snapshot, args.shards)
+        path = write_sharded_snapshot(sharded, args.out)
+        print(f"snapshot: {snapshot.domain_count()} domains across "
+              f"{args.shards} shards, fingerprint "
+              f"{snapshot.fingerprint[:16]}…, written to {path}/")
+    else:
+        path = write_snapshot(snapshot, args.out)
+        print(f"snapshot: {snapshot.domain_count()} domains, "
+              f"fingerprint {snapshot.fingerprint[:16]}…, written to {path}")
     return 0
+
+
+def _load_snapshot_arg(path):
+    """Load ``--snapshot PATH`` — a snapshot file or a sharded directory.
+
+    Returns a :class:`CorpusSnapshot` for a file, a
+    :class:`ShardedSnapshot` for a directory written by
+    ``serve-snapshot --shards N``; both are verified on load.
+    """
+    import os
+
+    from repro.errors import SnapshotError
+    from repro.serve import load_sharded_snapshot, load_snapshot
+
+    try:
+        if os.path.isdir(path):
+            return load_sharded_snapshot(path)
+        return load_snapshot(path)
+    except SnapshotError as exc:
+        raise CLIUsageError(str(exc))
+
+
+def _engine_for(snapshot):
+    """Query engine for either snapshot shape; answers are byte-identical."""
+    from repro.serve import CorpusIndex, QueryEngine, ShardedEngine, \
+        ShardedSnapshot
+
+    if isinstance(snapshot, ShardedSnapshot):
+        return ShardedEngine(snapshot)
+    return QueryEngine(CorpusIndex.build(snapshot))
+
+
+def _snapshot_records(snapshot) -> list:
+    from repro.serve import ShardedSnapshot
+
+    if isinstance(snapshot, ShardedSnapshot):
+        return list(snapshot.records())
+    return list(snapshot.records)
 
 
 def _snapshot_query(args):
@@ -323,15 +368,10 @@ def _snapshot_query(args):
 
 
 def cmd_query(args) -> int:
-    from repro.errors import QueryError, SnapshotError
-    from repro.serve import CorpusIndex, QueryEngine, load_snapshot
+    from repro.errors import QueryError
 
     query = _snapshot_query(args)
-    try:
-        snapshot = load_snapshot(args.snapshot)
-    except SnapshotError as exc:
-        raise CLIUsageError(str(exc))
-    engine = QueryEngine(CorpusIndex.build(snapshot))
+    engine = _engine_for(_load_snapshot_arg(args.snapshot))
     try:
         print(engine.execute(query).to_json())
     except QueryError as exc:
@@ -370,19 +410,15 @@ def cmd_compliance(args) -> int:
     from repro._util.artifacts import canonical_json
     from repro.compliance import ReferenceEvaluator, compile_record, \
         parse_predicate
-    from repro.errors import ComplianceError, PredicateError, QueryError, \
-        SnapshotError
-    from repro.serve import CorpusIndex, PredicateQuery, QueryEngine, \
-        load_snapshot, query_kind
+    from repro.errors import ComplianceError, PredicateError, QueryError
+    from repro.serve import PredicateQuery, query_kind
 
     query = _compliance_query(args)
-    try:
-        snapshot = load_snapshot(args.snapshot)
-    except SnapshotError as exc:
-        raise CLIUsageError(str(exc))
+    snapshot = _load_snapshot_arg(args.snapshot)
+    records = _snapshot_records(snapshot)
 
     if query is None:  # --compile DOMAIN: print the canonical logical form
-        record = next((r for r in snapshot.records
+        record = next((r for r in records
                        if r.domain == args.compile), None)
         if record is None:
             raise CLIUsageError(
@@ -393,10 +429,10 @@ def cmd_compliance(args) -> int:
     try:
         indexed_body = oracle_body = None
         if args.engine in ("indexed", "check"):
-            engine = QueryEngine(CorpusIndex.build(snapshot))
+            engine = _engine_for(snapshot)
             indexed_body = engine.execute(query).to_json()
         if args.engine in ("oracle", "check"):
-            oracle = ReferenceEvaluator(list(snapshot.records))
+            oracle = ReferenceEvaluator(records)
             if isinstance(query, PredicateQuery):
                 payload = oracle.predicate(parse_predicate(query.predicate),
                                            evidence=query.evidence)
@@ -424,23 +460,19 @@ def cmd_bench_serve(args) -> int:
     import json
 
     from repro._util import write_json_atomic
-    from repro.errors import SnapshotError
     from repro.serve import (
         AnnotationServer,
         ServerConfig,
         WorkloadConfig,
         generate_workload,
-        load_snapshot,
         run_load,
     )
 
-    try:
-        snapshot = load_snapshot(args.snapshot)
-    except SnapshotError as exc:
-        raise CLIUsageError(str(exc))
+    snapshot = _load_snapshot_arg(args.snapshot)
     config = ServerConfig(workers=args.serve_workers,
                           queue_depth=args.queue_depth,
-                          cache_entries=args.cache_entries)
+                          cache_entries=args.cache_entries,
+                          shards=args.shards)
     server = AnnotationServer(snapshot, config)
     workload_config = WorkloadConfig(seed=args.load_seed,
                                      requests=args.requests,
@@ -454,6 +486,8 @@ def cmd_bench_serve(args) -> int:
         "config": {"serve_workers": config.workers,
                    "queue_depth": config.queue_depth,
                    "cache_entries": config.cache_entries,
+                   "shards": (server.sharded.shard_count
+                              if server.sharded is not None else 1),
                    "clients": args.clients,
                    "requests": args.requests,
                    "load_seed": args.load_seed},
@@ -472,21 +506,26 @@ def cmd_chaos(args) -> int:
     import tempfile
 
     from repro._util import write_json_atomic
-    from repro.errors import ChaosError, SnapshotError
+    from repro.errors import ChaosError
     from repro.serve import (
         SERVE_FAULT_CLASSES,
         FaultPlan,
         ServerConfig,
+        ShardedSnapshot,
         WorkloadConfig,
-        load_snapshot,
+        merged_snapshot,
         run_chaos,
         snapshot_corruption_trials,
     )
 
-    try:
-        snapshot = load_snapshot(args.snapshot)
-    except SnapshotError as exc:
-        raise CLIUsageError(str(exc))
+    snapshot = _load_snapshot_arg(args.snapshot)
+    shards = args.shards
+    if isinstance(snapshot, ShardedSnapshot):
+        # run_chaos re-partitions internally; a sharded directory implies
+        # its own shard count unless --shards overrides it.
+        if shards == 1:
+            shards = snapshot.shard_count
+        snapshot = merged_snapshot(snapshot)
     if args.faults:
         classes = tuple(name.strip() for name in args.faults.split(",")
                         if name.strip())
@@ -506,10 +545,11 @@ def cmd_chaos(args) -> int:
                                        requests=args.requests,
                                        clients=args.clients),
         server_config=config, clients=args.clients,
-        deadline_s=args.deadline)
+        deadline_s=args.deadline, shards=shards)
     payload = {
         "plan": plan.to_payload(),
         "fault_classes": list(plan.classes()),
+        "shards": shards,
         "report": report.as_dict(),
     }
     if args.snapshot_faults:
@@ -631,6 +671,11 @@ def build_parser() -> argparse.ArgumentParser:
     snap_parser.add_argument("--from-cache", action="store_true",
                              help="build straight from a warm --cache-dir "
                              "without running any pipeline stage")
+    snap_parser.add_argument("--shards", type=_positive_int, default=1,
+                             help="partition the snapshot by domain hash "
+                             "into N independently-loadable shard files "
+                             "(--out becomes a directory; default: 1, a "
+                             "single snapshot file)")
     snap_parser.set_defaults(func=cmd_serve_snapshot)
 
     query_parser = sub.add_parser(
@@ -709,6 +754,10 @@ def build_parser() -> argparse.ArgumentParser:
                               default=64)
     bench_parser.add_argument("--cache-entries", type=int, default=256)
     bench_parser.add_argument("--load-seed", type=int, default=0)
+    bench_parser.add_argument("--shards", type=_positive_int, default=1,
+                              help="serve from N scatter-gather shards "
+                              "(ignored when --snapshot is already a "
+                              "sharded directory; default: 1)")
     bench_parser.add_argument("--out", metavar="PATH",
                               help="write the JSON report here as well")
     bench_parser.set_defaults(func=cmd_bench_serve)
@@ -735,6 +784,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-request termination deadline, "
                               "seconds (default: 30)")
     chaos_parser.add_argument("--load-seed", type=int, default=0)
+    chaos_parser.add_argument("--shards", type=_positive_int, default=1,
+                              help="run the chaos protocol against a "
+                              "sharded server; ok bytes are still diffed "
+                              "against the single-index oracle (default: "
+                              "a sharded --snapshot directory's own count)")
     chaos_parser.add_argument("--snapshot-faults", action="store_true",
                               help="also run seeded truncation/bit-flip "
                               "trials against the snapshot file")

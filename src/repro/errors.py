@@ -95,6 +95,10 @@ class QueryError(ServeError):
     """Raised when a query is malformed (unknown facet, bad parameters)."""
 
 
+class TenancyError(ServeError):
+    """Raised on invalid tenant configuration (bad quota, duplicate name)."""
+
+
 class ComplianceError(ReproError):
     """Raised on malformed logical forms, rules, or compliance misuse."""
 

@@ -17,8 +17,25 @@ interactive latency, offline-benchmarkable at production shape:
 6. :mod:`repro.serve.chaos` — deterministic fault injection with
    shed-never-stall / never-a-wrong-byte / recover invariants checked
    against a fault-free oracle.
+7. :mod:`repro.serve.shard` — hash-partitioned snapshots and a
+   scatter-gather engine whose merged answers are byte-identical to the
+   single-index engine.
+8. :mod:`repro.serve.aserver` — asyncio front end with API-key tenancy,
+   per-tenant admission control, and a multi-tenant load runner.
 """
 
+from repro.serve.aserver import (
+    AsyncFrontEnd,
+    MultiTenantReport,
+    Tenant,
+    TenantLoadReport,
+    TenantLoadSpec,
+    TenantQuota,
+    TenantRegistry,
+    derive_api_key,
+    drive_tenants,
+    run_tenant_load,
+)
 from repro.serve.chaos import (
     FAULT_CLASSES,
     SERVE_FAULT_CLASSES,
@@ -71,6 +88,16 @@ from repro.serve.server import (
     WorkerCrash,
     percentile,
 )
+from repro.serve.shard import (
+    SHARDED_SCHEMA_VERSION,
+    ShardedEngine,
+    ShardedSnapshot,
+    load_sharded_snapshot,
+    merged_snapshot,
+    partition_snapshot,
+    shard_for_domain,
+    write_sharded_snapshot,
+)
 from repro.serve.snapshot import (
     SNAPSHOT_SCHEMA_VERSION,
     CorpusSnapshot,
@@ -83,6 +110,24 @@ from repro.serve.snapshot import (
 )
 
 __all__ = [
+    "AsyncFrontEnd",
+    "MultiTenantReport",
+    "Tenant",
+    "TenantLoadReport",
+    "TenantLoadSpec",
+    "TenantQuota",
+    "TenantRegistry",
+    "derive_api_key",
+    "drive_tenants",
+    "run_tenant_load",
+    "SHARDED_SCHEMA_VERSION",
+    "ShardedEngine",
+    "ShardedSnapshot",
+    "load_sharded_snapshot",
+    "merged_snapshot",
+    "partition_snapshot",
+    "shard_for_domain",
+    "write_sharded_snapshot",
     "FAULT_CLASSES",
     "SERVE_FAULT_CLASSES",
     "SNAPSHOT_FAULT_CLASSES",

@@ -1,0 +1,337 @@
+"""Asyncio front end with API-key tenancy and per-tenant admission.
+
+The PR-5 server is a thread pool behind one bounded queue: admission is
+global, so one aggressive client can consume the whole queue and starve
+everyone. This module puts an event-loop front end in front of the same
+worker pool and moves admission **per tenant**:
+
+- **Identity.** Every request carries an API key;
+  :class:`TenantRegistry` resolves it to a :class:`Tenant` (keys are
+  deterministic digests of the tenant name, so fixtures and benches are
+  reproducible). Unknown keys get an explicit ``AuthError`` response and
+  a counter — never service.
+- **Per-tenant admission.** Each tenant holds at most
+  ``TenantQuota.max_inflight`` requests in flight; the excess is shed
+  *for that tenant only* with an explicit ``TenantOverloaded`` response.
+  Size the server's global queue at or above the sum of tenant caps and
+  an admitted request can never hit ``queue.Full`` — the global queue
+  stops being a shared failure domain, which is the fairness property
+  the multi-tenant load runner asserts (a flooding tenant is shed while
+  a well-behaved tenant's error rate stays zero).
+- **Inline cache-hit fast path.** Cache hits are served directly on the
+  event loop (:meth:`AnnotationServer.try_cached` — byte-verified,
+  metric-recorded), skipping the submit/queue/worker/future round trip
+  entirely; only misses cross into the worker pool via
+  ``asyncio.wrap_future``. The fast path is disabled automatically when
+  a fault injector is installed so chaos seams still see every request.
+- **Metering.** Per-tenant counters ride in the same
+  :class:`~repro.serve.server.ServeMetrics` the server reports
+  (``serve.tenant.<name>.requests/.ok/.shed/.errors``), so one metrics
+  dump answers both "how is the server" and "who is doing this".
+
+Everything the blocking path promises still holds: load shedding is
+explicit, cached bytes are digest-verified, the chaos seams are intact,
+and responses are byte-identical to the threaded path (the fast path
+returns the same cached body ``submit`` would).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError, TenancyError
+from repro.serve.loadgen import DEFAULT_MIX, WorkloadConfig, \
+    generate_workload
+from repro.serve.query import Query, query_kind
+from repro.serve.server import (
+    ERROR,
+    OK,
+    OVERLOADED,
+    AnnotationServer,
+    ServeResponse,
+    percentile,
+)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission knobs for one tenant."""
+
+    #: Requests the tenant may hold in flight; further submissions are
+    #: shed for this tenant only.
+    max_inflight: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise TenancyError(
+                f"max_inflight must be >= 1, got {self.max_inflight}")
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One identified client of the serving layer."""
+
+    name: str
+    api_key: str
+    quota: TenantQuota = field(default_factory=TenantQuota)
+
+
+def derive_api_key(name: str) -> str:
+    """Deterministic API key for a tenant name (reproducible fixtures)."""
+    digest = hashlib.sha256(f"repro-tenant:{name}".encode("utf-8"))
+    return f"rk_{digest.hexdigest()[:24]}"
+
+
+class TenantRegistry:
+    """Name → tenant and api-key → tenant resolution."""
+
+    def __init__(self):
+        self._by_key: dict[str, Tenant] = {}
+        self._by_name: dict[str, Tenant] = {}
+
+    def register(self, name: str,
+                 quota: TenantQuota | None = None) -> Tenant:
+        if not name:
+            raise TenancyError("tenant name must be non-empty")
+        if name in self._by_name:
+            raise TenancyError(f"tenant {name!r} already registered")
+        tenant = Tenant(name=name, api_key=derive_api_key(name),
+                        quota=quota or TenantQuota())
+        self._by_key[tenant.api_key] = tenant
+        self._by_name[name] = tenant
+        return tenant
+
+    def authenticate(self, api_key: str) -> Tenant | None:
+        return self._by_key.get(api_key)
+
+    def api_key_for(self, name: str) -> str:
+        try:
+            return self._by_name[name].api_key
+        except KeyError:
+            raise TenancyError(f"unknown tenant {name!r}")
+
+    def tenants(self) -> list[Tenant]:
+        return [self._by_name[name] for name in sorted(self._by_name)]
+
+    def total_inflight_cap(self) -> int:
+        """Queue sizing rule: a global queue at least this deep can never
+        shed an admitted request."""
+        return sum(t.quota.max_inflight for t in self._by_name.values())
+
+
+class AsyncFrontEnd:
+    """Event-loop request path over a started :class:`AnnotationServer`.
+
+    All admission state (per-tenant inflight counts) lives on the event
+    loop, so it needs no locks; the worker pool behind ``submit`` is the
+    same threaded pool the blocking path uses.
+    """
+
+    def __init__(self, server: AnnotationServer, registry: TenantRegistry):
+        self.server = server
+        self.registry = registry
+        self._inflight: dict[str, int] = {}
+
+    def inflight(self, name: str) -> int:
+        return self._inflight.get(name, 0)
+
+    def queue_headroom(self) -> int:
+        """Global queue depth minus the sum of tenant caps; >= 0 means an
+        admitted request can never be shed by the global queue."""
+        return (self.server.config.queue_depth
+                - self.registry.total_inflight_cap())
+
+    async def handle(self, api_key: str, query: Query) -> ServeResponse:
+        """Authenticate, admit (or shed) and serve one query."""
+        try:
+            kind = query_kind(query)
+        except QueryError as exc:
+            return ServeResponse(status=ERROR, kind="unknown",
+                                 body=str(exc))
+        tenant = self.registry.authenticate(api_key)
+        if tenant is None:
+            self.server.metrics.increment("serve.tenant.unauthenticated")
+            return ServeResponse(
+                status=ERROR, kind=kind,
+                body="AuthError: unknown api key")
+        name = tenant.name
+        self.server.metrics.increment(f"serve.tenant.{name}.requests")
+        if self._inflight.get(name, 0) >= tenant.quota.max_inflight:
+            self.server.metrics.increment(f"serve.tenant.{name}.shed")
+            self.server.metrics.record_shed(kind)
+            return ServeResponse(
+                status=OVERLOADED, kind=kind,
+                body=f"TenantOverloaded: tenant {name!r} at max inflight "
+                     f"{tenant.quota.max_inflight}, retry later")
+        self._inflight[name] = self._inflight.get(name, 0) + 1
+        try:
+            if self.server.fault_injector is None:
+                response = self.server.try_cached(query)
+                if response is not None:
+                    self.server.metrics.increment(
+                        f"serve.tenant.{name}.ok")
+                    return response
+            response = await asyncio.wrap_future(self.server.submit(query))
+        finally:
+            self._inflight[name] -= 1
+        if response.status == OK:
+            self.server.metrics.increment(f"serve.tenant.{name}.ok")
+        elif response.status == OVERLOADED:
+            self.server.metrics.increment(f"serve.tenant.{name}.shed")
+        else:
+            self.server.metrics.increment(f"serve.tenant.{name}.errors")
+        return response
+
+
+# -- multi-tenant load runner --------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantLoadSpec:
+    """One tenant's traffic shape for a multi-tenant run.
+
+    ``concurrency`` is the tenant's closed-loop parallelism: at most that
+    many of its requests are in flight at once. A *well-behaved* tenant
+    keeps ``concurrency <= quota.max_inflight`` and is never shed; a
+    *flooding* tenant sets it higher and eats per-tenant sheds without
+    touching anyone else's capacity.
+    """
+
+    name: str
+    requests: int = 200
+    concurrency: int = 4
+    seed: int = 0
+    zipf_s: float = 1.1
+    mix: tuple[tuple[str, float], ...] = DEFAULT_MIX
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise TenancyError(
+                f"requests must be >= 1, got {self.requests}")
+        if self.concurrency < 1:
+            raise TenancyError(
+                f"concurrency must be >= 1, got {self.concurrency}")
+
+
+@dataclass
+class TenantLoadReport:
+    """What one tenant observed during a multi-tenant run."""
+
+    name: str
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    cached: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 6),
+            "cached": self.cached,
+            "latency_ms": {
+                label: round(percentile(self.latencies, pct) * 1000.0, 4)
+                for label, pct in (("p50", 50.0), ("p95", 95.0),
+                                   ("p99", 99.0))
+            },
+        }
+
+
+@dataclass
+class MultiTenantReport:
+    """Aggregate of one multi-tenant closed-loop run."""
+
+    tenants: dict[str, TenantLoadReport] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return sum(r.requests for r in self.tenants.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "tenants": {name: report.as_dict()
+                        for name, report in sorted(self.tenants.items())},
+        }
+
+
+async def drive_tenants(front: AsyncFrontEnd,
+                        specs: list[TenantLoadSpec]) -> MultiTenantReport:
+    """Drive every tenant's closed-loop workload concurrently.
+
+    Each tenant's workload is a pure function of its spec (seed, mix,
+    zipf shape) over the served index, dealt round-robin to its
+    ``concurrency`` coroutines — the whole run is reproducible, and all
+    bookkeeping happens on the event loop, unsynchronized by design.
+    """
+    report = MultiTenantReport()
+    workloads = {
+        spec.name: generate_workload(
+            front.server.index,
+            WorkloadConfig(seed=spec.seed, requests=spec.requests,
+                           clients=spec.concurrency, zipf_s=spec.zipf_s,
+                           mix=spec.mix))
+        for spec in specs}
+    for spec in specs:
+        report.tenants[spec.name] = TenantLoadReport(name=spec.name)
+
+    async def worker(spec: TenantLoadSpec, worker_id: int) -> None:
+        api_key = front.registry.api_key_for(spec.name)
+        tenant_report = report.tenants[spec.name]
+        for query in workloads[spec.name][worker_id::spec.concurrency]:
+            start = time.perf_counter()
+            response = await front.handle(api_key, query)
+            tenant_report.requests += 1
+            tenant_report.latencies.append(time.perf_counter() - start)
+            if response.status == OK:
+                tenant_report.ok += 1
+                if response.cached:
+                    tenant_report.cached += 1
+            elif response.status == OVERLOADED:
+                tenant_report.shed += 1
+            else:
+                tenant_report.errors += 1
+
+    start = time.perf_counter()
+    await asyncio.gather(*(worker(spec, n) for spec in specs
+                           for n in range(spec.concurrency)))
+    report.wall_s = time.perf_counter() - start
+    return report
+
+
+def run_tenant_load(front: AsyncFrontEnd,
+                    specs: list[TenantLoadSpec]) -> MultiTenantReport:
+    """Synchronous wrapper: run :func:`drive_tenants` on a fresh loop."""
+    return asyncio.run(drive_tenants(front, specs))
+
+
+__all__ = [
+    "AsyncFrontEnd",
+    "MultiTenantReport",
+    "Tenant",
+    "TenantLoadReport",
+    "TenantLoadSpec",
+    "TenantQuota",
+    "TenantRegistry",
+    "derive_api_key",
+    "drive_tenants",
+    "run_tenant_load",
+]

@@ -45,11 +45,12 @@ import random
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro._util.artifacts import content_digest
 from repro.errors import ChaosError, QueryError, SnapshotError
+from repro.serve.index import CorpusIndex
 from repro.serve.loadgen import WorkloadConfig, generate_workload
 from repro.serve.query import Query, QueryEngine
 from repro.serve.server import (
@@ -389,7 +390,8 @@ def run_chaos(snapshot: CorpusSnapshot, plan: FaultPlan, *,
               server_config: ServerConfig | None = None,
               clients: int = 4, deadline_s: float = 30.0,
               recovery: bool = True,
-              hang_release_after: int = HANG_RELEASE_AFTER) -> ChaosReport:
+              hang_release_after: int = HANG_RELEASE_AFTER,
+              shards: int = 1) -> ChaosReport:
     """Run one workload under a fault plan and check the three invariants.
 
     The oracle-diff protocol: every workload request's fault-free answer
@@ -402,15 +404,25 @@ def run_chaos(snapshot: CorpusSnapshot, plan: FaultPlan, *,
     re-read (each must be rejected, already overwritten by a verified
     recompute, or evicted — never served corrupt) and the whole workload
     is replayed sequentially, which must be oracle-identical again.
+
+    ``shards > 1`` runs the same protocol against a sharded server while
+    the oracle stays a *single-index* engine over the unpartitioned
+    snapshot — so the diff simultaneously checks fault containment and
+    scatter-gather byte-identity under fire.
     """
     workload_config = workload_config or WorkloadConfig(
         seed=plan.seed, requests=400, clients=clients)
     injector = ChaosInjector(plan, hang_release_after=hang_release_after)
+    if shards > 1:
+        server_config = replace(server_config or ServerConfig(),
+                                shards=shards)
     server = AnnotationServer(snapshot, server_config,
                               clock=injector.clock, fault_injector=injector)
     injector.bind(server)
     workload = generate_workload(server.index, workload_config)
-    expected = _oracle_answers(QueryEngine(server.index), workload)
+    oracle_index = server.index if server.sharded is None \
+        else CorpusIndex.build(snapshot)
+    expected = _oracle_answers(QueryEngine(oracle_index), workload)
 
     report = ChaosReport(plan_fingerprint=plan.fingerprint,
                          snapshot_fingerprint=snapshot.fingerprint)

@@ -110,6 +110,47 @@ def _sorted_counter(counter: Counter) -> list[tuple[str, int]]:
     return sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))
 
 
+def build_aggregate_payloads(records: list[DomainAnnotations], *,
+                             fingerprint: str,
+                             statuses: dict[str, int],
+                             sector_sizes: dict[str, int]) -> dict:
+    """The Table-1/2a/2b/3 + summary payloads for one record stream.
+
+    Shared by :class:`CorpusIndex` and the sharded scatter-gather engine:
+    table aggregates contain order-sensitive float reductions
+    (``CoverageStat.sd`` sums in record order) and insertion-order
+    tie-breaks (``Counter.most_common``), so the only way to keep a
+    sharded deployment byte-identical to a single index is to feed both
+    the *same canonical record stream* through the *same code path* —
+    which for shards means the k-way merge of the per-shard streams, not
+    a merge of per-shard table payloads.
+    """
+    annotated = [r for r in records if r.status == "annotated"]
+    return {
+        "table1": table1_payload(table1_summary(records)),
+        "table2a": breakdown_payload(table2a_types(records)),
+        "table2b": breakdown_payload(table2b_purposes(records)),
+        "table3": breakdown_payload(table3_practices(records)),
+        "summary": {
+            "fingerprint": fingerprint,
+            "domains": len(records),
+            "statuses": dict(sorted(statuses.items())),
+            "annotated": len(annotated),
+            "sectors": dict(sector_sizes),
+            "annotations": {
+                "types": sum(len(r.types) for r in records),
+                "purposes": sum(len(r.purposes) for r in records),
+                "handling": sum(len(r.handling) for r in records),
+                "rights": sum(len(r.rights) for r in records),
+            },
+            "fallback_domains": sum(1 for r in records
+                                    if r.fallback_aspects),
+            "hallucinations_filtered": sum(r.hallucinations_filtered
+                                           for r in records),
+        },
+    }
+
+
 @dataclass
 class CorpusIndex:
     """All lookup structures for one snapshot; build once, read-only after."""
@@ -284,32 +325,12 @@ class CorpusIndex:
             f"unknown predicate node {type(pred).__name__}")
 
     def _build_aggregates(self) -> None:
-        records = list(self.snapshot.records)
-        annotated = [r for r in records if r.status == "annotated"]
-        self.aggregates = {
-            "table1": table1_payload(table1_summary(records)),
-            "table2a": breakdown_payload(table2a_types(records)),
-            "table2b": breakdown_payload(table2b_purposes(records)),
-            "table3": breakdown_payload(table3_practices(records)),
-            "summary": {
-                "fingerprint": self.snapshot.fingerprint,
-                "domains": len(records),
-                "statuses": self.snapshot.status_counts(),
-                "annotated": len(annotated),
-                "sectors": {sector: len(domains) for sector, domains
-                            in self.domains_by_sector.items()},
-                "annotations": {
-                    "types": sum(len(r.types) for r in records),
-                    "purposes": sum(len(r.purposes) for r in records),
-                    "handling": sum(len(r.handling) for r in records),
-                    "rights": sum(len(r.rights) for r in records),
-                },
-                "fallback_domains": sum(1 for r in records
-                                        if r.fallback_aspects),
-                "hallucinations_filtered": sum(r.hallucinations_filtered
-                                               for r in records),
-            },
-        }
+        self.aggregates = build_aggregate_payloads(
+            list(self.snapshot.records),
+            fingerprint=self.snapshot.fingerprint,
+            statuses=self.snapshot.status_counts(),
+            sector_sizes={sector: len(domains) for sector, domains
+                          in self.domains_by_sector.items()})
 
     # -- read helpers ----------------------------------------------------
 
@@ -329,6 +350,7 @@ __all__ = [
     "TABLES",
     "CorpusIndex",
     "breakdown_payload",
+    "build_aggregate_payloads",
     "table1_payload",
 ]
 

@@ -22,11 +22,15 @@ import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
-from repro.serve.index import FACETS, TABLES, CorpusIndex
+from repro.compliance.oracle import random_predicate
+from repro.compliance.rules import get_pack
+from repro.serve.index import COMPLIANCE_PACKS, FACETS, TABLES, CorpusIndex
 from repro.serve.query import (
     AspectMentions,
+    ComplianceScan,
     DomainLookup,
     FacetFilter,
+    PredicateQuery,
     Query,
     SectorAggregate,
     TableAggregate,
@@ -38,14 +42,18 @@ from repro.serve.server import AnnotationServer, percentile
 _ASPECTS = ("types", "purposes", "handling", "rights")
 
 #: Default query-class mix: mostly point lookups (the Polisis-style UI
-#: pattern), a steady trickle of faceted and aggregate traffic.
+#: pattern), a steady trickle of faceted and aggregate traffic, plus the
+#: PR-8 compliance surface (predicate queries and rule-pack scans) so
+#: overload, chaos, and multi-tenant runs exercise those endpoints too.
 DEFAULT_MIX: tuple[tuple[str, float], ...] = (
-    ("domain", 0.45),
-    ("filter", 0.15),
-    ("top-descriptors", 0.12),
-    ("sector", 0.12),
+    ("domain", 0.40),
+    ("filter", 0.14),
+    ("top-descriptors", 0.11),
+    ("sector", 0.11),
     ("aspect", 0.06),
     ("table", 0.10),
+    ("predicate", 0.05),
+    ("compliance", 0.03),
 )
 
 
@@ -85,6 +93,11 @@ def generate_workload(index: CorpusIndex,
     sectors = sorted(index.domains_by_sector) or ["--"]
     kinds = [kind for kind, _ in config.mix]
     shares = [share for _, share in config.mix]
+    # Deterministic atom pool for predicate generation: the index's atom
+    # catalog in (aspect, atom-key) order — identical for a single index
+    # and any sharded merge of the same corpus.
+    atom_pool = [atom for aspect in sorted(index.atoms_by_aspect)
+                 for atom in index.atoms_by_aspect[aspect]]
 
     def hot_domain() -> str:
         if not ranked:
@@ -119,6 +132,20 @@ def generate_workload(index: CorpusIndex,
         elif kind == "aspect":
             workload.append(AspectMentions(aspect=rng.choice(_ASPECTS),
                                            limit=rng.choice((10, 25, 50))))
+        elif kind == "predicate":
+            if atom_pool:
+                workload.append(PredicateQuery.from_predicate(
+                    random_predicate(rng, atom_pool),
+                    evidence=rng.random() < 0.2))
+            else:  # nothing annotated: degrade to a point lookup
+                workload.append(DomainLookup(domain=hot_domain()))
+        elif kind == "compliance":
+            pack = rng.choice(sorted(COMPLIANCE_PACKS))
+            rule = rng.choice(get_pack(pack).rule_ids()) \
+                if rng.random() < 0.3 else None
+            sector = rng.choice(sectors) if rng.random() < 0.25 else None
+            workload.append(ComplianceScan(pack=pack, rule=rule,
+                                           sector=sector))
         else:  # table
             workload.append(TableAggregate(table=rng.choice(TABLES)))
     return workload

@@ -238,9 +238,17 @@ class QueryResult:
 
 
 class QueryEngine:
-    """Executes typed queries against a built :class:`CorpusIndex`."""
+    """Executes typed queries against a built :class:`CorpusIndex`.
 
-    def __init__(self, index: CorpusIndex):
+    The handlers only *read* the index's sorted lookup structures, so
+    any object exposing that surface works — the sharded scatter-gather
+    engine (:class:`repro.serve.shard.ShardedEngine`) passes its merged
+    per-shard partials through the same handlers for the query classes
+    whose partials merge exactly (sector/top-descriptor counters, table
+    aggregates, compliance verdict rows).
+    """
+
+    def __init__(self, index: "CorpusIndex"):
         self.index = index
 
     def execute(self, query: Query) -> QueryResult:

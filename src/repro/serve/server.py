@@ -26,6 +26,23 @@ Responses are plain frozen dataclasses; worker threads never share
 mutable query state, and the index itself is read-only after build, so
 any worker count serves byte-identical bodies.
 
+Two scale-out extensions ride on the same loop:
+
+- **Sharded serving.** With ``ServerConfig.shards > 1`` (or an
+  already-partitioned :class:`~repro.serve.shard.ShardedSnapshot`) the
+  server executes through the scatter-gather
+  :class:`~repro.serve.shard.ShardedEngine` — byte-identical to a single
+  index — and reports per-shard traffic in the metrics counters
+  (``serve.shard.<i>.queries`` for routed lookups,
+  ``serve.scatter.queries`` for fan-out classes).
+- **Predicate-level caching.** An injectable ``predicate_cache`` keyed by
+  ``(predicate fingerprint, evidence, snapshot fingerprint)`` lets
+  predicate answers survive snapshot refreshes: pass the same cache
+  object to the server built over the refreshed snapshot — unchanged
+  content keeps hitting (``serve.predicate_cache.hit``/``.miss``
+  counters), while any content change moves the key and forces a
+  recompute.
+
 **Fault seams.** The server exposes explicit, documented seams for the
 chaos harness (:mod:`repro.serve.chaos`) rather than relying on
 monkeypatching: a ``fault_injector`` hook object consulted on submit and
@@ -61,14 +78,18 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 
 from repro._util.profiling import StageTimings
+from repro.compliance.predicate import parse_predicate, predicate_fingerprint
 from repro.errors import QueryError, ServeError
 from repro.serve.index import CorpusIndex
 from repro.serve.query import (
+    PredicateQuery,
     Query,
     QueryEngine,
     query_fingerprint,
     query_kind,
 )
+from repro.serve.shard import ShardedEngine, ShardedSnapshot, \
+    partition_snapshot
 from repro.serve.snapshot import CorpusSnapshot
 
 #: Response statuses.
@@ -93,6 +114,11 @@ class ServerConfig:
     #: beyond this the counters still advance but samples are dropped,
     #: keeping long-running servers at bounded memory.
     max_latency_samples: int = 100_000
+    #: Index shards; >1 partitions the snapshot by domain hash and serves
+    #: through the scatter-gather :class:`~repro.serve.shard.ShardedEngine`
+    #: (byte-identical to a single index). Ignored when the server is
+    #: handed an already-partitioned ShardedSnapshot.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -100,6 +126,8 @@ class ServerConfig:
         if self.queue_depth < 1:
             raise ValueError(
                 f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass(frozen=True)
@@ -313,17 +341,39 @@ class AnnotationServer:
     request path byte-identical to a seamless server.
     """
 
-    def __init__(self, snapshot: CorpusSnapshot,
+    def __init__(self, snapshot: "CorpusSnapshot | ShardedSnapshot",
                  config: ServerConfig | None = None,
-                 clock=time.monotonic, fault_injector=None):
+                 clock=time.monotonic, fault_injector=None,
+                 predicate_cache: ResultCache | None = None):
         self.config = config or ServerConfig()
         self.snapshot = snapshot
-        self.index = CorpusIndex.build(snapshot)
-        self.engine = QueryEngine(self.index)
+        if isinstance(snapshot, ShardedSnapshot):
+            self.sharded: ShardedSnapshot | None = snapshot
+        elif self.config.shards > 1:
+            self.sharded = partition_snapshot(snapshot, self.config.shards)
+        else:
+            self.sharded = None
+        if self.sharded is not None:
+            self.engine: "QueryEngine | ShardedEngine" = \
+                ShardedEngine(self.sharded)
+            # The merged read view duck-types the single-index surface,
+            # so loadgen/chaos consumers of ``server.index`` are
+            # oblivious to sharding.
+            self.index = self.engine
+        else:
+            self.index = CorpusIndex.build(snapshot)
+            self.engine = QueryEngine(self.index)
         self.metrics = ServeMetrics(
             max_samples=self.config.max_latency_samples)
         self.cache = ResultCache(self.config.cache_entries,
                                  self.config.cache_ttl_s, clock=clock)
+        #: Cross-snapshot predicate-result cache, keyed by
+        #: ``(predicate fingerprint, evidence, snapshot fingerprint)``.
+        #: Injectable so it outlives any one server: hand the same
+        #: ResultCache to the server built over a refreshed snapshot and
+        #: entries for unchanged content keep hitting, while a changed
+        #: snapshot moves every key.
+        self.predicate_cache = predicate_cache
         self._clock = clock
         self._injector = fault_injector
         self._queue: queue.Queue = queue.Queue(
@@ -476,17 +526,87 @@ class AnnotationServer:
                 pass
             self._spawn_worker()
 
+    def try_cached(self, query: Query) -> ServeResponse | None:
+        """Inline cache-hit fast path: serve a hit without a queue trip.
+
+        The asyncio front end calls this on the event loop — a hit is
+        byte-verified and recorded like any served request, a miss (or a
+        malformed query) returns ``None`` so the caller falls back to
+        :meth:`submit`. Front ends must skip this path when a fault
+        injector is installed (:attr:`fault_injector`), so chaos seams
+        still see every request.
+        """
+        if not self._started:
+            raise ServeError("server not started; use `with server:` or "
+                             "call start()")
+        try:
+            key = query_fingerprint(query)
+        except QueryError:
+            return None
+        body = self.cache.get(key)
+        if body is None:
+            return None
+        kind = query_kind(query)
+        self._record_shard(query)
+        response = ServeResponse(status=OK, kind=kind, body=body,
+                                 cached=True)
+        self.metrics.record(kind, OK, True, 0.0)
+        return response
+
+    @property
+    def fault_injector(self):
+        return self._injector
+
+    def _record_shard(self, query: Query) -> None:
+        """Per-shard accounting: routed queries count against their
+        shard, fan-out queries against the scatter path."""
+        if self.sharded is None:
+            return
+        shard = self.engine.route(query)
+        if shard is None:
+            self.metrics.increment("serve.scatter.queries")
+        else:
+            self.metrics.increment(f"serve.shard.{shard}.queries")
+
+    def _predicate_key(self, query: PredicateQuery) -> str:
+        pred = parse_predicate(query.predicate)
+        evidence = "evidence" if query.evidence else "domains"
+        fingerprint = self.sharded.fingerprint if self.sharded is not None \
+            else self.snapshot.fingerprint
+        return f"{predicate_fingerprint(pred)}:{evidence}:{fingerprint}"
+
     def _serve_one(self, query: Query, kind: str) -> ServeResponse:
-        key = query_fingerprint(query)
+        try:
+            # A malformed query (e.g. an unparseable predicate string)
+            # fails fingerprinting with the same QueryError message the
+            # engine's validation would raise; answer it as a clean
+            # query error, not an InternalError.
+            key = query_fingerprint(query)
+        except QueryError as exc:
+            return ServeResponse(status=ERROR, kind=kind, body=str(exc))
+        self._record_shard(query)
         body = self.cache.get(key)
         if body is not None:
             return ServeResponse(status=OK, kind=kind, body=body,
                                  cached=True)
+        pkey = None
+        if self.predicate_cache is not None \
+                and isinstance(query, PredicateQuery):
+            pkey = self._predicate_key(query)
+            body = self.predicate_cache.get(pkey)
+            if body is not None:
+                self.metrics.increment("serve.predicate_cache.hit")
+                self.cache.put(key, body)
+                return ServeResponse(status=OK, kind=kind, body=body,
+                                     cached=True)
+            self.metrics.increment("serve.predicate_cache.miss")
         try:
             body = self.engine.execute(query).to_json()
         except QueryError as exc:
             return ServeResponse(status=ERROR, kind=kind, body=str(exc))
         self.cache.put(key, body)
+        if pkey is not None:
+            self.predicate_cache.put(pkey, body)
         return ServeResponse(status=OK, kind=kind, body=body)
 
 

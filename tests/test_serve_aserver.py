@@ -1,0 +1,265 @@
+"""Asyncio front end: tenancy, per-tenant admission, fairness, fast path."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import TenancyError
+from repro.pipeline.records import DomainAnnotations, TypeAnnotation
+from repro.serve import (
+    ERROR,
+    OK,
+    OVERLOADED,
+    AnnotationServer,
+    AsyncFrontEnd,
+    DomainLookup,
+    PredicateQuery,
+    ResultCache,
+    ServerConfig,
+    TableAggregate,
+    TenantLoadSpec,
+    TenantQuota,
+    TenantRegistry,
+    build_snapshot,
+    derive_api_key,
+    run_tenant_load,
+)
+
+
+def _snapshot(n=8):
+    records = [
+        DomainAnnotations(
+            domain=f"site{i}.com", sector="FI" if i % 2 else "HC",
+            status="annotated",
+            types=[TypeAnnotation(category="Contact information",
+                                  meta_category="Personal identifiers",
+                                  descriptor=f"descriptor-{i % 3}",
+                                  verbatim=f"verbatim {i}", line=i + 1)])
+        for i in range(n)
+    ]
+    return build_snapshot(records)
+
+
+class TestTenantRegistry:
+    def test_register_and_authenticate(self):
+        registry = TenantRegistry()
+        tenant = registry.register("acme", TenantQuota(max_inflight=3))
+        assert tenant.api_key == derive_api_key("acme")
+        assert registry.authenticate(tenant.api_key) is tenant
+        assert registry.authenticate("rk_bogus") is None
+        assert registry.api_key_for("acme") == tenant.api_key
+
+    def test_duplicate_and_empty_names_rejected(self):
+        registry = TenantRegistry()
+        registry.register("acme")
+        with pytest.raises(TenancyError):
+            registry.register("acme")
+        with pytest.raises(TenancyError):
+            registry.register("")
+
+    def test_bad_quota_rejected(self):
+        with pytest.raises(TenancyError):
+            TenantQuota(max_inflight=0)
+
+    def test_total_inflight_cap_sums_quotas(self):
+        registry = TenantRegistry()
+        registry.register("a", TenantQuota(max_inflight=3))
+        registry.register("b", TenantQuota(max_inflight=5))
+        assert registry.total_inflight_cap() == 8
+
+
+class TestHandle:
+    def _front(self, server, **quotas):
+        registry = TenantRegistry()
+        for name, cap in (quotas or {"acme": 4}).items():
+            registry.register(name, TenantQuota(max_inflight=cap))
+        return AsyncFrontEnd(server, registry)
+
+    def test_ok_response_and_metering(self):
+        with AnnotationServer(_snapshot()) as server:
+            front = self._front(server)
+            response = asyncio.run(front.handle(
+                derive_api_key("acme"), DomainLookup(domain="site1.com")))
+        assert response.status == OK
+        counters = server.metrics.as_dict()["counters"]
+        assert counters["serve.tenant.acme.requests"] == 1
+        assert counters["serve.tenant.acme.ok"] == 1
+
+    def test_unknown_key_gets_auth_error(self):
+        with AnnotationServer(_snapshot()) as server:
+            front = self._front(server)
+            response = asyncio.run(front.handle(
+                "rk_not_a_key", DomainLookup(domain="site1.com")))
+        assert response.status == ERROR
+        assert response.body.startswith("AuthError")
+        counters = server.metrics.as_dict()["counters"]
+        assert counters["serve.tenant.unauthenticated"] == 1
+
+    def test_byte_identical_to_blocking_path(self):
+        query = TableAggregate(table="summary")
+        with AnnotationServer(_snapshot()) as server:
+            blocking = server.request(query).body
+            front = self._front(server)
+            async_body = asyncio.run(front.handle(
+                derive_api_key("acme"), query)).body
+        assert async_body == blocking
+
+    def test_fast_path_serves_cache_hit_inline(self):
+        query = DomainLookup(domain="site2.com")
+        with AnnotationServer(_snapshot()) as server:
+            warm = server.request(query)  # populate the cache
+            assert warm.ok and not warm.cached
+            front = self._front(server)
+            hit = asyncio.run(front.handle(derive_api_key("acme"), query))
+        assert hit.status == OK
+        assert hit.cached
+        assert hit.body == warm.body
+
+    def test_per_tenant_admission_sheds_excess(self):
+        """Gate the worker so requests pile up; the cap must shed the
+        overflow with an explicit TenantOverloaded response."""
+        gate = threading.Event()
+        snapshot = _snapshot()
+
+        class GatedServer(AnnotationServer):
+            def _serve_one(self, query, kind):
+                gate.wait(timeout=5.0)
+                return super()._serve_one(query, kind)
+
+        config = ServerConfig(workers=1, queue_depth=32, cache_entries=0)
+        with GatedServer(snapshot, config) as server:
+            front = self._front(server, acme=2)
+
+            async def scenario():
+                key = derive_api_key("acme")
+                blocked = [asyncio.ensure_future(front.handle(
+                    key, DomainLookup(domain=f"site{i}.com")))
+                    for i in range(2)]
+                await asyncio.sleep(0.05)  # let both reach the queue
+                shed = await front.handle(
+                    key, DomainLookup(domain="site5.com"))
+                gate.set()
+                served = await asyncio.gather(*blocked)
+                return shed, served
+
+            shed, served = asyncio.run(scenario())
+        assert shed.status == OVERLOADED
+        assert "TenantOverloaded" in shed.body
+        assert all(r.status == OK for r in served)
+        counters = server.metrics.as_dict()["counters"]
+        assert counters["serve.tenant.acme.shed"] == 1
+
+
+class TestMultiTenantFairness:
+    def test_flooder_is_shed_while_steady_tenant_stays_clean(self):
+        snapshot = _snapshot(12)
+        config = ServerConfig(workers=2, queue_depth=32, cache_entries=0)
+        registry = TenantRegistry()
+        registry.register("steady", TenantQuota(max_inflight=4))
+        registry.register("flood", TenantQuota(max_inflight=2))
+        with AnnotationServer(snapshot, config) as server:
+            front = AsyncFrontEnd(server, registry)
+            assert front.queue_headroom() >= 0
+            report = run_tenant_load(front, [
+                TenantLoadSpec(name="steady", requests=150,
+                               concurrency=4, seed=1),
+                TenantLoadSpec(name="flood", requests=300,
+                               concurrency=16, seed=2),
+            ])
+        steady = report.tenants["steady"]
+        flood = report.tenants["flood"]
+        assert flood.shed > 0
+        assert steady.shed == 0
+        assert steady.errors == 0
+        assert steady.ok == steady.requests == 150
+        assert flood.requests == 300
+        assert flood.ok + flood.shed + flood.errors == 300
+
+    def test_report_shape_and_determinism(self):
+        snapshot = _snapshot()
+        spec = TenantLoadSpec(name="t", requests=60, concurrency=2, seed=3)
+
+        def run_once():
+            registry = TenantRegistry()
+            registry.register("t", TenantQuota(max_inflight=4))
+            with AnnotationServer(snapshot) as server:
+                front = AsyncFrontEnd(server, registry)
+                return run_tenant_load(front, [spec])
+
+        a, b = run_once(), run_once()
+        assert a.tenants["t"].ok == b.tenants["t"].ok == 60
+        payload = a.as_dict()
+        assert set(payload) == {"requests", "wall_s", "throughput_rps",
+                                "tenants"}
+        assert set(payload["tenants"]["t"]) == {
+            "requests", "ok", "shed", "errors", "error_rate", "cached",
+            "latency_ms"}
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TenancyError):
+            TenantLoadSpec(name="t", requests=0)
+        with pytest.raises(TenancyError):
+            TenantLoadSpec(name="t", concurrency=0)
+
+
+class TestPredicateCache:
+    def _predicate(self):
+        return PredicateQuery(predicate=json.dumps(
+            {"op": "atom", "aspect": "types",
+             "category": "Contact information"}))
+
+    def test_hit_and_miss_counters(self):
+        query = self._predicate()
+        cache = ResultCache(entries=16, ttl_s=3600.0)
+        with AnnotationServer(_snapshot(), ServerConfig(cache_entries=0),
+                              predicate_cache=cache) as server:
+            first = server.request(query)
+            second = server.request(query)
+        assert first.ok and second.ok
+        assert first.body == second.body
+        counters = server.metrics.as_dict()["counters"]
+        assert counters["serve.predicate_cache.miss"] == 1
+        assert counters["serve.predicate_cache.hit"] == 1
+
+    def test_survives_snapshot_refresh(self):
+        """Same predicate cache across a server restart on the same
+        snapshot fingerprint: the first request after 'refresh' is a hit."""
+        snapshot = _snapshot()
+        query = self._predicate()
+        cache = ResultCache(entries=16, ttl_s=3600.0)
+        with AnnotationServer(snapshot, ServerConfig(cache_entries=0),
+                              predicate_cache=cache) as server:
+            before = server.request(query)
+        with AnnotationServer(snapshot, ServerConfig(cache_entries=0),
+                              predicate_cache=cache) as refreshed:
+            after = refreshed.request(query)
+            counters = refreshed.metrics.as_dict()["counters"]
+        assert after.body == before.body
+        assert after.cached
+        assert counters["serve.predicate_cache.hit"] == 1
+
+    def test_changed_snapshot_misses(self):
+        """A different corpus fingerprint must never reuse stale bodies."""
+        query = self._predicate()
+        cache = ResultCache(entries=16, ttl_s=3600.0)
+        with AnnotationServer(_snapshot(6), ServerConfig(cache_entries=0),
+                              predicate_cache=cache) as server:
+            server.request(query)
+        with AnnotationServer(_snapshot(9), ServerConfig(cache_entries=0),
+                              predicate_cache=cache) as other:
+            other.request(query)
+            counters = other.metrics.as_dict()["counters"]
+        assert counters["serve.predicate_cache.miss"] == 1
+        assert "serve.predicate_cache.hit" not in counters
+
+    def test_malformed_predicate_is_clean_query_error(self):
+        with AnnotationServer(_snapshot()) as server:
+            response = server.request(
+                PredicateQuery(predicate="{not json"))
+        assert response.status == ERROR
+        assert response.body.startswith("predicate:")
+        assert "InternalError" not in response.body

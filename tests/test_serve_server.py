@@ -289,7 +289,8 @@ class TestLoadGenerator:
         kinds = {type(q).__name__ for q in workload}
         assert kinds == {"DomainLookup", "FacetFilter", "SectorAggregate",
                          "TopDescriptors", "AspectMentions",
-                         "TableAggregate"}
+                         "TableAggregate", "PredicateQuery",
+                         "ComplianceScan"}
 
     def test_zipf_weights_decay_monotonically(self):
         weights = zipf_weights(10, 1.1)

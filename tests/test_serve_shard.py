@@ -1,0 +1,300 @@
+"""Sharded serving: routing, round trips, scatter-gather byte-identity.
+
+The differential suite is the contract: for every query class, a
+sharded deployment's responses must be byte-identical to the
+single-index :class:`QueryEngine` — across shard counts, record order,
+disk round trips, cold and warm caches, and under chaos fire.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.compliance.oracle import random_predicate
+from repro.errors import SnapshotError
+from repro.pipeline.records import DomainAnnotations, HandlingAnnotation, \
+    TypeAnnotation, read_jsonl
+from repro.serve import (
+    AnnotationServer,
+    AspectMentions,
+    ComplianceScan,
+    CorpusIndex,
+    DomainLookup,
+    FacetFilter,
+    FaultPlan,
+    PredicateQuery,
+    QueryEngine,
+    SectorAggregate,
+    ServerConfig,
+    ShardedEngine,
+    TableAggregate,
+    TopDescriptors,
+    WorkloadConfig,
+    build_snapshot,
+    load_sharded_snapshot,
+    merged_snapshot,
+    partition_snapshot,
+    run_chaos,
+    shard_for_domain,
+    write_sharded_snapshot,
+)
+
+GOLDEN_RECORDS = Path(__file__).parent / "golden" / "records.jsonl"
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def _snapshot(n=10):
+    records = [
+        DomainAnnotations(
+            domain=f"site{i}.com", sector="FI" if i % 2 else "HC",
+            status="annotated",
+            types=[TypeAnnotation(category="Contact information",
+                                  meta_category="Personal identifiers",
+                                  descriptor=f"descriptor-{i % 3}",
+                                  verbatim=f"verbatim {i}", line=i + 1)],
+            handling=[HandlingAnnotation(group="Data retention",
+                                         label="retention-period",
+                                         verbatim=f"retained {i}",
+                                         line=i + 2)])
+        for i in range(n)
+    ]
+    return build_snapshot(records)
+
+
+@pytest.fixture(scope="module")
+def golden_snapshot():
+    if not GOLDEN_RECORDS.exists():
+        pytest.fail("tests/golden/records.jsonl missing")
+    return build_snapshot(read_jsonl(GOLDEN_RECORDS), source="golden")
+
+
+def _probe_queries(snapshot, index):
+    """Every query class, including seeded random predicates."""
+    domains = sorted(r.domain for r in snapshot.records)
+    sectors = sorted({r.sector for r in snapshot.records})
+    probes = [DomainLookup(domain=d) for d in domains]
+    probes.append(DomainLookup(domain="missing.invalid"))
+    probes += [
+        FacetFilter(facet="types", status="annotated"),
+        FacetFilter(facet="purposes", sector=sectors[0]),
+        FacetFilter(facet="labels", category="Data retention"),
+        SectorAggregate(sector=sectors[0]),
+        SectorAggregate(sector="no-such-sector"),
+        TopDescriptors(facet="types", k=10),
+        TopDescriptors(facet="labels", k=5, sector=sectors[-1]),
+        AspectMentions(aspect="types", limit=7),
+        AspectMentions(aspect="handling", limit=25),
+        ComplianceScan(pack="gdpr"),
+        ComplianceScan(pack="ccpa"),
+        ComplianceScan(pack="gdpr", sector=sectors[0]),
+    ]
+    probes += [TableAggregate(table=t)
+               for t in ("table1", "table2a", "table2b", "table3",
+                         "summary")]
+    atom_pool = [atom for aspect in sorted(index.atoms_by_aspect)
+                 for atom in index.atoms_by_aspect[aspect]]
+    rng = random.Random(23)
+    probes += [PredicateQuery.from_predicate(
+        random_predicate(rng, atom_pool), evidence=i % 3 == 0)
+        for i in range(15)]
+    return probes
+
+
+class TestShardRouting:
+    def test_routing_is_stable_and_covers_all_shards(self):
+        domains = [f"site{i}.com" for i in range(200)]
+        for n in (2, 4, 7):
+            placed = {shard_for_domain(d, n) for d in domains}
+            assert placed == set(range(n))
+            again = [shard_for_domain(d, n) for d in domains]
+            assert again == [shard_for_domain(d, n) for d in domains]
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(SnapshotError):
+            shard_for_domain("a.com", 0)
+        with pytest.raises(SnapshotError):
+            partition_snapshot(_snapshot(), 0)
+
+
+class TestPartition:
+    def test_partition_preserves_domains_and_fingerprint(self):
+        snapshot = _snapshot()
+        sharded = partition_snapshot(snapshot, 3)
+        assert sharded.shard_count == 3
+        assert sharded.fingerprint == snapshot.fingerprint
+        assert sharded.domain_count() == snapshot.domain_count()
+        merged = merged_snapshot(sharded)
+        assert merged.fingerprint == snapshot.fingerprint
+
+    def test_every_record_lands_on_its_hash_shard(self):
+        sharded = partition_snapshot(_snapshot(), 4)
+        for i, shard in enumerate(sharded.shards):
+            for record in shard.records:
+                assert shard_for_domain(record.domain, 4) == i
+
+    def test_empty_shards_are_allowed(self):
+        # More shards than domains guarantees at least one empty shard.
+        sharded = partition_snapshot(_snapshot(3), 7)
+        assert sharded.shard_count == 7
+        assert sharded.domain_count() == 3
+
+
+class TestShardedDisk:
+    def test_round_trip(self, tmp_path):
+        snapshot = _snapshot()
+        sharded = partition_snapshot(snapshot, 3)
+        directory = tmp_path / "corpus.sharded"
+        write_sharded_snapshot(sharded, directory)
+        loaded = load_sharded_snapshot(directory)
+        assert loaded.fingerprint == snapshot.fingerprint
+        assert loaded.shard_count == 3
+
+    def test_missing_shard_file_detected(self, tmp_path):
+        directory = tmp_path / "corpus.sharded"
+        write_sharded_snapshot(partition_snapshot(_snapshot(), 3),
+                               directory)
+        (directory / "shard-0001.snap.json").unlink()
+        with pytest.raises(SnapshotError) as excinfo:
+            load_sharded_snapshot(directory)
+        assert excinfo.value.reason == "unreadable"
+
+    def test_tampered_shard_detected(self, tmp_path):
+        directory = tmp_path / "corpus.sharded"
+        write_sharded_snapshot(partition_snapshot(_snapshot(), 3),
+                               directory)
+        shard_path = directory / "shard-0000.snap.json"
+        payload = json.loads(shard_path.read_text())
+        payload["records"] = payload["records"][:-1]
+        shard_path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError) as excinfo:
+            load_sharded_snapshot(directory)
+        assert excinfo.value.reason in ("shard-fingerprint-mismatch",
+                                        "fingerprint-mismatch")
+
+    def test_misrouted_record_detected(self, tmp_path):
+        snapshot = _snapshot()
+        sharded = partition_snapshot(snapshot, 2)
+        directory = tmp_path / "corpus.sharded"
+        # Swap the two shards' files so every record is on the wrong
+        # shard, then patch the manifest fingerprints to match the
+        # swapped bytes — only the routing invariant can catch this.
+        write_sharded_snapshot(sharded, directory)
+        path0 = directory / "shard-0000.snap.json"
+        path1 = directory / "shard-0001.snap.json"
+        data0, data1 = path0.read_text(), path1.read_text()
+        path0.write_text(data1)
+        path1.write_text(data0)
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        entries = manifest["files"]
+        entries[0]["fingerprint"], entries[1]["fingerprint"] = \
+            entries[1]["fingerprint"], entries[0]["fingerprint"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError) as excinfo:
+            load_sharded_snapshot(directory)
+        assert excinfo.value.reason == "shard-misrouted"
+
+    def test_truncated_manifest_detected(self, tmp_path):
+        directory = tmp_path / "corpus.sharded"
+        write_sharded_snapshot(partition_snapshot(_snapshot(), 2),
+                               directory)
+        (directory / "manifest.json").write_text("{not json")
+        with pytest.raises(SnapshotError) as excinfo:
+            load_sharded_snapshot(directory)
+        assert excinfo.value.reason == "not-json"
+
+
+class TestMergedViews:
+    """ShardedEngine's merged read views equal the single index's."""
+
+    def test_merged_views_match_single_index(self):
+        snapshot = _snapshot()
+        index = CorpusIndex.build(snapshot)
+        engine = ShardedEngine(partition_snapshot(snapshot, 3))
+        assert sorted(engine.by_domain) == sorted(index.by_domain)
+        assert engine.domains_by_sector == index.domains_by_sector
+        assert engine.domains_by_status == index.domains_by_status
+        assert engine.descriptor_counts == index.descriptor_counts
+        assert engine.aggregates == index.aggregates
+        assert [f.domain for f in engine.logical_forms] == \
+            [f.domain for f in index.logical_forms]
+        assert engine.atoms_by_aspect.keys() == \
+            index.atoms_by_aspect.keys()
+
+    def test_domain_lookup_routes_to_one_shard(self):
+        snapshot = _snapshot()
+        engine = ShardedEngine(partition_snapshot(snapshot, 4))
+        for record in snapshot.records:
+            shard = engine.route(DomainLookup(domain=record.domain))
+            assert shard == shard_for_domain(record.domain, 4)
+        assert engine.route(TableAggregate(table="summary")) is None
+
+
+class TestDifferential:
+    """Byte-identity of every query class across shard counts."""
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_engine_byte_identical_to_single_index(self, golden_snapshot,
+                                                   shards):
+        index = CorpusIndex.build(golden_snapshot)
+        single = QueryEngine(index)
+        engine = ShardedEngine(partition_snapshot(golden_snapshot, shards))
+        for query in _probe_queries(golden_snapshot, index):
+            assert engine.execute(query).to_json() == \
+                single.execute(query).to_json(), query
+
+    def test_shuffled_record_order_is_byte_identical(self, golden_snapshot):
+        index = CorpusIndex.build(golden_snapshot)
+        single = QueryEngine(index)
+        records = list(golden_snapshot.records)
+        random.Random(5).shuffle(records)
+        engine = ShardedEngine(partition_snapshot(build_snapshot(records),
+                                                  4))
+        for query in _probe_queries(golden_snapshot, index):
+            assert engine.execute(query).to_json() == \
+                single.execute(query).to_json(), query
+
+    @pytest.mark.parametrize("shards", (2, 7))
+    def test_served_cold_and_warm_byte_identical(self, golden_snapshot,
+                                                 shards):
+        """Through the full server: sharded, cold cache, then warm."""
+        index = CorpusIndex.build(golden_snapshot)
+        single = QueryEngine(index)
+        probes = _probe_queries(golden_snapshot, index)
+        expected = [single.execute(q).to_json() for q in probes]
+        config = ServerConfig(workers=2, shards=shards)
+        with AnnotationServer(golden_snapshot, config) as server:
+            cold = [server.request(q).body for q in probes]
+            warm = [server.request(q).body for q in probes]
+        assert cold == expected
+        assert warm == expected
+
+    def test_disk_round_trip_is_byte_identical(self, golden_snapshot,
+                                               tmp_path):
+        index = CorpusIndex.build(golden_snapshot)
+        single = QueryEngine(index)
+        directory = tmp_path / "corpus.sharded"
+        write_sharded_snapshot(partition_snapshot(golden_snapshot, 4),
+                               directory)
+        engine = ShardedEngine(load_sharded_snapshot(directory))
+        for query in _probe_queries(golden_snapshot, index):
+            assert engine.execute(query).to_json() == \
+                single.execute(query).to_json(), query
+
+
+class TestShardedChaos:
+    def test_sharded_chaos_run_has_zero_violations(self):
+        """Fault containment AND scatter-gather identity, simultaneously:
+        a sharded server under fire is oracle-diffed against a fault-free
+        single-index engine."""
+        report = run_chaos(
+            _snapshot(12), FaultPlan.from_seed(11, requests=150),
+            workload_config=WorkloadConfig(seed=4, requests=150),
+            server_config=ServerConfig(workers=2, queue_depth=16),
+            shards=3)
+        assert report.violations() == 0, report.as_dict()
