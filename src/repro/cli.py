@@ -12,6 +12,8 @@ Examples::
     repro-pipeline compliance --snapshot corpus.snap.json \\
         --predicate '{"op": "atom", "aspect": "purposes", \\
                       "category": "Data sharing"}' --engine check
+    repro-pipeline ingest --cache-dir .cache --out live.snap --shards 4 \\
+        --watch --max-rounds 5 --mutate-per-round 2
     repro-pipeline bench-serve --snapshot corpus.snap.json --requests 2000
     repro-pipeline chaos --snapshot corpus.snap.json --chaos-seed 7 \\
         --faults worker-death,cache-poison
@@ -55,7 +57,7 @@ class CLIUsageError(Exception):
 #: One-line usage hint appended to every usage error.
 _USAGE_HINT = ("usage: repro-pipeline [options] "
                "{run,tables,validate,models,crawl-stats,serve-snapshot,"
-               "query,compliance,bench-serve,chaos} ... "
+               "query,compliance,ingest,bench-serve,chaos} ... "
                "(see repro-pipeline --help)")
 
 
@@ -383,27 +385,34 @@ def _compliance_query(args):
     """Translate `compliance` flags into one typed query (or compile mode)."""
     from repro.serve import ComplianceScan, PredicateQuery
 
-    modes = [name for name in ("predicate", "pack", "compile")
+    modes = [name for name in ("predicate", "pack", "compile", "rule_pack")
              if getattr(args, name) is not None]
     if len(modes) != 1:
         raise CLIUsageError(
-            "compliance needs exactly one of --predicate/--pack/--compile "
+            "compliance needs exactly one of "
+            "--predicate/--pack/--rule-pack/--compile "
             f"(got {len(modes)})")
     mode = modes[0]
     if mode == "predicate":
         if args.rule is not None:
             raise CLIUsageError("--rule only applies with --pack")
         if args.in_sector is not None:
-            raise CLIUsageError("--in-sector only applies with --pack")
+            raise CLIUsageError(
+                "--in-sector only applies with --pack/--rule-pack")
         return PredicateQuery(predicate=args.predicate,
                               evidence=args.evidence)
-    if mode == "pack":
+    if mode in ("pack", "rule_pack"):
         if args.evidence:
             raise CLIUsageError("--evidence only applies with --predicate "
                                 "(scan verdicts always carry evidence)")
+    if mode == "rule_pack" and args.engine != "indexed":
+        raise CLIUsageError(
+            "--engine only applies to built-in packs; a user --rule-pack "
+            "always evaluates through the reference scan")
+    if mode == "pack":
         return ComplianceScan(pack=args.pack, rule=args.rule,
                               sector=args.in_sector)
-    return None  # --compile handled by the caller
+    return None  # --compile / --rule-pack handled by the caller
 
 
 def cmd_compliance(args) -> int:
@@ -417,13 +426,26 @@ def cmd_compliance(args) -> int:
     snapshot = _load_snapshot_arg(args.snapshot)
     records = _snapshot_records(snapshot)
 
-    if query is None:  # --compile DOMAIN: print the canonical logical form
+    if query is None and args.compile is not None:
+        # --compile DOMAIN: print the canonical logical form
         record = next((r for r in records
                        if r.domain == args.compile), None)
         if record is None:
             raise CLIUsageError(
                 f"--compile: domain {args.compile!r} not in snapshot")
         print(compile_record(record).to_json())
+        return 0
+
+    if query is None:  # --rule-pack FILE: scan a user-supplied pack
+        from repro.compliance import load_rule_pack, scan_forms
+        try:
+            pack = load_rule_pack(args.rule_pack)
+            payload = scan_forms(pack,
+                                 [compile_record(r) for r in records],
+                                 rule_id=args.rule, sector=args.in_sector)
+        except ComplianceError as exc:
+            raise CLIUsageError(str(exc))
+        print(canonical_json({"kind": "compliance", "payload": payload}))
         return 0
 
     try:
@@ -454,6 +476,163 @@ def cmd_compliance(args) -> int:
         print("check: indexed answer is byte-identical to the oracle",
               file=sys.stderr)
     return 0
+
+
+def _parse_refresh_policy(spec: str | None):
+    """Parse ``--refresh-policy`` (``interval:K[,priority:d1|d2]``)."""
+    from repro.ingest import SchedulePolicy
+
+    if spec is None:
+        return SchedulePolicy()
+    interval, priority = 1, ()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition(":")
+        if not sep:
+            raise CLIUsageError(
+                f"--refresh-policy: bad clause {part!r} (expected "
+                f"interval:K or priority:dom1|dom2)")
+        if key == "interval":
+            try:
+                interval = int(value)
+            except ValueError:
+                raise CLIUsageError(
+                    f"--refresh-policy: interval must be an integer, got "
+                    f"{value!r}")
+            if interval < 1:
+                raise CLIUsageError(
+                    f"--refresh-policy: interval must be >= 1, got "
+                    f"{interval}")
+        elif key == "priority":
+            priority = tuple(d for d in value.split("|") if d)
+        else:
+            raise CLIUsageError(
+                f"--refresh-policy: unknown key {key!r} (expected "
+                f"interval or priority)")
+    return SchedulePolicy(interval_rounds=interval, priority=priority)
+
+
+def cmd_ingest(args) -> int:
+    from repro.errors import IngestError
+    from repro.ingest import (
+        IngestScheduler,
+        PolicyChangeFeed,
+        apply_patches,
+        apply_patches_sharded,
+        refresh_differential,
+        write_sharded_refresh,
+    )
+    from repro.serve import (
+        build_snapshot,
+        partition_snapshot,
+        write_sharded_snapshot,
+        write_snapshot,
+    )
+
+    if getattr(args, "cache_dir", None) is None:
+        raise CLIUsageError("ingest requires --cache-dir: the delta path "
+                            "is defined in terms of the pipeline cache")
+    if args.once and args.max_rounds is not None:
+        raise CLIUsageError("--max-rounds only applies with --watch")
+    policy = _parse_refresh_policy(args.refresh_policy)
+    cache = _resolve_cache(args)
+    rounds = 1 if args.once else (args.max_rounds
+                                  if args.max_rounds is not None else 3)
+
+    print(f"building corpus (seed={args.seed}, fraction={args.fraction})",
+          file=sys.stderr)
+    corpus = build_corpus(CorpusConfig(seed=args.seed,
+                                       fraction=args.fraction))
+    watched = (corpus.domains[:args.domains]
+               if args.domains is not None else None)
+    options = _pipeline_options(args)
+    try:
+        scheduler = IngestScheduler(corpus, options, cache,
+                                    domains=watched, policy=policy,
+                                    seed=args.ingest_seed,
+                                    compact_every=args.compact_every)
+        feed = (PolicyChangeFeed(corpus, seed=args.ingest_seed,
+                                 per_round=args.mutate_per_round,
+                                 domains=watched)
+                if args.mutate_per_round > 0 else None)
+
+        start = time.time()
+        records = scheduler.bootstrap()
+        snapshot = build_snapshot(records, provenance={
+            "corpus_seed": args.seed, "corpus_fraction": args.fraction,
+            "ingest_seed": args.ingest_seed})
+        if args.shards > 1:
+            serving = partition_snapshot(snapshot, args.shards)
+            write_sharded_snapshot(serving, args.out)
+        else:
+            serving = snapshot
+            write_snapshot(serving, args.out)
+        print(f"bootstrap: {snapshot.domain_count()} domains in "
+              f"{time.time() - start:.1f}s, fingerprint "
+              f"{serving.fingerprint[:16]}…, written to {args.out}",
+              file=sys.stderr)
+        if args.once:
+            return 0
+
+        def apply_round(rnd) -> str:
+            nonlocal serving
+            patches = list(rnd.patches)
+            if not patches:
+                return "no refresh needed"
+            if args.shards > 1:
+                result = apply_patches_sharded(serving, patches)
+                serving = result.sharded
+                rewritten = write_sharded_refresh(serving, args.out)
+                return (f"{len(result.touched)}/{len(serving.shards)} "
+                        f"shards rebuilt, {len(rewritten)} files "
+                        f"rewritten")
+            serving = apply_patches(serving, patches)
+            write_snapshot(serving, args.out)
+            return "snapshot rewritten"
+
+        for _ in range(rounds):
+            changed = feed.next_round() if feed is not None else []
+            rnd = scheduler.run_round()
+            delta = apply_round(rnd)
+            print(f"round {rnd.number}: {len(changed)} simulated edits, "
+                  f"{len(rnd.due)} due, {len(rnd.skipped)} skipped, "
+                  f"{len(rnd.patches)} patches ({delta})"
+                  + (f", {rnd.compacted} cache entries compacted"
+                     if rnd.compacted else ""),
+                  file=sys.stderr)
+
+        # Settle round: re-check every watched domain once so the
+        # differential compares a fully caught-up snapshot — interval
+        # policies legitimately lag behind edits to not-yet-due domains.
+        scheduler.trigger(*scheduler.domains)
+        settle = scheduler.run_round()
+        delta = apply_round(settle)
+        print(f"settle round: {len(settle.due)} due, "
+              f"{len(settle.patches)} patches ({delta})", file=sys.stderr)
+
+        verdict = refresh_differential(corpus, options, cache, serving,
+                                       domains=scheduler.domains)
+        counts = scheduler.counts()
+        print(f"ingest counters: {scheduler.counters.summary()}",
+              file=sys.stderr)
+        if not verdict["identical"]:
+            print("repro-pipeline: ingest: differential verification "
+                  "FAILED — the incrementally refreshed snapshot is not "
+                  "byte-identical to a from-scratch rebuild "
+                  f"(incremental {verdict['incremental_fingerprint'][:16]}…, "
+                  f"rebuild {verdict['rebuild_fingerprint'][:16]}…)",
+                  file=sys.stderr)
+            return 1
+        print(f"differential: incremental refresh is fingerprint-identical "
+              f"to a from-scratch rebuild "
+              f"({verdict['incremental_fingerprint'][:16]}…) — "
+              f"{counts.get('ingest.annotated', 0)} re-annotations for "
+              f"{counts.get('ingest.checked', 0)} checks")
+        return 0
+    except IngestError as exc:
+        raise CLIUsageError(str(exc))
 
 
 def cmd_bench_serve(args) -> int:
@@ -722,13 +901,21 @@ def build_parser() -> argparse.ArgumentParser:
                                    "all, any, not, segment)")
     compliance_parser.add_argument("--pack", choices=["gdpr", "ccpa"],
                                    help="scan a rule pack over the corpus")
+    compliance_parser.add_argument("--rule-pack", metavar="FILE",
+                                   dest="rule_pack",
+                                   help="scan a user-supplied rule pack: a "
+                                   "JSON file in RulePack.to_payload() "
+                                   "shape (evaluated through the "
+                                   "reference scan)")
     compliance_parser.add_argument("--rule", metavar="ID",
-                                   help="with --pack: scan one rule only")
+                                   help="with --pack/--rule-pack: scan one "
+                                   "rule only")
     compliance_parser.add_argument("--compile", metavar="DOMAIN",
                                    help="print one domain's compiled "
                                    "logical form")
     compliance_parser.add_argument("--in-sector", metavar="SECTOR",
-                                   help="restrict --pack to one sector")
+                                   help="restrict --pack/--rule-pack to "
+                                   "one sector")
     compliance_parser.add_argument("--evidence", action="store_true",
                                    help="with --predicate: attach verbatim "
                                    "evidence spans per matched domain")
@@ -741,6 +928,49 @@ def build_parser() -> argparse.ArgumentParser:
                                    "unless byte-identical (default: "
                                    "indexed)")
     compliance_parser.set_defaults(func=cmd_compliance)
+
+    ingest_parser = sub.add_parser(
+        "ingest",
+        help="continuous ingestion: incremental re-crawl, delta "
+             "re-annotation, live snapshot refresh")
+    ingest_parser.add_argument("--out", required=True, metavar="PATH",
+                               help="serving snapshot to keep refreshed "
+                               "(a directory with --shards > 1)")
+    mode = ingest_parser.add_mutually_exclusive_group()
+    mode.add_argument("--once", action="store_true",
+                      help="bootstrap + write the snapshot, then exit")
+    mode.add_argument("--watch", action="store_true",
+                      help="run watcher rounds after bootstrap (the "
+                      "default; bounded by --max-rounds)")
+    ingest_parser.add_argument("--max-rounds", type=_positive_int,
+                               metavar="N",
+                               help="watcher rounds to run (default: 3)")
+    ingest_parser.add_argument("--refresh-policy", metavar="SPEC",
+                               help="re-check policy: interval:K "
+                               "(staggered, every K rounds) and/or "
+                               "priority:dom1|dom2 (every round); "
+                               "default interval:1")
+    ingest_parser.add_argument("--mutate-per-round", type=int, default=1,
+                               metavar="M",
+                               help="simulated policy edits per round via "
+                               "the seeded change feed (0 disables; "
+                               "default: 1)")
+    ingest_parser.add_argument("--ingest-seed", type=int, default=0,
+                               help="seed for the watcher queue order and "
+                               "the change feed (default: 0)")
+    ingest_parser.add_argument("--domains", type=_positive_int,
+                               metavar="N",
+                               help="watch only the first N corpus "
+                               "domains (default: all)")
+    ingest_parser.add_argument("--shards", type=_positive_int, default=1,
+                               help="serve from N domain-hash shards; "
+                               "refresh rewrites only touched shard "
+                               "files (default: 1)")
+    ingest_parser.add_argument("--compact-every", type=int, default=0,
+                               metavar="N",
+                               help="prune superseded cache checkpoints "
+                               "after every Nth round (0 disables)")
+    ingest_parser.set_defaults(func=cmd_ingest)
 
     bench_parser = sub.add_parser(
         "bench-serve",

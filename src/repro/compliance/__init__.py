@@ -70,7 +70,10 @@ from repro.compliance.rules import (
     RulePack,
     evaluate_rule,
     get_pack,
+    load_rule_pack,
+    pack_from_payload,
     pack_rows,
+    rule_from_payload,
     scan_forms,
     scan_payload,
 )
@@ -114,7 +117,10 @@ __all__ = [
     "RulePack",
     "evaluate_rule",
     "get_pack",
+    "load_rule_pack",
+    "pack_from_payload",
     "pack_rows",
+    "rule_from_payload",
     "scan_forms",
     "scan_payload",
 ]

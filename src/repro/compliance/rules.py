@@ -30,6 +30,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import json
+from pathlib import Path
+
 from repro._util.artifacts import content_digest
 from repro.compliance.logic import LogicalForm
 from repro.compliance.predicate import (
@@ -40,6 +43,7 @@ from repro.compliance.predicate import (
     Negate,
     Predicate,
     holds,
+    predicate_from_payload,
     predicate_payload,
     refute_spans,
     support_spans,
@@ -107,6 +111,109 @@ class RulePack:
 
     def fingerprint(self) -> str:
         return content_digest(self.to_payload())
+
+
+# -- payload round-trip (user-supplied packs) ----------------------------
+
+_RULE_SEVERITIES = ("must", "should")
+
+
+def rule_from_payload(payload) -> ComplianceRule:
+    """Rebuild one rule from its ``to_payload`` shape.
+
+    The exact inverse of :meth:`ComplianceRule.to_payload`: a rule
+    round-tripped through JSON fingerprints identically to the original.
+    Schema problems raise :class:`ComplianceError` with the offending
+    field named.
+    """
+    if not isinstance(payload, dict):
+        raise ComplianceError(
+            f"rule payload must be an object, got {type(payload).__name__}")
+    for field in ("id", "title", "severity"):
+        value = payload.get(field)
+        if not isinstance(value, str) or not value:
+            raise ComplianceError(
+                f"rule payload needs a non-empty string {field!r}")
+    if payload["severity"] not in _RULE_SEVERITIES:
+        raise ComplianceError(
+            f"rule {payload['id']!r}: severity must be one of "
+            f"{_RULE_SEVERITIES}, got {payload['severity']!r}")
+    unknown = set(payload) - {"id", "title", "severity", "requirement",
+                              "applies_when"}
+    if unknown:
+        raise ComplianceError(
+            f"rule {payload['id']!r}: unknown fields {sorted(unknown)}")
+    if "requirement" not in payload:
+        raise ComplianceError(
+            f"rule {payload['id']!r} is missing its requirement predicate")
+    try:
+        requirement = predicate_from_payload(payload["requirement"])
+        applies_when = (
+            predicate_from_payload(payload["applies_when"])
+            if payload.get("applies_when") is not None else None)
+    except ComplianceError as exc:
+        raise ComplianceError(f"rule {payload['id']!r}: {exc}") from exc
+    return ComplianceRule(id=payload["id"], title=payload["title"],
+                          severity=payload["severity"],
+                          requirement=requirement,
+                          applies_when=applies_when)
+
+
+def pack_from_payload(payload) -> RulePack:
+    """Rebuild a rule pack from its ``to_payload`` shape.
+
+    Round-trip exact: ``pack_from_payload(pack.to_payload())`` carries
+    the same fingerprint as ``pack``. Built-in pack names are reserved —
+    a user pack shadowing ``gdpr``/``ccpa`` would make scan payloads
+    (which carry only the pack *name* plus fingerprint) ambiguous.
+    """
+    if not isinstance(payload, dict):
+        raise ComplianceError(
+            f"rule pack payload must be an object, got "
+            f"{type(payload).__name__}")
+    for field in ("name", "title"):
+        value = payload.get(field)
+        if not isinstance(value, str) or not value:
+            raise ComplianceError(
+                f"rule pack payload needs a non-empty string {field!r}")
+    unknown = set(payload) - {"name", "title", "rules"}
+    if unknown:
+        raise ComplianceError(
+            f"rule pack {payload['name']!r}: unknown fields "
+            f"{sorted(unknown)}")
+    rules = payload.get("rules")
+    if not isinstance(rules, list) or not rules:
+        raise ComplianceError(
+            f"rule pack {payload['name']!r} needs a non-empty rules list")
+    return RulePack(name=payload["name"], title=payload["title"],
+                    rules=tuple(rule_from_payload(r) for r in rules))
+
+
+def load_rule_pack(path: str | Path) -> RulePack:
+    """Load a user-supplied rule pack from a JSON file.
+
+    The file holds one ``RulePack.to_payload()`` object (see
+    ``repro-pipeline compliance --pack gdpr`` output, or DESIGN.md §13
+    for the predicate payload grammar). I/O and parse failures surface
+    as :class:`ComplianceError` so the CLI can report them cleanly.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ComplianceError(
+            f"cannot read rule pack {str(path)!r}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ComplianceError(
+            f"rule pack {str(path)!r} is not valid JSON: {exc}") from exc
+    pack = pack_from_payload(payload)
+    if pack.name in RULE_PACKS:
+        raise ComplianceError(
+            f"rule pack {str(path)!r} shadows built-in pack "
+            f"{pack.name!r}; pick a distinct name")
+    return pack
 
 
 # -- verdict computation -------------------------------------------------
@@ -365,7 +472,10 @@ __all__ = [
     "RulePack",
     "evaluate_rule",
     "get_pack",
+    "load_rule_pack",
+    "pack_from_payload",
     "pack_rows",
+    "rule_from_payload",
     "scan_forms",
     "scan_payload",
 ]

@@ -81,9 +81,10 @@ class SnapshotError(ServeError):
         reason: Machine-readable corruption/rejection class assigned at the
             raise site (``"unreadable"``, ``"not-json"``, ``"not-object"``,
             ``"schema-mismatch"``, ``"missing-records"``,
-            ``"malformed-record"``, ``"fingerprint-mismatch"``, or the
-            default ``"invalid"``). The chaos harness aggregates detected
-            corruptions by this code.
+            ``"malformed-record"``, ``"fingerprint-mismatch"``,
+            ``"cold-cache"`` — the cache holds no records-layer entry for
+            one or more requested domains — or the default ``"invalid"``).
+            The chaos harness aggregates detected corruptions by this code.
     """
 
     def __init__(self, message: str, *, reason: str = "invalid"):
@@ -109,3 +110,8 @@ class PredicateError(ComplianceError):
 
 class ChaosError(ServeError):
     """Raised on invalid fault plans or chaos-harness misuse."""
+
+
+class IngestError(ReproError):
+    """Raised on continuous-ingestion failures (bad patch sets, scheduler
+    misuse, refresh/differential verification mismatches)."""

@@ -1,0 +1,236 @@
+"""Swap-under-load harness: prove a live snapshot swap drops nothing.
+
+:func:`run_swap_load` drives a closed-loop concurrent workload against a
+started :class:`~repro.serve.server.AnnotationServer`, performs an
+atomic :meth:`~repro.serve.server.AnnotationServer.swap_snapshot`
+mid-run, and verifies the two invariants the live-swap design claims:
+
+- **Zero dropped requests.** Every submitted request resolves (OK, an
+  explicit shed, or an explicit error) within the timeout; ``dropped``
+  counts the ones that did not.
+- **No wrong bytes.** Every OK body must be byte-identical to the answer
+  of *some* installed generation — the pre-swap oracle or the post-swap
+  oracle, both computed up front from the snapshots themselves. A body
+  matching neither (a torn read mixing generations, a stale
+  cross-generation cache hit) is counted in ``wrong_bytes``.
+
+The harness is deliberately oblivious to *when* each concurrent request
+was served relative to the swap — the atomicity contract is exactly that
+every request is served wholly by one generation, so the dual-oracle
+check is the strongest assertion that doesn't race the swap itself. To
+prove the swap *took effect* without racing, the harness then submits a
+round of **post-swap probes** after ``swap_snapshot`` returns: the
+contract binds those to the new generation, so each must serve the new
+oracle's exact bytes (``post_wrong`` counts violations). On fast
+workloads the concurrent phase may drain entirely on the old generation
+while the new one is still building (``served_new_only == 0``); the
+probes make ``swap_effective`` deterministic regardless.
+
+Works unchanged with a chaos fault injector installed: worker crashes
+surface as explicit ``InternalError`` responses (counted in ``errors``),
+and the byte invariant must still hold for every OK body.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.serve.index import CorpusIndex
+from repro.serve.query import QueryEngine, query_fingerprint
+from repro.serve.server import ERROR, OK, OVERLOADED, AnnotationServer
+from repro.serve.shard import ShardedEngine, ShardedSnapshot
+
+
+@dataclass
+class SwapLoadReport:
+    """What a swap-under-load run observed."""
+
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    #: Requests that never resolved within the timeout — must be 0.
+    dropped: int = 0
+    #: OK bodies matching neither generation's oracle — must be 0.
+    wrong_bytes: int = 0
+    #: OK bodies only the old / only the new / either oracle explains.
+    served_old_only: int = 0
+    served_new_only: int = 0
+    served_both: int = 0
+    #: Post-swap probes: requests submitted strictly after swap_snapshot
+    #: returned, which the atomicity contract binds to the new
+    #: generation. ``post_wrong`` counts any that served non-new bytes.
+    post_requests: int = 0
+    post_ok: int = 0
+    post_wrong: int = 0
+    wall_s: float = 0.0
+    swap: dict = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return self.dropped == 0 and self.wrong_bytes == 0 \
+            and self.post_wrong == 0
+
+    @property
+    def swap_effective(self) -> bool:
+        """Did traffic provably reach the new generation?"""
+        return self.post_ok > 0 or self.served_new_only > 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "wrong_bytes": self.wrong_bytes,
+            "served_old_only": self.served_old_only,
+            "served_new_only": self.served_new_only,
+            "served_both": self.served_both,
+            "post_requests": self.post_requests,
+            "post_ok": self.post_ok,
+            "post_wrong": self.post_wrong,
+            "clean": self.clean,
+            "swap_effective": self.swap_effective,
+            "wall_s": round(self.wall_s, 4),
+            "swap": self.swap,
+        }
+
+
+def _engine_for(snapshot):
+    if isinstance(snapshot, ShardedSnapshot):
+        return ShardedEngine(snapshot)
+    return QueryEngine(CorpusIndex.build(snapshot))
+
+
+def oracle_bodies(snapshot, workload) -> dict[str, str]:
+    """``query fingerprint → canonical body`` for one snapshot.
+
+    Computed single-threaded through the plain engine — no server, no
+    cache — so it is the ground truth a generation must serve.
+    """
+    engine = _engine_for(snapshot)
+    bodies: dict[str, str] = {}
+    for query in workload:
+        try:
+            key = query_fingerprint(query)
+        except QueryError:
+            continue
+        if key not in bodies:
+            bodies[key] = engine.execute(query).to_json()
+    return bodies
+
+
+def run_swap_load(server: AnnotationServer, workload, new_snapshot, *,
+                  clients: int = 4, swap_after: int | None = None,
+                  post_probes: int = 16,
+                  timeout_s: float = 60.0) -> SwapLoadReport:
+    """Drive ``workload`` through ``clients`` threads, swapping mid-run.
+
+    The swap happens on the calling thread once ``swap_after`` responses
+    (default: half the workload) have resolved; client threads never
+    pause. After the swap returns, up to ``post_probes`` distinct
+    workload queries are re-submitted (possibly while client threads are
+    still draining) and must serve new-generation bytes. The server must
+    already be started.
+    """
+    old_oracle = oracle_bodies(server.snapshot, workload)
+    new_oracle = oracle_bodies(new_snapshot, workload)
+    threshold = swap_after if swap_after is not None else len(workload) // 2
+
+    completed = threading.Semaphore(0)
+    results: list[list] = [[] for _ in range(clients)]
+    dropped = [0] * clients
+
+    def client(worker_id: int) -> None:
+        for query in workload[worker_id::clients]:
+            try:
+                response = server.submit(query).result(timeout=timeout_s)
+            except FutureTimeout:
+                dropped[worker_id] += 1
+                completed.release()
+                continue
+            results[worker_id].append((query, response))
+            completed.release()
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(n,), daemon=True)
+               for n in range(clients)]
+    for thread in threads:
+        thread.start()
+    for _ in range(min(threshold, len(workload))):
+        completed.acquire()
+    swap = server.swap_snapshot(new_snapshot)
+
+    # Post-swap probes: submitted strictly after swap_snapshot returned,
+    # so the atomicity contract pins them to the new generation. Client
+    # threads may still be draining — sheds are retried, not failures.
+    probe_tallies = [0, 0]  # [post_ok, post_wrong]
+    probed = set()
+    for query in workload:
+        if len(probed) >= post_probes:
+            break
+        key = query_fingerprint(query)
+        if key in probed:
+            continue
+        probed.add(key)
+        for _ in range(8):  # bounded retry on admission-control sheds
+            try:
+                response = server.submit(query).result(timeout=timeout_s)
+            except FutureTimeout:
+                probe_tallies[1] += 1
+                break
+            if response.status == OVERLOADED:
+                continue
+            if response.status == OK:
+                matched = new_oracle.get(key) == response.body
+                probe_tallies[0 if matched else 1] += 1
+            # explicit ERROR (e.g. an injected chaos fault): neither a
+            # byte violation nor proof the swap landed — no tally.
+            break
+
+    for thread in threads:
+        thread.join()
+
+    report = SwapLoadReport(wall_s=time.perf_counter() - started,
+                            swap=swap.to_payload())
+    report.post_requests = len(probed)
+    report.post_ok, report.post_wrong = probe_tallies
+    report.dropped = sum(dropped)
+    report.requests = sum(dropped)
+    for bucket in results:
+        for query, response in bucket:
+            report.requests += 1
+            if response.status == OVERLOADED:
+                report.shed += 1
+                continue
+            if response.status == ERROR:
+                report.errors += 1
+                continue
+            if response.status != OK:  # defensive: unknown status
+                report.errors += 1
+                continue
+            report.ok += 1
+            key = query_fingerprint(query)
+            in_old = old_oracle.get(key) == response.body
+            in_new = new_oracle.get(key) == response.body
+            if in_old and in_new:
+                report.served_both += 1
+            elif in_old:
+                report.served_old_only += 1
+            elif in_new:
+                report.served_new_only += 1
+            else:
+                report.wrong_bytes += 1
+    return report
+
+
+__all__ = [
+    "SwapLoadReport",
+    "oracle_bodies",
+    "run_swap_load",
+]

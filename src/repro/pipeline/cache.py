@@ -187,6 +187,18 @@ class CacheKeys:
                 domain_input_fingerprint(self.corpus, domain)
         return fp
 
+    def refresh_domain(self, domain: str) -> str:
+        """Recompute one domain's input fingerprint, dropping the memo.
+
+        The memo assumes the simulated internet is immutable for the
+        run's lifetime; the ingest watcher mutates sites between rounds,
+        so it must call this (not :meth:`domain_fingerprint`) to observe
+        the change. Returns the fresh fingerprint.
+        """
+        fp = self._domain_fps[domain] = \
+            domain_input_fingerprint(self.corpus, domain)
+        return fp
+
     def crawl_key(self, domain: str) -> str:
         return _digest({"domain": self.domain_fingerprint(domain),
                         "token": self.crawl_token})
@@ -323,6 +335,35 @@ class PipelineCache:
         """
         removed = 0
         for path in list(self._entries(layer)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def iter_keys(self, layer: str = "all"):
+        """Yield ``(layer, key)`` for every stored entry."""
+        for path in self._entries(layer):
+            yield path.parent.parent.name, path.stem
+
+    def prune(self, live_keys, layer: str = "all") -> int:
+        """Compaction: drop every entry whose key is not in ``live_keys``.
+
+        ``live_keys`` is the set of cache keys the current configuration
+        can still address (records + crawl keys for the watched domain
+        set). Everything else is a superseded checkpoint — an entry keyed
+        by an input fingerprint or option/lexicon token that no longer
+        exists — which content addressing will never hit again. Returns
+        how many files were removed. Only safe when this process owns the
+        cache directory (a concurrent run with different options would
+        see its entries vanish).
+        """
+        live = set(live_keys)
+        removed = 0
+        for path in list(self._entries(layer)):
+            if path.stem in live:
+                continue
             try:
                 path.unlink()
                 removed += 1

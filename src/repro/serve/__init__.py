@@ -85,6 +85,7 @@ from repro.serve.server import (
     ServeMetrics,
     ServeResponse,
     ServerConfig,
+    SwapReport,
     WorkerCrash,
     percentile,
 )
@@ -140,6 +141,7 @@ __all__ = [
     "corrupt_snapshot_file",
     "run_chaos",
     "snapshot_corruption_trials",
+    "SwapReport",
     "WorkerCrash",
     "COMPLIANCE_PACKS",
     "FACETS",

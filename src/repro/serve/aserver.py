@@ -24,10 +24,18 @@ worker pool and moves admission **per tenant**:
   entirely; only misses cross into the worker pool via
   ``asyncio.wrap_future``. The fast path is disabled automatically when
   a fault injector is installed so chaos seams still see every request.
+- **Windowed rate limits.** On top of the inflight cap, a tenant may
+  carry ``TenantQuota.max_per_window``: at most that many requests
+  admitted per ``window_s``-second fixed window, measured on an
+  injectable front-end clock so tests advance time deterministically.
+  Excess requests are shed for that tenant only with an explicit
+  ``TenantRateLimited`` response and a
+  ``serve.tenant.<name>.rate_limited`` counter.
 - **Metering.** Per-tenant counters ride in the same
   :class:`~repro.serve.server.ServeMetrics` the server reports
-  (``serve.tenant.<name>.requests/.ok/.shed/.errors``), so one metrics
-  dump answers both "how is the server" and "who is doing this".
+  (``serve.tenant.<name>.requests/.ok/.shed/.errors/.rate_limited``), so
+  one metrics dump answers both "how is the server" and "who is doing
+  this".
 
 Everything the blocking path promises still holds: load shedding is
 explicit, cached bytes are digest-verified, the chaos seams are intact,
@@ -58,16 +66,35 @@ from repro.serve.server import (
 
 @dataclass(frozen=True)
 class TenantQuota:
-    """Admission knobs for one tenant."""
+    """Admission knobs for one tenant.
+
+    Two independent limits compose: ``max_inflight`` bounds *concurrency*
+    (how much of the worker pool one tenant can hold at once) and
+    ``max_per_window`` bounds *rate* (how many requests the tenant may
+    start per ``window_s``-second fixed window, ``None`` = unlimited).
+    A burst under the inflight cap can still exhaust a rate window; a
+    slow trickle can run forever without touching either.
+    """
 
     #: Requests the tenant may hold in flight; further submissions are
     #: shed for this tenant only.
     max_inflight: int = 8
+    #: Requests admitted per fixed window (``None`` disables the limit).
+    max_per_window: int | None = None
+    #: Fixed-window length in seconds (front-end clock units).
+    window_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
             raise TenancyError(
                 f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.max_per_window is not None and self.max_per_window < 1:
+            raise TenancyError(
+                f"max_per_window must be >= 1 or None, got "
+                f"{self.max_per_window}")
+        if self.window_s <= 0:
+            raise TenancyError(
+                f"window_s must be > 0, got {self.window_s}")
 
 
 @dataclass(frozen=True)
@@ -130,13 +157,46 @@ class AsyncFrontEnd:
     same threaded pool the blocking path uses.
     """
 
-    def __init__(self, server: AnnotationServer, registry: TenantRegistry):
+    def __init__(self, server: AnnotationServer, registry: TenantRegistry,
+                 clock=time.monotonic):
         self.server = server
         self.registry = registry
+        #: Injectable clock driving the fixed rate windows; tests advance
+        #: it deterministically instead of sleeping.
+        self._clock = clock
         self._inflight: dict[str, int] = {}
+        #: tenant name → (window start, requests admitted this window).
+        self._windows: dict[str, tuple[float, int]] = {}
 
     def inflight(self, name: str) -> int:
         return self._inflight.get(name, 0)
+
+    def swap_snapshot(self, snapshot, *, reuse_indexes: bool = True):
+        """Delegate a live snapshot swap to the backing server.
+
+        Per-tenant admission state (inflight counts, rate windows) is
+        deliberately untouched — quotas govern tenants, not content."""
+        return self.server.swap_snapshot(snapshot,
+                                         reuse_indexes=reuse_indexes)
+
+    def _admit_window(self, name: str, quota: TenantQuota) -> bool:
+        """Fixed-window rate check; counts (and admits) on success.
+
+        Runs on the event loop like all admission state — no locks. A new
+        window opens the first time the clock passes the previous start
+        by ``window_s``; partial elapsed time never resets the count.
+        """
+        if quota.max_per_window is None:
+            return True
+        now = self._clock()
+        start, used = self._windows.get(name, (None, 0))
+        if start is None or now - start >= quota.window_s:
+            self._windows[name] = (now, 1)
+            return True
+        if used >= quota.max_per_window:
+            return False
+        self._windows[name] = (start, used + 1)
+        return True
 
     def queue_headroom(self) -> int:
         """Global queue depth minus the sum of tenant caps; >= 0 means an
@@ -159,6 +219,15 @@ class AsyncFrontEnd:
                 body="AuthError: unknown api key")
         name = tenant.name
         self.server.metrics.increment(f"serve.tenant.{name}.requests")
+        if not self._admit_window(name, tenant.quota):
+            self.server.metrics.increment(f"serve.tenant.{name}.rate_limited")
+            self.server.metrics.increment(f"serve.tenant.{name}.shed")
+            self.server.metrics.record_shed(kind)
+            return ServeResponse(
+                status=OVERLOADED, kind=kind,
+                body=f"TenantRateLimited: tenant {name!r} exceeded "
+                     f"{tenant.quota.max_per_window} requests per "
+                     f"{tenant.quota.window_s}s window, retry later")
         if self._inflight.get(name, 0) >= tenant.quota.max_inflight:
             self.server.metrics.increment(f"serve.tenant.{name}.shed")
             self.server.metrics.record_shed(kind)

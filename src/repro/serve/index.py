@@ -189,6 +189,12 @@ class CorpusIndex:
     compliance_rows: dict[str, dict[str, dict[str, dict]]] = \
         field(default_factory=dict)
 
+    @property
+    def fingerprint(self) -> str:
+        """The served snapshot's content fingerprint — the id generation-
+        scoped caches and the shard-index reuse path key on."""
+        return self.snapshot.fingerprint
+
     # -- construction ----------------------------------------------------
 
     @classmethod

@@ -64,6 +64,20 @@ built without them. Two hardening behaviours back the chaos invariants:
   replacement worker is spawned so capacity recovers. ``stop()`` drains
   any request left behind by dead workers with an explicit
   ``ServerStopped`` error instead of abandoning its future.
+
+**Live snapshot swap.** Everything derived from the served snapshot
+(snapshot, shard set, engine, index, fingerprint) lives in one immutable
+:class:`_Generation` object held in a single attribute.
+:meth:`AnnotationServer.swap_snapshot` builds the next generation fully
+off to the side (optionally reusing unchanged shard indexes from the old
+one) and installs it with one attribute store — atomic under the GIL, so
+no request ever observes a half-built index. Each request captures the
+generation exactly once and serves entirely from that capture: in-flight
+queries finish on the old index (the capture keeps it alive), new
+arrivals see the new one. Hot-cache keys are prefixed with the
+generation's fingerprint (and predicate-cache keys already embed it), so
+entries from a superseded generation are structurally unreachable — no
+flush, no stale byte.
 """
 
 from __future__ import annotations
@@ -318,6 +332,81 @@ def percentile(samples: list[float], pct: float) -> float:
 _STOP = object()
 
 
+@dataclass(frozen=True)
+class _Generation:
+    """One immutable snapshot generation: everything a request reads.
+
+    Captured once per request so a mid-request swap can never mix
+    old-index data with new-index data; the capture's references keep the
+    old generation alive until its last in-flight request resolves.
+    """
+
+    snapshot: object          # CorpusSnapshot | ShardedSnapshot (as given)
+    sharded: "ShardedSnapshot | None"
+    engine: object            # QueryEngine | ShardedEngine
+    index: object             # CorpusIndex | ShardedEngine (merged view)
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """What one :meth:`AnnotationServer.swap_snapshot` call did."""
+
+    old_fingerprint: str
+    new_fingerprint: str
+    #: Shard indexes adopted from the old generation (content unchanged).
+    shards_reused: int
+    #: Shard indexes built fresh (0/1 totals for unsharded servers).
+    shards_rebuilt: int
+    #: Seconds spent building the new generation before the install.
+    build_s: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return self.old_fingerprint != self.new_fingerprint
+
+    def to_payload(self) -> dict:
+        return {
+            "old_fingerprint": self.old_fingerprint,
+            "new_fingerprint": self.new_fingerprint,
+            "changed": self.changed,
+            "shards_reused": self.shards_reused,
+            "shards_rebuilt": self.shards_rebuilt,
+            "build_s": round(self.build_s, 6),
+        }
+
+
+def _build_generation(snapshot, config: ServerConfig,
+                      reuse: _Generation | None = None) -> _Generation:
+    """Assemble a generation off to the side; nothing is installed here.
+
+    ``reuse`` (the outgoing generation) lets a sharded build adopt the
+    old engine's indexes for shards whose content fingerprint is
+    unchanged — the incremental-refresh fast path.
+    """
+    if isinstance(snapshot, ShardedSnapshot):
+        sharded: ShardedSnapshot | None = snapshot
+    elif config.shards > 1:
+        sharded = partition_snapshot(snapshot, config.shards)
+    else:
+        sharded = None
+    if sharded is not None:
+        reuse_engine = reuse.engine if reuse is not None \
+            and isinstance(reuse.engine, ShardedEngine) else None
+        engine = ShardedEngine(sharded, reuse_from=reuse_engine)
+        # The merged read view duck-types the single-index surface, so
+        # loadgen/chaos consumers of ``server.index`` are oblivious to
+        # sharding.
+        index = engine
+        fingerprint = sharded.fingerprint
+    else:
+        index = CorpusIndex.build(snapshot)
+        engine = QueryEngine(index)
+        fingerprint = snapshot.fingerprint
+    return _Generation(snapshot=snapshot, sharded=sharded, engine=engine,
+                       index=index, fingerprint=fingerprint)
+
+
 class WorkerCrash(Exception):
     """Raised *by a fault injector* to kill a worker mid-request.
 
@@ -346,23 +435,7 @@ class AnnotationServer:
                  clock=time.monotonic, fault_injector=None,
                  predicate_cache: ResultCache | None = None):
         self.config = config or ServerConfig()
-        self.snapshot = snapshot
-        if isinstance(snapshot, ShardedSnapshot):
-            self.sharded: ShardedSnapshot | None = snapshot
-        elif self.config.shards > 1:
-            self.sharded = partition_snapshot(snapshot, self.config.shards)
-        else:
-            self.sharded = None
-        if self.sharded is not None:
-            self.engine: "QueryEngine | ShardedEngine" = \
-                ShardedEngine(self.sharded)
-            # The merged read view duck-types the single-index surface,
-            # so loadgen/chaos consumers of ``server.index`` are
-            # oblivious to sharding.
-            self.index = self.engine
-        else:
-            self.index = CorpusIndex.build(snapshot)
-            self.engine = QueryEngine(self.index)
+        self._gen = _build_generation(snapshot, self.config)
         self.metrics = ServeMetrics(
             max_samples=self.config.max_latency_samples)
         self.cache = ResultCache(self.config.cache_entries,
@@ -382,6 +455,65 @@ class AnnotationServer:
         self._started = False
         self._lifecycle = threading.Lock()
         self._worker_serial = 0
+
+    # -- generation reads ------------------------------------------------
+    # Every external read goes through the current generation; request
+    # paths instead capture ``self._gen`` once and read only the capture.
+
+    @property
+    def snapshot(self):
+        return self._gen.snapshot
+
+    @property
+    def sharded(self) -> "ShardedSnapshot | None":
+        return self._gen.sharded
+
+    @property
+    def engine(self):
+        return self._gen.engine
+
+    @property
+    def index(self):
+        return self._gen.index
+
+    @property
+    def fingerprint(self) -> str:
+        return self._gen.fingerprint
+
+    def swap_snapshot(self, snapshot, *,
+                      reuse_indexes: bool = True) -> SwapReport:
+        """Atomically install a refreshed snapshot under load.
+
+        The next generation (shard set, indexes, engine) is built
+        entirely before the install, then published with one attribute
+        store — atomic under the GIL. Requests already past their
+        generation capture finish on the old index; requests arriving
+        after the store serve from the new one; no request is dropped and
+        none can observe a mix. Old hot-cache entries stay behind their
+        old fingerprint prefix (structurally unreachable, evicted by
+        TTL/LRU); the predicate cache needs no action because its keys
+        already embed the snapshot fingerprint. ``reuse_indexes`` lets a
+        sharded build adopt unchanged shard indexes from the old
+        generation. Callable whether or not the server is started.
+        """
+        old = self._gen
+        started = self._clock()
+        new = _build_generation(snapshot, self.config,
+                                reuse=old if reuse_indexes else None)
+        build_s = self._clock() - started
+        self._gen = new
+        self.metrics.increment("serve.swap.count")
+        if new.sharded is not None:
+            reused = getattr(new.engine, "reused_shards", 0)
+            rebuilt = len(new.sharded.shards) - reused
+        else:
+            reused, rebuilt = 0, 1
+        self.metrics.increment("serve.swap.shards_reused", reused)
+        self.metrics.increment("serve.swap.shards_rebuilt", rebuilt)
+        return SwapReport(old_fingerprint=old.fingerprint,
+                          new_fingerprint=new.fingerprint,
+                          shards_reused=reused, shards_rebuilt=rebuilt,
+                          build_s=build_s)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -539,15 +671,16 @@ class AnnotationServer:
         if not self._started:
             raise ServeError("server not started; use `with server:` or "
                              "call start()")
+        gen = self._gen
         try:
-            key = query_fingerprint(query)
+            key = f"{gen.fingerprint}:{query_fingerprint(query)}"
         except QueryError:
             return None
         body = self.cache.get(key)
         if body is None:
             return None
         kind = query_kind(query)
-        self._record_shard(query)
+        self._record_shard(gen, query)
         response = ServeResponse(status=OK, kind=kind, body=body,
                                  cached=True)
         self.metrics.record(kind, OK, True, 0.0)
@@ -557,34 +690,37 @@ class AnnotationServer:
     def fault_injector(self):
         return self._injector
 
-    def _record_shard(self, query: Query) -> None:
+    def _record_shard(self, gen: _Generation, query: Query) -> None:
         """Per-shard accounting: routed queries count against their
         shard, fan-out queries against the scatter path."""
-        if self.sharded is None:
+        if gen.sharded is None:
             return
-        shard = self.engine.route(query)
+        shard = gen.engine.route(query)
         if shard is None:
             self.metrics.increment("serve.scatter.queries")
         else:
             self.metrics.increment(f"serve.shard.{shard}.queries")
 
-    def _predicate_key(self, query: PredicateQuery) -> str:
+    @staticmethod
+    def _predicate_key(gen: _Generation, query: PredicateQuery) -> str:
         pred = parse_predicate(query.predicate)
         evidence = "evidence" if query.evidence else "domains"
-        fingerprint = self.sharded.fingerprint if self.sharded is not None \
-            else self.snapshot.fingerprint
-        return f"{predicate_fingerprint(pred)}:{evidence}:{fingerprint}"
+        return f"{predicate_fingerprint(pred)}:{evidence}:{gen.fingerprint}"
 
     def _serve_one(self, query: Query, kind: str) -> ServeResponse:
+        # The one generation capture for this request: every read below
+        # goes through ``gen``, so a swap landing mid-request changes
+        # nothing this request observes.
+        gen = self._gen
         try:
             # A malformed query (e.g. an unparseable predicate string)
             # fails fingerprinting with the same QueryError message the
             # engine's validation would raise; answer it as a clean
             # query error, not an InternalError.
-            key = query_fingerprint(query)
+            key = f"{gen.fingerprint}:{query_fingerprint(query)}"
         except QueryError as exc:
             return ServeResponse(status=ERROR, kind=kind, body=str(exc))
-        self._record_shard(query)
+        self._record_shard(gen, query)
         body = self.cache.get(key)
         if body is not None:
             return ServeResponse(status=OK, kind=kind, body=body,
@@ -592,7 +728,7 @@ class AnnotationServer:
         pkey = None
         if self.predicate_cache is not None \
                 and isinstance(query, PredicateQuery):
-            pkey = self._predicate_key(query)
+            pkey = self._predicate_key(gen, query)
             body = self.predicate_cache.get(pkey)
             if body is not None:
                 self.metrics.increment("serve.predicate_cache.hit")
@@ -601,7 +737,7 @@ class AnnotationServer:
                                      cached=True)
             self.metrics.increment("serve.predicate_cache.miss")
         try:
-            body = self.engine.execute(query).to_json()
+            body = gen.engine.execute(query).to_json()
         except QueryError as exc:
             return ServeResponse(status=ERROR, kind=kind, body=str(exc))
         self.cache.put(key, body)
@@ -619,6 +755,7 @@ __all__ = [
     "ServeMetrics",
     "ServeResponse",
     "ServerConfig",
+    "SwapReport",
     "WorkerCrash",
     "percentile",
 ]

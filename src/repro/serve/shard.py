@@ -311,13 +311,33 @@ class ShardedEngine:
     ``QueryEngine(CorpusIndex.build(snapshot)).execute`` for every query
     class — the differential suite and ``bench_serve_sharded`` hold it
     to that.
+
+    ``reuse_from`` is the incremental-refresh seam: pass the engine built
+    over the *previous* snapshot generation and any shard whose content
+    fingerprint is unchanged adopts the old engine's already-built
+    :class:`CorpusIndex` instead of rebuilding it. Safe because a shard
+    index is a pure function of the shard snapshot's records (which
+    determine its fingerprint) and is read-only after build; ``reused_shards``
+    reports how many rebuilds were skipped.
     """
 
-    def __init__(self, sharded: ShardedSnapshot):
+    def __init__(self, sharded: ShardedSnapshot,
+                 reuse_from: "ShardedEngine | None" = None):
         self.sharded = sharded
         self.fingerprint = sharded.fingerprint
-        self.shard_indexes = [CorpusIndex.build(shard)
-                              for shard in sharded.shards]
+        reusable: dict[str, CorpusIndex] = {}
+        if reuse_from is not None:
+            for index in reuse_from.shard_indexes:
+                reusable[index.snapshot.fingerprint] = index
+        self.reused_shards = 0
+        self.shard_indexes = []
+        for shard in sharded.shards:
+            cached = reusable.get(shard.fingerprint)
+            if cached is not None:
+                self.shard_indexes.append(cached)
+                self.reused_shards += 1
+            else:
+                self.shard_indexes.append(CorpusIndex.build(shard))
         self.shard_engines = [QueryEngine(index)
                               for index in self.shard_indexes]
         records = sharded.records()

@@ -117,7 +117,8 @@ def snapshot_from_cache(corpus, options, cache, *,
 
     Every domain must have a checkpointed records-layer entry for the
     exact ``(corpus, options)`` fingerprints; otherwise the cache is not
-    warm for this configuration and the error lists the missing domains
+    warm for this configuration and a typed
+    ``SnapshotError(reason="cold-cache")`` lists the missing domains
     rather than silently serving a partial corpus.
     """
     from repro.pipeline.cache import CacheKeys
@@ -140,7 +141,7 @@ def snapshot_from_cache(corpus, options, cache, *,
             f"cache holds no records-layer entry for {len(missing)} of "
             f"{len(wanted)} domains: {shown}{more}; run the pipeline with "
             f"this cache directory first (same corpus seed/fraction and "
-            f"options)")
+            f"options)", reason="cold-cache")
     return build_snapshot(records, source="cache", provenance={
         "options_fingerprint": keys.options_fp,
         "lexicon_fingerprint": keys.lexicon_fp,

@@ -1,0 +1,182 @@
+"""User-supplied rule packs: payload round-trip, loading, CLI scanning."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro._util.artifacts import canonical_json
+from repro.cli import main
+from repro.compliance import (
+    CCPA_PACK,
+    GDPR_PACK,
+    compile_record,
+    load_rule_pack,
+    pack_from_payload,
+    rule_from_payload,
+    scan_forms,
+)
+from repro.errors import ComplianceError
+from repro.pipeline.records import read_jsonl
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _custom_payload(name="house-rules"):
+    """A small pack built from built-in rule payloads under a new name."""
+    return {
+        "name": name,
+        "title": "In-house retention and erasure bar",
+        "rules": [GDPR_PACK.rule("gdpr.storage-limitation").to_payload(),
+                  GDPR_PACK.rule("gdpr.right-to-erasure").to_payload()],
+    }
+
+
+class TestPayloadRoundTrip:
+    @pytest.mark.parametrize("pack", [GDPR_PACK, CCPA_PACK],
+                             ids=lambda p: p.name)
+    def test_builtin_packs_round_trip_fingerprint_exact(self, pack):
+        clone = pack_from_payload(
+            json.loads(canonical_json(pack.to_payload())))
+        assert clone.fingerprint() == pack.fingerprint()
+        assert clone.to_payload() == pack.to_payload()
+
+    def test_rule_round_trip_preserves_applicability(self):
+        rule = GDPR_PACK.rule("gdpr.marketing-consent")
+        clone = rule_from_payload(rule.to_payload())
+        assert clone == rule
+
+    def test_rule_payload_errors(self):
+        base = GDPR_PACK.rule("gdpr.security-measures").to_payload()
+        with pytest.raises(ComplianceError, match="must be an object"):
+            rule_from_payload(["not", "a", "rule"])
+        with pytest.raises(ComplianceError, match="non-empty string 'id'"):
+            rule_from_payload({**base, "id": ""})
+        with pytest.raises(ComplianceError, match="severity must be"):
+            rule_from_payload({**base, "severity": "mandatory"})
+        with pytest.raises(ComplianceError, match="unknown fields"):
+            rule_from_payload({**base, "extra": 1})
+        with pytest.raises(ComplianceError, match="missing its requirement"):
+            rule_from_payload({k: v for k, v in base.items()
+                               if k != "requirement"})
+        with pytest.raises(ComplianceError, match=base["id"]):
+            rule_from_payload({**base, "requirement": {"op": "frobnicate"}})
+
+    def test_pack_payload_errors(self):
+        payload = _custom_payload()
+        with pytest.raises(ComplianceError, match="non-empty string 'name'"):
+            pack_from_payload({**payload, "name": ""})
+        with pytest.raises(ComplianceError, match="unknown fields"):
+            pack_from_payload({**payload, "version": 2})
+        with pytest.raises(ComplianceError, match="non-empty rules list"):
+            pack_from_payload({**payload, "rules": []})
+        dupe = {**payload,
+                "rules": [payload["rules"][0], payload["rules"][0]]}
+        with pytest.raises(ComplianceError, match="duplicate rule ids"):
+            pack_from_payload(dupe)
+
+
+class TestLoadRulePack:
+    def test_loads_a_valid_pack_file(self, tmp_path):
+        path = tmp_path / "pack.json"
+        path.write_text(json.dumps(_custom_payload()), encoding="utf-8")
+        pack = load_rule_pack(path)
+        assert pack.name == "house-rules"
+        assert pack.rule_ids() == ["gdpr.storage-limitation",
+                                   "gdpr.right-to-erasure"]
+
+    def test_missing_file_is_a_compliance_error(self, tmp_path):
+        with pytest.raises(ComplianceError, match="cannot read"):
+            load_rule_pack(tmp_path / "nope.json")
+
+    def test_bad_json_is_a_compliance_error(self, tmp_path):
+        path = tmp_path / "pack.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ComplianceError, match="not valid JSON"):
+            load_rule_pack(path)
+
+    def test_shadowing_builtin_name_rejected(self, tmp_path):
+        path = tmp_path / "pack.json"
+        path.write_text(json.dumps(_custom_payload(name="gdpr")),
+                        encoding="utf-8")
+        with pytest.raises(ComplianceError, match="shadows built-in"):
+            load_rule_pack(path)
+
+
+class TestScanEquivalence:
+    def test_custom_pack_scan_matches_builtin_rule_slices(self):
+        """A user pack made of built-in rules must yield the exact verdict
+        rows the built-in pack computes for those rules."""
+        records = read_jsonl(GOLDEN_DIR / "records.jsonl")
+        forms = [compile_record(r) for r in records]
+        pack = pack_from_payload(_custom_payload())
+        payload = scan_forms(pack, forms)
+        assert payload["pack"] == "house-rules"
+        assert payload["pack_fingerprint"] == pack.fingerprint()
+        for rule_payload in payload["rules"]:
+            builtin = scan_forms(GDPR_PACK, forms,
+                                 rule_id=rule_payload["id"])
+            assert rule_payload["verdicts"] == \
+                builtin["rules"][0]["verdicts"]
+            assert rule_payload["counts"] == builtin["rules"][0]["counts"]
+
+
+class TestRulePackCLI:
+    @pytest.fixture(scope="class")
+    def snapshot_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-rulepack") / "corpus.snap.json"
+        assert main(["--fraction", "0.02", "--seed", "3",
+                     "serve-snapshot", "--out", str(path)]) == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def pack_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-rulepack-def") / "pack.json"
+        path.write_text(json.dumps(_custom_payload()), encoding="utf-8")
+        return path
+
+    def test_scan_with_user_pack(self, capsys, snapshot_path, pack_path):
+        capsys.readouterr()
+        assert main(["compliance", "--snapshot", str(snapshot_path),
+                     "--rule-pack", str(pack_path)]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["kind"] == "compliance"
+        assert body["payload"]["pack"] == "house-rules"
+        assert len(body["payload"]["rules"]) == 2
+        assert body["payload"]["domains"] > 0
+
+    def test_rule_and_sector_slices_apply(self, capsys, snapshot_path,
+                                          pack_path):
+        capsys.readouterr()
+        assert main(["compliance", "--snapshot", str(snapshot_path),
+                     "--rule-pack", str(pack_path),
+                     "--rule", "gdpr.right-to-erasure",
+                     "--in-sector", "FI"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        payload = body["payload"]
+        assert payload["sector"] == "FI"
+        assert [r["id"] for r in payload["rules"]] == \
+            ["gdpr.right-to-erasure"]
+
+    def test_two_modes_exit_2(self, capsys, snapshot_path, pack_path):
+        code = main(["compliance", "--snapshot", str(snapshot_path),
+                     "--rule-pack", str(pack_path), "--pack", "gdpr"])
+        assert code == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_engine_flag_rejected_for_user_packs(self, capsys,
+                                                 snapshot_path, pack_path):
+        code = main(["compliance", "--snapshot", str(snapshot_path),
+                     "--rule-pack", str(pack_path), "--engine", "check"])
+        assert code == 2
+        assert "reference scan" in capsys.readouterr().err
+
+    def test_bad_pack_file_exit_2(self, capsys, snapshot_path, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main(["compliance", "--snapshot", str(snapshot_path),
+                     "--rule-pack", str(bad)])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err

@@ -263,3 +263,122 @@ class TestPredicateCache:
         assert response.status == ERROR
         assert response.body.startswith("predicate:")
         assert "InternalError" not in response.body
+
+
+class TestWindowedRateLimit:
+    def _front(self, server, quota, clock):
+        registry = TenantRegistry()
+        registry.register("acme", quota)
+        return AsyncFrontEnd(server, registry, clock=clock)
+
+    def test_quota_validation(self):
+        with pytest.raises(TenancyError):
+            TenantQuota(max_per_window=0)
+        with pytest.raises(TenancyError):
+            TenantQuota(max_per_window=5, window_s=0.0)
+        with pytest.raises(TenancyError):
+            TenantQuota(max_per_window=5, window_s=-1.0)
+        TenantQuota(max_per_window=5, window_s=2.0)  # valid
+
+    def test_excess_in_window_is_rate_limited(self):
+        now = [100.0]
+        quota = TenantQuota(max_inflight=8, max_per_window=3, window_s=1.0)
+        with AnnotationServer(_snapshot()) as server:
+            front = self._front(server, quota, lambda: now[0])
+            key = derive_api_key("acme")
+
+            async def scenario():
+                return [await front.handle(
+                    key, DomainLookup(domain=f"site{i}.com"))
+                    for i in range(5)]
+
+            responses = asyncio.run(scenario())
+        assert [r.status for r in responses] == [OK, OK, OK,
+                                                 OVERLOADED, OVERLOADED]
+        assert all("TenantRateLimited" in r.body
+                   for r in responses if r.status == OVERLOADED)
+        counters = server.metrics.as_dict()["counters"]
+        assert counters["serve.tenant.acme.rate_limited"] == 2
+        assert counters["serve.tenant.acme.shed"] == 2
+        assert counters["serve.tenant.acme.ok"] == 3
+
+    def test_window_advance_readmits(self):
+        now = [50.0]
+        quota = TenantQuota(max_inflight=8, max_per_window=2, window_s=1.0)
+        with AnnotationServer(_snapshot()) as server:
+            front = self._front(server, quota, lambda: now[0])
+            key = derive_api_key("acme")
+
+            async def scenario():
+                first = [await front.handle(
+                    key, DomainLookup(domain=f"site{i}.com"))
+                    for i in range(3)]
+                now[0] += 1.0  # next fixed window
+                second = await front.handle(
+                    key, DomainLookup(domain="site5.com"))
+                return first, second
+
+            first, second = asyncio.run(scenario())
+        assert [r.status for r in first] == [OK, OK, OVERLOADED]
+        assert second.status == OK
+
+    def test_unlimited_by_default(self):
+        with AnnotationServer(_snapshot()) as server:
+            front = self._front(server, TenantQuota(max_inflight=8),
+                                lambda: 0.0)
+            key = derive_api_key("acme")
+
+            async def scenario():
+                return [await front.handle(
+                    key, DomainLookup(domain=f"site{i}.com"))
+                    for i in range(6)]
+
+            responses = asyncio.run(scenario())
+        assert all(r.status == OK for r in responses)
+
+    def test_windows_are_per_tenant(self):
+        now = [10.0]
+        quota = TenantQuota(max_inflight=8, max_per_window=1, window_s=1.0)
+        with AnnotationServer(_snapshot()) as server:
+            registry = TenantRegistry()
+            registry.register("acme", quota)
+            registry.register("bloom", quota)
+            front = AsyncFrontEnd(server, registry, clock=lambda: now[0])
+
+            async def scenario():
+                a1 = await front.handle(derive_api_key("acme"),
+                                        DomainLookup(domain="site1.com"))
+                b1 = await front.handle(derive_api_key("bloom"),
+                                        DomainLookup(domain="site2.com"))
+                a2 = await front.handle(derive_api_key("acme"),
+                                        DomainLookup(domain="site3.com"))
+                return a1, b1, a2
+
+            a1, b1, a2 = asyncio.run(scenario())
+        assert a1.status == OK
+        assert b1.status == OK  # bloom's window is untouched by acme
+        assert a2.status == OVERLOADED
+
+    def test_rate_limit_checked_before_inflight(self):
+        """A rate-limited request must not consume inflight capacity."""
+        now = [7.0]
+        quota = TenantQuota(max_inflight=1, max_per_window=1, window_s=1.0)
+        with AnnotationServer(_snapshot()) as server:
+            front = self._front(server, quota, lambda: now[0])
+            key = derive_api_key("acme")
+
+            async def scenario():
+                ok = await front.handle(key,
+                                        DomainLookup(domain="site1.com"))
+                limited = await front.handle(
+                    key, DomainLookup(domain="site2.com"))
+                now[0] += 1.0
+                readmitted = await front.handle(
+                    key, DomainLookup(domain="site3.com"))
+                return ok, limited, readmitted
+
+            ok, limited, readmitted = asyncio.run(scenario())
+        assert ok.status == OK
+        assert limited.status == OVERLOADED
+        assert "TenantRateLimited" in limited.body
+        assert readmitted.status == OK

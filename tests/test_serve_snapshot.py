@@ -248,6 +248,7 @@ class TestFromCacheAndResult:
         message = str(excinfo.value)
         assert corpus.domains[0] in message
         assert "run the pipeline" in message
+        assert excinfo.value.reason == "cold-cache"
 
     def test_result_snapshot_carries_provenance(self, cached_run):
         _, _, _, result = cached_run
